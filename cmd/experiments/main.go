@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures from the
+// synthetic world.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig3
+//	experiments -run all -scale 0.002 -seed 42
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hitlist6/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment to run (see -list), or 'all'")
+		scale  = flag.Float64("scale", 1.0/500, "world scale relative to paper magnitudes")
+		seed   = flag.Uint64("seed", 42, "world seed")
+		stride = flag.Int("stride", 1, "run every N-th scheduled scan")
+		tail   = flag.Int("tail-ases", 240, "synthetic tail AS count")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-14s %s\n", r.Name, r.About)
+		}
+		return
+	}
+
+	suite := experiments.NewSuite(experiments.Params{
+		Seed: *seed, Scale: *scale, TailASes: *tail, ScanStride: *stride,
+	})
+	ctx := context.Background()
+
+	var runners []experiments.Runner
+	if *run == "all" {
+		runners = experiments.All()
+	} else {
+		r, ok := experiments.ByName(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *run)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	start := time.Now()
+	for i, r := range runners {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println("================================================================")
+			fmt.Println()
+		}
+		if err := r.Run(ctx, suite, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\n[%d experiment(s) in %v, scale %.5f, seed %d]\n",
+		len(runners), time.Since(start).Round(time.Millisecond), *scale, *seed)
+}

@@ -1,0 +1,65 @@
+// Command gfw-filter removes Great-Firewall-injected DNS results from a
+// ZMap-style result CSV — the published companion tool of the paper.
+//
+// It reads a CSV produced by the scanner (or cmd/zmap6sim), classifies
+// every UDP/53 row by response evidence (A records answering AAAA
+// questions, Teredo addresses, multiple responses), writes the kept rows
+// to stdout, and reports what it removed on stderr.
+//
+// Usage:
+//
+//	gfw-filter < scan.csv > cleaned.csv
+//	gfw-filter -dropped dropped.csv < scan.csv > cleaned.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hitlist6/internal/gfw"
+	"hitlist6/internal/scan"
+)
+
+func main() {
+	dropped := flag.String("dropped", "", "also write removed rows to this file")
+	flag.Parse()
+
+	recs, err := scan.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading CSV: %v\n", err)
+		os.Exit(1)
+	}
+	kept, injected := gfw.FilterRecords(recs)
+
+	if err := writeRecords(os.Stdout, kept); err != nil {
+		fmt.Fprintf(os.Stderr, "writing kept rows: %v\n", err)
+		os.Exit(1)
+	}
+	if *dropped != "" {
+		f, err := os.Create(*dropped)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *dropped, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := writeRecords(f, injected); err != nil {
+			fmt.Fprintf(os.Stderr, "writing dropped rows: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "kept %d rows, removed %d injected DNS rows\n", len(kept), len(injected))
+}
+
+func writeRecords(f *os.File, recs []scan.Record) error {
+	w, err := scan.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+func testTable() *netmodel.ASTable {
+	return netmodel.NewASTable([]*netmodel.AS{
+		{ASN: 1, Name: "Big", Announced: []ip6.Prefix{ip6.MustParsePrefix("2001:1::/32")}, AnnouncedFrom: []int{0}},
+		{ASN: 2, Name: "Small", Announced: []ip6.Prefix{ip6.MustParsePrefix("2001:2::/32")}, AnnouncedFrom: []int{0}},
+	})
+}
+
+func TestByASAndCDF(t *testing.T) {
+	set := ip6.NewSet(0)
+	big := ip6.MustParsePrefix("2001:1::/32")
+	small := ip6.MustParsePrefix("2001:2::/32")
+	for i := uint64(0); i < 9; i++ {
+		set.Add(big.NthAddr(i))
+	}
+	set.Add(small.NthAddr(0))
+	set.Add(ip6.MustParseAddr("3fff::1")) // unrouted
+
+	counts := ByAS(set, testTable())
+	if len(counts) != 3 {
+		t.Fatalf("counts: %+v", counts)
+	}
+	if counts[0].ASN != 1 || counts[0].Count != 9 {
+		t.Errorf("top AS: %+v", counts[0])
+	}
+	if counts[0].Name != "Big" {
+		t.Errorf("name: %q", counts[0].Name)
+	}
+
+	cdf := RankCDF(counts)
+	if cdf.Total != 11 {
+		t.Errorf("total: %d", cdf.Total)
+	}
+	if got := cdf.At(1); got < 0.81 || got > 0.82 {
+		t.Errorf("At(1) = %v", got)
+	}
+	if cdf.At(3) != 1.0 {
+		t.Errorf("At(3) = %v", cdf.At(3))
+	}
+	if cdf.At(99) != 1.0 || cdf.At(0) != 0 {
+		t.Error("At clamping")
+	}
+	if cdf.RanksFor(0.5) != 1 || cdf.RanksFor(0.99) != 3 {
+		t.Errorf("RanksFor: %d %d", cdf.RanksFor(0.5), cdf.RanksFor(0.99))
+	}
+	pts := cdf.SeriesPoints()
+	if len(pts) == 0 || pts[len(pts)-1].Frac != 1.0 {
+		t.Errorf("series: %+v", pts)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := ip6.SetOf(ip6.MustParseAddr("2001::1"), ip6.MustParseAddr("2001::2"))
+	b := ip6.SetOf(ip6.MustParseAddr("2001::2"), ip6.MustParseAddr("2001::3"), ip6.MustParseAddr("2001::4"))
+	m := Overlap([]string{"a", "b"}, []ip6.Set{a, b})
+	if m[0][1] != 50 {
+		t.Errorf("a∩b/a: %v", m[0][1])
+	}
+	if m[1][0] < 33.3 || m[1][0] > 33.4 {
+		t.Errorf("a∩b/b: %v", m[1][0])
+	}
+	if m[0][0] != 0 || m[1][1] != 0 {
+		t.Error("diagonal must stay zero")
+	}
+	// Empty set row is all zeros, no panic.
+	m = Overlap([]string{"a", "e"}, []ip6.Set{a, ip6.NewSet(0)})
+	if m[1][0] != 0 {
+		t.Error("empty set row")
+	}
+}
+
+func TestPrefixLenCDF(t *testing.T) {
+	cdf := PrefixLenCDF([]ip6.Prefix{
+		ip6.MustParsePrefix("2001::/32"),
+		ip6.MustParsePrefix("2001:1::/64"),
+		ip6.MustParsePrefix("2001:2::/64"),
+		ip6.MustParsePrefix("2001:3::/96"),
+	})
+	if cdf[31] != 0 || cdf[32] != 0.25 || cdf[63] != 0.25 {
+		t.Errorf("low lengths: %v %v %v", cdf[31], cdf[32], cdf[63])
+	}
+	if cdf[64] != 0.75 || cdf[128] != 1.0 {
+		t.Errorf("high lengths: %v %v", cdf[64], cdf[128])
+	}
+	empty := PrefixLenCDF(nil)
+	if empty[128] != 0 {
+		t.Error("empty CDF")
+	}
+}
+
+func TestHumanize(t *testing.T) {
+	cases := map[int]string{
+		31:         "31",
+		1800:       "1.8 k",
+		1000:       "1 k",
+		550600:     "550.6 k",
+		3200000:    "3.2 M",
+		1000000:    "1 M",
+		2500000000: "2.5 G",
+	}
+	for n, want := range cases {
+		if got := Humanize(n); got != want {
+			t.Errorf("Humanize(%d) = %q, want %q", n, got, want)
+		}
+	}
+	if Pct(1, 4) != "25.0 %" || Pct(1, 0) != "n/a" {
+		t.Error("Pct")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Year", "Addresses")
+	tb.Row("2018", 1800000)
+	tb.Row("2022", "3.2 M")
+	out := tb.String()
+	if !strings.Contains(out, "Year") || !strings.Contains(out, "3.2 M") {
+		t.Errorf("render: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("lines: %d", len(lines))
+	}
+}
+
+func TestEUI64Analysis(t *testing.T) {
+	set := ip6.NewSet(0)
+	mac1 := ip6.MAC{0x00, 0x1e, 0x73, 1, 2, 3}
+	mac2 := ip6.MAC{0x28, 0x6f, 0x7f, 9, 9, 9}
+	// mac1 under three prefixes (rotation), mac2 once, plus non-EUI.
+	for i, ps := range []string{"2003:1::/64", "2003:2::/64", "2003:3::/64"} {
+		set.Add(ip6.AddrFromMAC(ip6.MustParsePrefix(ps), mac1))
+		_ = i
+	}
+	set.Add(ip6.AddrFromMAC(ip6.MustParsePrefix("2003:4::/64"), mac2))
+	set.Add(ip6.MustParseAddr("2001::1"))
+
+	st := EUI64Analysis(set)
+	if st.Total != 5 || st.EUI64 != 4 {
+		t.Errorf("totals: %+v", st)
+	}
+	if st.DistinctMACs != 2 || st.TopMACAddrs != 3 || st.SingleUseMACs != 1 {
+		t.Errorf("macs: %+v", st)
+	}
+	if st.TopOUI != [3]byte{0x00, 0x1e, 0x73} {
+		t.Errorf("top OUI: %v", st.TopOUI)
+	}
+}

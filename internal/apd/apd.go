@@ -1,0 +1,240 @@
+// Package apd implements the IPv6 Hitlist's multi-level aliased prefix
+// detection (Section 3.1 and 5 of the paper).
+//
+// A prefix is tested by choosing one pseudo-random address inside each of
+// its 16 four-bit subprefixes and probing them with ICMP and TCP/80. If all
+// 16 respond — merged across the two protocols and the previous three
+// scans, to absorb probe loss — the prefix is labeled aliased (the paper
+// suggests "fully responsive" as the better name).
+//
+// Candidates come from three levels: every BGP-announced prefix, every /64
+// with at least one input address, and longer prefixes (in 4-bit steps up
+// to /120) holding at least 100 input addresses.
+package apd
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/rng"
+	"hitlist6/internal/scan"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// MinAddrsLongPrefix is the input-address threshold for testing
+	// prefixes longer than /64 (the paper uses 100).
+	MinAddrsLongPrefix int
+
+	// MaxPrefixLen bounds candidate length; the paper observed aliased
+	// prefixes up to /120.
+	MaxPrefixLen int
+
+	// MergeScans is how many previous detection rounds are merged into
+	// the current one (the paper merges with the previous three scans).
+	MergeScans int
+
+	// Protocols probed per slot; the service uses ICMP and TCP/80.
+	Protocols []netmodel.Protocol
+}
+
+// DefaultConfig mirrors the service configuration.
+func DefaultConfig() Config {
+	return Config{
+		MinAddrsLongPrefix: 100,
+		MaxPrefixLen:       120,
+		MergeScans:         3,
+		Protocols:          []netmodel.Protocol{netmodel.ICMP, netmodel.TCP80},
+	}
+}
+
+// Candidates derives the multi-level candidate set from the BGP table and
+// the service input addresses.
+func Candidates(bgp []ip6.Prefix, input []ip6.Addr, cfg Config) []ip6.Prefix {
+	seen := make(map[ip6.Prefix]struct{})
+	var out []ip6.Prefix
+	add := func(p ip6.Prefix) {
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+
+	// Level 1: BGP-announced prefixes (subdividable ones only).
+	for _, p := range bgp {
+		if p.Bits()+4 <= 128 && p.Bits() <= cfg.MaxPrefixLen {
+			add(p)
+		}
+	}
+
+	// Level 2: /64s with at least one input address.
+	// Level 3: longer prefixes (4-bit steps) with ≥ threshold addresses.
+	perLen := make(map[int]map[ip6.Prefix]int)
+	for l := 68; l <= cfg.MaxPrefixLen; l += 4 {
+		perLen[l] = make(map[ip6.Prefix]int)
+	}
+	for _, a := range input {
+		add(ip6.Slash64(a))
+		for l := 68; l <= cfg.MaxPrefixLen; l += 4 {
+			perLen[l][ip6.PrefixFrom(a, l)]++
+		}
+	}
+	lens := make([]int, 0, len(perLen))
+	for l := range perLen {
+		lens = append(lens, l)
+	}
+	sort.Ints(lens)
+	for _, l := range lens {
+		for p, n := range perLen[l] {
+			if n >= cfg.MinAddrsLongPrefix {
+				add(p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
+	return out
+}
+
+// Detection records the outcome for one candidate in one round.
+type Detection struct {
+	Prefix ip6.Prefix
+	// Bitmap has bit i set when slot i (subprefix nibble i) responded in
+	// the current round.
+	Bitmap uint16
+	// Merged includes the previous MergeScans rounds.
+	Merged uint16
+	// Aliased is Merged == 0xffff.
+	Aliased bool
+}
+
+// Result is one detection round over a candidate set.
+type Result struct {
+	Day        int
+	Aliased    *ip6.PrefixSet
+	Detections map[ip6.Prefix]Detection
+	// Probes is the number of scanner probes this round used.
+	Probes int
+}
+
+// Detector runs rounds of multi-level APD, remembering per-prefix history
+// for the cross-scan merge.
+type Detector struct {
+	scanner *scan.Scanner
+	cfg     Config
+	history map[ip6.Prefix][]uint16
+}
+
+// NewDetector builds a detector using the given scanner.
+func NewDetector(s *scan.Scanner, cfg Config) *Detector {
+	if cfg.MinAddrsLongPrefix <= 0 {
+		cfg.MinAddrsLongPrefix = 100
+	}
+	if cfg.MaxPrefixLen == 0 {
+		cfg.MaxPrefixLen = 120
+	}
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = []netmodel.Protocol{netmodel.ICMP, netmodel.TCP80}
+	}
+	return &Detector{scanner: s, cfg: cfg, history: make(map[ip6.Prefix][]uint16)}
+}
+
+// SlotAddr returns the pseudo-random probe address for slot v (0–15) of
+// prefix p in the round keyed by day. The draw is deterministic per
+// (prefix, slot, day): stable within a round, fresh across rounds.
+func SlotAddr(p ip6.Prefix, v byte, day int) ip6.Addr {
+	sub := p.SubprefixOfNibble(v)
+	r := rng.NewStream(rng.Mix(p.Addr().Hi(), p.Addr().Lo(), uint64(p.Bits()), uint64(v), uint64(day)), "apd-slot")
+	return sub.RandomAddr(r)
+}
+
+// Run executes one detection round at the given day.
+func (d *Detector) Run(ctx context.Context, candidates []ip6.Prefix, day int) (*Result, error) {
+	res := &Result{
+		Day:        day,
+		Aliased:    ip6.NewPrefixSet(),
+		Detections: make(map[ip6.Prefix]Detection, len(candidates)),
+	}
+
+	// Build the probe list: 16 slots per candidate.
+	targets := make([]ip6.Addr, 0, len(candidates)*16)
+	for _, p := range candidates {
+		if p.Bits()+4 > 128 {
+			return nil, fmt.Errorf("apd: candidate %v too long to subdivide", p)
+		}
+		for v := byte(0); v < 16; v++ {
+			targets = append(targets, SlotAddr(p, v, day))
+		}
+	}
+
+	sets, stats, err := d.scanner.ResponsiveSet(ctx, targets, d.cfg.Protocols, day)
+	if err != nil {
+		return nil, fmt.Errorf("apd: scanning candidates: %w", err)
+	}
+	res.Probes = int(stats.ProbesSent)
+
+	for i, p := range candidates {
+		var bitmap uint16
+		for v := 0; v < 16; v++ {
+			a := targets[i*16+v]
+			for _, proto := range d.cfg.Protocols {
+				if sets[proto].Has(a) {
+					bitmap |= 1 << v
+					break
+				}
+			}
+		}
+		merged := bitmap
+		hist := d.history[p]
+		n := d.cfg.MergeScans
+		if n > len(hist) {
+			n = len(hist)
+		}
+		for _, old := range hist[len(hist)-n:] {
+			merged |= old
+		}
+		det := Detection{Prefix: p, Bitmap: bitmap, Merged: merged, Aliased: merged == 0xffff}
+		res.Detections[p] = det
+		if det.Aliased {
+			res.Aliased.Add(p)
+		}
+		// Record history (bounded).
+		hist = append(hist, bitmap)
+		if len(hist) > d.cfg.MergeScans+1 {
+			hist = hist[len(hist)-d.cfg.MergeScans-1:]
+		}
+		d.history[p] = hist
+	}
+	return res, nil
+}
+
+// ResponsiveSlots counts the responding slots in a bitmap.
+func ResponsiveSlots(bitmap uint16) int { return bits.OnesCount16(bitmap) }
+
+// Aggregate collapses nested aliased prefixes: descendants of an aliased
+// prefix are dropped so the set reflects maximal aliased regions (an
+// aliased /32 subsumes its aliased /36s).
+func Aggregate(aliased []ip6.Prefix) []ip6.Prefix {
+	sorted := append([]ip6.Prefix(nil), aliased...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Bits() != sorted[j].Bits() {
+			return sorted[i].Bits() < sorted[j].Bits()
+		}
+		return ip6.ComparePrefix(sorted[i], sorted[j]) < 0
+	})
+	kept := ip6.NewPrefixSet()
+	var out []ip6.Prefix
+	for _, p := range sorted {
+		if _, covered := kept.Match(p.Addr()); covered {
+			continue
+		}
+		kept.Add(p)
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
+	return out
+}

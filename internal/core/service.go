@@ -1,0 +1,604 @@
+// Package core implements the IPv6 Hitlist service pipeline — the paper's
+// Figure 1 — as an operable library:
+//
+//	input feeds → blocklist filter → GFW filter → aliased-prefix filter
+//	→ 30-day-unresponsive filter → ZMap-style scans on five protocols
+//
+// The service accumulates candidate addresses from its feeds, schedules
+// scans over simulated days, runs the multi-level aliased prefix detection,
+// classifies Great-Firewall injections from response evidence, applies the
+// cumulative GFW input filter the moment it is "deployed" (February 2022 in
+// the paper), and records per-scan series (responsiveness per protocol,
+// published vs cleaned, churn) plus full snapshots at chosen days. Those
+// records and snapshots are everything the evaluation figures and tables
+// are derived from.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"hitlist6/internal/apd"
+	"hitlist6/internal/gfw"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/scan"
+	"hitlist6/internal/sources"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Seed namespaces the service's internal randomness (APD slot draws
+	// come from the scan day, so this mainly affects sampling).
+	Seed uint64
+
+	// Protocols probed each scan; defaults to all five.
+	Protocols []netmodel.Protocol
+
+	// UnresponsiveDays is the 30-day filter horizon.
+	UnresponsiveDays int
+
+	// GFWFilterFromDay is the deployment day of the GFW filter
+	// (netmodel.Forever = never, reproducing the pre-2022 service).
+	GFWFilterFromDay int
+
+	// APDEveryScans runs alias detection every N-th scan (min 1).
+	APDEveryScans int
+
+	// APDMaxNewCandidates bounds how many newly seen /64s are tested per
+	// APD round (the rest queue up).
+	APDMaxNewCandidates int
+
+	// RetainUnresponsive keeps the set of addresses evicted by the
+	// 30-day filter (needed by the Section 6 re-scan experiment; costs
+	// memory).
+	RetainUnresponsive bool
+
+	// SnapshotDays requests full responsive-set snapshots at the first
+	// scan at or after each listed day.
+	SnapshotDays []int
+}
+
+// DefaultConfig mirrors the real service.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:                seed,
+		Protocols:           []netmodel.Protocol{netmodel.ICMP, netmodel.TCP443, netmodel.TCP80, netmodel.UDP443, netmodel.UDP53},
+		UnresponsiveDays:    30,
+		GFWFilterFromDay:    netmodel.Forever,
+		APDEveryScans:       1,
+		APDMaxNewCandidates: 4096,
+	}
+}
+
+// targetState tracks one address in the active scan window.
+type targetState struct {
+	firstDay       int
+	lastSuccessDay int // -1 until first success
+}
+
+// ScanRecord is the per-scan output row (the Figure 3/4 series).
+type ScanRecord struct {
+	Index int
+	Day   int
+
+	// NewInput is the count of never-before-seen candidate addresses.
+	NewInput int
+	// BlockedInput / GFWFilteredInput / AliasedInput count new input
+	// removed by the respective filters.
+	BlockedInput     int
+	GFWFilteredInput int
+	AliasedInput     int
+
+	// ScannedTargets is the size of the scan set after all filters.
+	ScannedTargets int
+
+	// ResponsiveRaw is the published view: any response counts,
+	// including GFW-injected DNS answers.
+	ResponsiveRaw [netmodel.NumProtocols]int
+	// ResponsiveClean removes responses classified as injected.
+	ResponsiveClean [netmodel.NumProtocols]int
+	// TotalRaw/TotalClean count addresses responsive to ≥1 protocol.
+	TotalRaw   int
+	TotalClean int
+
+	// InjectedDNS counts results classified as GFW injections this scan.
+	InjectedDNS int
+
+	// Churn versus the previous scan (clean view): first-ever responders,
+	// returning responders, and addresses that went unresponsive.
+	FirstResp int
+	RespAgain int
+	Unresp    int
+
+	// Evicted counts targets dropped by the 30-day filter this scan.
+	Evicted int
+
+	// AliasedPrefixes is the current aliased-prefix count.
+	AliasedPrefixes int
+
+	// ProbesSent counts scanner probes (scan + APD).
+	ProbesSent uint64
+}
+
+// Snapshot is a full state capture at one scan.
+type Snapshot struct {
+	Day           int
+	Responsive    map[netmodel.Protocol]ip6.Set // clean view
+	ResponsiveAny ip6.Set
+	Aliased       []ip6.Prefix
+}
+
+// Service is the running pipeline.
+type Service struct {
+	cfg      Config
+	net      *netmodel.Network
+	scanner  *scan.Scanner
+	detector *apd.Detector
+	feeds    []*sources.Feed
+	block    *ip6.PrefixSet
+
+	scanIndex int
+
+	// Cumulative input accounting.
+	inputSeen    ip6.Set
+	perASInput   map[int]*ASInput
+	inputTotal   int
+	blockedTotal int
+	gfwTotal     int
+	aliasedTotal int
+	evictedTotal int
+	gfwDeployed  bool
+	gfwInputDrop ip6.Set // the cumulative "134 M" filter once deployed
+	unresponsive ip6.Set // evicted addresses (if retained)
+	active       map[ip6.Addr]*targetState
+	aliased      *ip6.PrefixSet
+	pendingAPD64 []ip6.Prefix // newly seen /64s queued for APD
+	seen64       map[ip6.Prefix]struct{}
+	tracker      *gfw.Tracker
+	everResp     [netmodel.NumProtocols]ip6.Set
+	everRespAny  ip6.Set
+	prevRespAny  ip6.Set
+	lastClean    map[netmodel.Protocol]ip6.Set
+	inputByFeed  map[string]int
+
+	records   []*ScanRecord
+	snapshots map[int]*Snapshot
+	snapQueue []int
+}
+
+// ASInput aggregates cumulative input per AS (Figure 2's ingredients).
+type ASInput struct {
+	Total   int
+	Aliased int
+	GFW     int
+}
+
+// NewService assembles a pipeline over a world.
+func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blocklist *ip6.PrefixSet) *Service {
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = []netmodel.Protocol{netmodel.ICMP, netmodel.TCP443, netmodel.TCP80, netmodel.UDP443, netmodel.UDP53}
+	}
+	if cfg.UnresponsiveDays <= 0 {
+		cfg.UnresponsiveDays = 30
+	}
+	if cfg.APDEveryScans <= 0 {
+		cfg.APDEveryScans = 1
+	}
+	if cfg.APDMaxNewCandidates <= 0 {
+		cfg.APDMaxNewCandidates = 4096
+	}
+	if blocklist == nil {
+		blocklist = ip6.NewPrefixSet()
+	}
+	scfg := scan.DefaultConfig(cfg.Seed)
+	s := &Service{
+		cfg:          cfg,
+		net:          net,
+		scanner:      scan.New(net, scfg),
+		feeds:        feeds,
+		block:        blocklist,
+		inputSeen:    ip6.NewSet(0),
+		perASInput:   make(map[int]*ASInput),
+		gfwInputDrop: ip6.NewSet(0),
+		unresponsive: ip6.NewSet(0),
+		active:       make(map[ip6.Addr]*targetState),
+		aliased:      ip6.NewPrefixSet(),
+		seen64:       make(map[ip6.Prefix]struct{}),
+		tracker:      gfw.NewTracker(),
+		everRespAny:  ip6.NewSet(0),
+		prevRespAny:  ip6.NewSet(0),
+		inputByFeed:  make(map[string]int),
+		snapshots:    make(map[int]*Snapshot),
+		snapQueue:    append([]int(nil), cfg.SnapshotDays...),
+	}
+	for i := range s.everResp {
+		s.everResp[i] = ip6.NewSet(0)
+	}
+	s.detector = apd.NewDetector(s.scanner, apd.DefaultConfig())
+	return s
+}
+
+// Scanner exposes the service's scanner (for auxiliary experiments that
+// must share its configuration and vantage point).
+func (s *Service) Scanner() *scan.Scanner { return s.scanner }
+
+// AliasedPrefixes returns the current aliased prefix set.
+func (s *Service) AliasedPrefixes() *ip6.PrefixSet { return s.aliased }
+
+// Records returns all per-scan records so far.
+func (s *Service) Records() []*ScanRecord { return s.records }
+
+// Snapshots returns the requested snapshots, keyed by requested day.
+func (s *Service) Snapshots() map[int]*Snapshot { return s.snapshots }
+
+// Tracker exposes cumulative GFW evidence.
+func (s *Service) Tracker() *gfw.Tracker { return s.tracker }
+
+// UnresponsivePool returns the 30-day-evicted addresses (empty unless
+// Config.RetainUnresponsive).
+func (s *Service) UnresponsivePool() ip6.Set { return s.unresponsive }
+
+// InputByFeed returns cumulative new-input counts per feed name.
+func (s *Service) InputByFeed() map[string]int { return s.inputByFeed }
+
+// InputSeen returns every address ever accumulated as input (the
+// cumulative hitlist input, before filters). Treat as read-only.
+func (s *Service) InputSeen() ip6.Set { return s.inputSeen }
+
+// Network returns the world the service operates on.
+func (s *Service) Network() *netmodel.Network { return s.net }
+
+// PerASInput returns cumulative input accounting per ASN.
+func (s *Service) PerASInput() map[int]*ASInput { return s.perASInput }
+
+// EverResponsive returns the cumulative clean responsive set for a
+// protocol.
+func (s *Service) EverResponsive(p netmodel.Protocol) ip6.Set { return s.everResp[p] }
+
+// EverResponsiveAny returns addresses ever responsive to ≥1 protocol.
+func (s *Service) EverResponsiveAny() ip6.Set { return s.everRespAny }
+
+// Funnel summarizes the cumulative pipeline (Figure 1's numbers).
+type Funnel struct {
+	Input        int
+	Blocked      int
+	GFWFiltered  int
+	AliasedInput int
+	Evicted      int
+	ActiveScan   int
+	Responsive   int
+}
+
+// Funnel returns the cumulative funnel counts.
+func (s *Service) Funnel() Funnel {
+	resp := 0
+	if len(s.records) > 0 {
+		resp = s.records[len(s.records)-1].TotalClean
+	}
+	return Funnel{
+		Input:        s.inputTotal,
+		Blocked:      s.blockedTotal,
+		GFWFiltered:  s.gfwTotal,
+		AliasedInput: s.aliasedTotal,
+		Evicted:      s.evictedTotal,
+		ActiveScan:   len(s.active),
+		Responsive:   resp,
+	}
+}
+
+// RunScan executes one full pipeline iteration at the given day.
+func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
+	rec := &ScanRecord{Index: s.scanIndex, Day: day}
+
+	// 1. Input accumulation.
+	collected, err := sources.Drain(ctx, s.feeds, day)
+	if err != nil {
+		return nil, fmt.Errorf("core: draining feeds: %w", err)
+	}
+	if err := s.ingest(collected, day, rec); err != nil {
+		return nil, err
+	}
+
+	// 2. GFW cumulative filter deployment (one-time event).
+	if !s.gfwDeployed && day >= s.cfg.GFWFilterFromDay {
+		s.deployGFWFilter(rec)
+	}
+
+	// 3. Aliased prefix detection (before the scan, as in the pipeline).
+	if s.scanIndex%s.cfg.APDEveryScans == 0 {
+		if err := s.runAPD(ctx, day, rec); err != nil {
+			return nil, err
+		}
+	}
+	rec.AliasedPrefixes = s.aliased.Len()
+
+	// 4. 30-day filter: build the scan set, evicting stale targets.
+	targets := s.buildScanSet(day, rec)
+	rec.ScannedTargets = len(targets)
+
+	// 5. The scan itself.
+	results, stats, err := s.scanner.Scan(ctx, targets, s.cfg.Protocols, day)
+	if err != nil {
+		return nil, fmt.Errorf("core: scanning: %w", err)
+	}
+	rec.ProbesSent += stats.ProbesSent
+
+	// 6. Classification, state update, series accounting.
+	s.digest(results, day, rec)
+
+	// 7. Snapshots.
+	s.maybeSnapshot(day)
+
+	s.records = append(s.records, rec)
+	s.scanIndex++
+	return rec, nil
+}
+
+// ingest dedups, filters and admits new input.
+func (s *Service) ingest(collected map[string][]ip6.Addr, day int, rec *ScanRecord) error {
+	for feed, addrs := range collected {
+		for _, a := range addrs {
+			if !a.IsGlobalUnicast() {
+				continue
+			}
+			if !s.inputSeen.Add(a) {
+				continue // already known (or already evicted once)
+			}
+			rec.NewInput++
+			s.inputTotal++
+			s.inputByFeed[feed]++
+
+			asn := 0
+			if as := s.net.AS.Lookup(a); as != nil {
+				asn = as.ASN
+			}
+			ai := s.perASInput[asn]
+			if ai == nil {
+				ai = &ASInput{}
+				s.perASInput[asn] = ai
+			}
+			ai.Total++
+
+			// Blocklist filter.
+			if s.block.Contains(a) {
+				rec.BlockedInput++
+				s.blockedTotal++
+				continue
+			}
+			// GFW input filter (active only once deployed).
+			if s.gfwDeployed && s.gfwInputDrop.Has(a) {
+				rec.GFWFilteredInput++
+				s.gfwTotal++
+				ai.GFW++
+				continue
+			}
+			// Aliased prefix filter.
+			if s.aliased.Contains(a) {
+				rec.AliasedInput++
+				s.aliasedTotal++
+				ai.Aliased++
+				continue
+			}
+			// Track the /64 for alias detection.
+			p64 := ip6.Slash64(a)
+			if _, ok := s.seen64[p64]; !ok {
+				s.seen64[p64] = struct{}{}
+				s.pendingAPD64 = append(s.pendingAPD64, p64)
+			}
+			s.active[a] = &targetState{firstDay: day, lastSuccessDay: -1}
+		}
+	}
+	return nil
+}
+
+// deployGFWFilter materializes the cumulative injected-only list and
+// removes it from the active window — the paper's one-time cleanup of
+// 134 M addresses in February 2022.
+func (s *Service) deployGFWFilter(rec *ScanRecord) {
+	s.gfwDeployed = true
+	s.gfwInputDrop = s.tracker.InjectedOnly()
+	for a := range s.gfwInputDrop {
+		if _, ok := s.active[a]; ok {
+			delete(s.active, a)
+			rec.GFWFilteredInput++
+			s.gfwTotal++
+			asn := 0
+			if as := s.net.AS.Lookup(a); as != nil {
+				asn = as.ASN
+			}
+			if ai := s.perASInput[asn]; ai != nil {
+				ai.GFW++
+			}
+		}
+	}
+}
+
+// runAPD tests BGP prefixes plus the queued new /64s and applies the
+// aliased filter to the active window.
+func (s *Service) runAPD(ctx context.Context, day int, rec *ScanRecord) error {
+	var candidates []ip6.Prefix
+	s.net.AS.WalkPrefixes(func(p ip6.Prefix, as *netmodel.AS) bool {
+		if p.Bits()+4 <= 128 {
+			// Only prefixes already announced at this day.
+			for i, ap := range as.Announced {
+				if ap == p && as.AnnouncedFrom[i] <= day {
+					candidates = append(candidates, p)
+					break
+				}
+			}
+		}
+		return true
+	})
+	// Queued /64s already covered by a known shorter aliased prefix need
+	// no testing; they would only re-discover the same region.
+	pending := s.pendingAPD64[:0]
+	taken := 0
+	for _, p64 := range s.pendingAPD64 {
+		if s.coveredByAliased(p64) {
+			continue
+		}
+		if taken < s.cfg.APDMaxNewCandidates {
+			candidates = append(candidates, p64)
+			taken++
+			continue
+		}
+		pending = append(pending, p64)
+	}
+	s.pendingAPD64 = pending
+
+	res, err := s.detector.Run(ctx, candidates, day)
+	if err != nil {
+		return fmt.Errorf("core: alias detection: %w", err)
+	}
+	rec.ProbesSent += uint64(res.Probes)
+	// Add shortest-first so a detected /32 subsumes /64s found in the
+	// same round.
+	detected := res.Aliased.Prefixes()
+	sort.Slice(detected, func(i, j int) bool { return detected[i].Bits() < detected[j].Bits() })
+	for _, p := range detected {
+		if !s.coveredByAliased(p) {
+			s.aliased.Add(p)
+		}
+	}
+
+	// Newly aliased prefixes purge matching active targets.
+	for a := range s.active {
+		if s.aliased.Contains(a) {
+			delete(s.active, a)
+			rec.AliasedInput++
+			s.aliasedTotal++
+			asn := 0
+			if as := s.net.AS.Lookup(a); as != nil {
+				asn = as.ASN
+			}
+			ai := s.perASInput[asn]
+			if ai == nil {
+				ai = &ASInput{}
+				s.perASInput[asn] = ai
+			}
+			ai.Aliased++
+		}
+	}
+	return nil
+}
+
+// coveredByAliased reports whether a shorter (or equal) aliased prefix
+// already covers p.
+func (s *Service) coveredByAliased(p ip6.Prefix) bool {
+	m, ok := s.aliased.Match(p.Addr())
+	return ok && m.Bits() <= p.Bits()
+}
+
+// buildScanSet applies the 30-day filter and returns the scan targets.
+func (s *Service) buildScanSet(day int, rec *ScanRecord) []ip6.Addr {
+	targets := make([]ip6.Addr, 0, len(s.active))
+	for a, st := range s.active {
+		ref := st.lastSuccessDay
+		if ref < 0 {
+			ref = st.firstDay
+		}
+		if day-ref > s.cfg.UnresponsiveDays {
+			delete(s.active, a)
+			rec.Evicted++
+			s.evictedTotal++
+			if s.cfg.RetainUnresponsive {
+				s.unresponsive.Add(a)
+			}
+			continue
+		}
+		targets = append(targets, a)
+	}
+	ip6.SortAddrs(targets)
+	return targets
+}
+
+// digest folds scan results into series and state.
+func (s *Service) digest(results []scan.Result, day int, rec *ScanRecord) {
+	s.tracker.Observe(results)
+
+	rawAny := ip6.NewSet(0)
+	cleanAny := ip6.NewSet(0)
+	for _, r := range results {
+		if !r.Success {
+			continue
+		}
+		injected := r.Proto == netmodel.UDP53 && gfw.ClassifyResult(r).Injected()
+		rec.ResponsiveRaw[r.Proto]++
+		rawAny.Add(r.Target)
+		if injected {
+			rec.InjectedDNS++
+		} else {
+			rec.ResponsiveClean[r.Proto]++
+			cleanAny.Add(r.Target)
+			s.everResp[r.Proto].Add(r.Target)
+		}
+
+		// State update: before the filter deployment, injected success
+		// keeps the target alive (that is the published behaviour); after
+		// deployment, it does not.
+		countsAsSuccess := !injected || !s.gfwDeployed
+		if countsAsSuccess {
+			if st, ok := s.active[r.Target]; ok {
+				st.lastSuccessDay = day
+			}
+		}
+	}
+	rec.TotalRaw = rawAny.Len()
+	rec.TotalClean = cleanAny.Len()
+
+	// Churn (clean view).
+	for a := range cleanAny {
+		if !s.prevRespAny.Has(a) {
+			if s.everRespAny.Has(a) {
+				rec.RespAgain++
+			} else {
+				rec.FirstResp++
+			}
+		}
+	}
+	for a := range s.prevRespAny {
+		if !cleanAny.Has(a) {
+			rec.Unresp++
+		}
+	}
+	s.everRespAny.AddAll(cleanAny)
+	s.prevRespAny = cleanAny
+	s.lastCleanByProto(results)
+}
+
+// lastCleanByProto retains the most recent clean responsive sets so
+// snapshots can capture per-protocol views.
+func (s *Service) lastCleanByProto(results []scan.Result) {
+	s.lastClean = make(map[netmodel.Protocol]ip6.Set, len(s.cfg.Protocols))
+	for _, p := range s.cfg.Protocols {
+		s.lastClean[p] = ip6.NewSet(0)
+	}
+	for _, r := range results {
+		if !r.Success {
+			continue
+		}
+		if r.Proto == netmodel.UDP53 && gfw.ClassifyResult(r).Injected() {
+			continue
+		}
+		s.lastClean[r.Proto].Add(r.Target)
+	}
+}
+
+func (s *Service) maybeSnapshot(day int) {
+	for len(s.snapQueue) > 0 && day >= s.snapQueue[0] {
+		want := s.snapQueue[0]
+		s.snapQueue = s.snapQueue[1:]
+		snap := &Snapshot{
+			Day:           day,
+			Responsive:    make(map[netmodel.Protocol]ip6.Set, len(s.lastClean)),
+			ResponsiveAny: s.prevRespAny.Clone(),
+			Aliased:       s.aliased.Prefixes(),
+		}
+		for p, set := range s.lastClean {
+			snap.Responsive[p] = set.Clone()
+		}
+		s.snapshots[want] = snap
+	}
+}

@@ -1,0 +1,159 @@
+// Package dnsdb implements the synthetic DNS view the hitlist's input
+// pipeline consumes: a registry of domains with AAAA, NS and MX records,
+// and ranked top lists (Alexa/Majestic/Umbrella analogs).
+//
+// The paper's institution resolves >300 M domains (CZDS zones, CT logs,
+// cc-TLDs, three top lists) to AAAA plus the AAAA of their NS and MX hosts.
+// Here the registry is populated by the world generator so that resolution
+// results land where the paper found them — notably inside CDN aliased
+// prefixes (Section 5.2: 15 M domains in 5.2 k aliased prefixes).
+package dnsdb
+
+import (
+	"sort"
+
+	"hitlist6/internal/dnswire"
+	"hitlist6/internal/ip6"
+)
+
+// TopList identifies one of the resolved rank lists.
+type TopList uint8
+
+// The three top lists the paper resolves.
+const (
+	Alexa TopList = iota
+	Majestic
+	Umbrella
+	NumTopLists = 3
+)
+
+// String names the list.
+func (l TopList) String() string {
+	switch l {
+	case Alexa:
+		return "alexa"
+	case Majestic:
+		return "majestic"
+	case Umbrella:
+		return "umbrella"
+	}
+	return "unknown"
+}
+
+// Domain is one registered name.
+type Domain struct {
+	Name string
+	AAAA []ip6.Addr
+	// NS and MX name the serving hosts; their addresses live in the
+	// registry's host table.
+	NS []string
+	MX []string
+	// Ranks holds the 1-based rank on each top list (0 = unranked).
+	Ranks [NumTopLists]int
+}
+
+// Registry stores domains and the addresses of infrastructure hosts.
+type Registry struct {
+	domains map[string]*Domain
+	hosts   map[string][]ip6.Addr // NS/MX host name → AAAA
+	// ranked[i] is sorted by rank for top-list queries.
+	ranked [NumTopLists][]*Domain
+	sorted bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		domains: make(map[string]*Domain),
+		hosts:   make(map[string][]ip6.Addr),
+	}
+}
+
+// Add registers a domain (replacing an existing entry of the same name).
+func (r *Registry) Add(d *Domain) {
+	d.Name = dnswire.NormalizeName(d.Name)
+	if _, dup := r.domains[d.Name]; !dup {
+		for i := 0; i < NumTopLists; i++ {
+			if d.Ranks[i] > 0 {
+				r.ranked[i] = append(r.ranked[i], d)
+			}
+		}
+	}
+	r.domains[d.Name] = d
+	r.sorted = false
+}
+
+// AddHost registers the AAAA records of an NS/MX host.
+func (r *Registry) AddHost(name string, addrs ...ip6.Addr) {
+	name = dnswire.NormalizeName(name)
+	r.hosts[name] = append(r.hosts[name], addrs...)
+}
+
+// Lookup returns the domain entry, if registered.
+func (r *Registry) Lookup(name string) (*Domain, bool) {
+	d, ok := r.domains[dnswire.NormalizeName(name)]
+	return d, ok
+}
+
+// ResolveAAAA returns the AAAA records of a domain or infrastructure host.
+func (r *Registry) ResolveAAAA(name string) []ip6.Addr {
+	name = dnswire.NormalizeName(name)
+	if d, ok := r.domains[name]; ok {
+		return d.AAAA
+	}
+	return r.hosts[name]
+}
+
+// NumDomains returns the number of registered domains.
+func (r *Registry) NumDomains() int { return len(r.domains) }
+
+// Walk visits every domain in unspecified order; fn returning false stops.
+func (r *Registry) Walk(fn func(*Domain) bool) {
+	for _, d := range r.domains {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// Top returns the n highest-ranked domains of a list, in rank order.
+func (r *Registry) Top(list TopList, n int) []*Domain {
+	if !r.sorted {
+		for i := range r.ranked {
+			li := i
+			sort.Slice(r.ranked[li], func(a, b int) bool {
+				return r.ranked[li][a].Ranks[li] < r.ranked[li][b].Ranks[li]
+			})
+		}
+		r.sorted = true
+	}
+	l := r.ranked[list]
+	if n > len(l) {
+		n = len(l)
+	}
+	return l[:n]
+}
+
+// ListLen returns the size of one top list.
+func (r *Registry) ListLen(list TopList) int { return len(r.ranked[list]) }
+
+// AllAAAA returns the union of every domain's AAAA records — the direct
+// resolution input the hitlist service already consumed before this work.
+func (r *Registry) AllAAAA() ip6.Set {
+	out := ip6.NewSet(len(r.domains))
+	for _, d := range r.domains {
+		out.AddSlice(d.AAAA)
+	}
+	return out
+}
+
+// InfraAAAA returns the union of NS/MX host addresses — the *new* input
+// source Section 6 adds ("name server and mail exchanger domains were not
+// explicitly included").
+func (r *Registry) InfraAAAA() ip6.Set {
+	out := ip6.NewSet(len(r.hosts))
+	for _, addrs := range r.hosts {
+		out.AddSlice(addrs)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package dnsdb
+
+import (
+	"testing"
+
+	"hitlist6/internal/ip6"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Add(&Domain{
+		Name: "Example.COM.",
+		AAAA: []ip6.Addr{ip6.MustParseAddr("2600:9000:1::7")},
+		NS:   []string{"ns1.example.com"},
+		MX:   []string{"mail.example.com"},
+	})
+	r.AddHost("ns1.example.com", ip6.MustParseAddr("2600:9000:2::53"))
+	r.AddHost("mail.example.com", ip6.MustParseAddr("2600:9000:3::25"))
+
+	if r.NumDomains() != 1 {
+		t.Fatalf("NumDomains: %d", r.NumDomains())
+	}
+	d, ok := r.Lookup("EXAMPLE.com")
+	if !ok || d.Name != "example.com" {
+		t.Fatalf("Lookup: %+v %v", d, ok)
+	}
+	if got := r.ResolveAAAA("example.com"); len(got) != 1 || got[0] != ip6.MustParseAddr("2600:9000:1::7") {
+		t.Errorf("ResolveAAAA domain: %v", got)
+	}
+	if got := r.ResolveAAAA("ns1.example.com"); len(got) != 1 {
+		t.Errorf("ResolveAAAA host: %v", got)
+	}
+	if got := r.ResolveAAAA("missing.example"); got != nil {
+		t.Errorf("missing: %v", got)
+	}
+	if r.AllAAAA().Len() != 1 {
+		t.Error("AllAAAA")
+	}
+	infra := r.InfraAAAA()
+	if infra.Len() != 2 {
+		t.Errorf("InfraAAAA: %d", infra.Len())
+	}
+}
+
+func TestTopLists(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 10; i++ {
+		d := &Domain{Name: domainName(i)}
+		d.Ranks[Alexa] = 11 - i // reverse order
+		if i <= 5 {
+			d.Ranks[Majestic] = i
+		}
+		r.Add(d)
+	}
+	top3 := r.Top(Alexa, 3)
+	if len(top3) != 3 {
+		t.Fatalf("top3: %d", len(top3))
+	}
+	if top3[0].Ranks[Alexa] != 1 || top3[2].Ranks[Alexa] != 3 {
+		t.Errorf("rank order: %d %d", top3[0].Ranks[Alexa], top3[2].Ranks[Alexa])
+	}
+	if r.ListLen(Majestic) != 5 || r.ListLen(Umbrella) != 0 {
+		t.Errorf("list lens: %d %d", r.ListLen(Majestic), r.ListLen(Umbrella))
+	}
+	// Requesting more than available clamps.
+	if len(r.Top(Majestic, 100)) != 5 {
+		t.Error("clamp")
+	}
+	if Alexa.String() != "alexa" || Majestic.String() != "majestic" || Umbrella.String() != "umbrella" {
+		t.Error("list names")
+	}
+}
+
+func TestWalkAndReplace(t *testing.T) {
+	r := NewRegistry()
+	r.Add(&Domain{Name: "a.example"})
+	r.Add(&Domain{Name: "b.example"})
+	// Replacing does not duplicate.
+	r.Add(&Domain{Name: "a.example", AAAA: []ip6.Addr{ip6.MustParseAddr("2001:db9::1")}})
+	if r.NumDomains() != 2 {
+		t.Fatalf("NumDomains: %d", r.NumDomains())
+	}
+	n := 0
+	r.Walk(func(d *Domain) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("walk: %d", n)
+	}
+	n = 0
+	r.Walk(func(d *Domain) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("walk stop: %d", n)
+	}
+	if d, _ := r.Lookup("a.example"); len(d.AAAA) != 1 {
+		t.Error("replacement lost")
+	}
+}
+
+func domainName(i int) string {
+	return "site" + string(rune('a'+i)) + ".example"
+}

@@ -1,0 +1,377 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hitlist6/internal/ip6"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// Record types used by the hitlist pipeline.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+)
+
+// String returns the conventional mnemonic.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class; only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes observed in the Section 4.2 DNS behaviour evaluation.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String returns the conventional mnemonic.
+func (rc RCode) String() string {
+	switch rc {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(rc))
+}
+
+// Header is the fixed 12-byte DNS message header, unpacked.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a single query.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// RR is a resource record. Exactly one of the payload fields is meaningful
+// depending on Type: A → A, AAAA → AAAA, NS/CNAME/PTR → Target,
+// MX → Pref+Target, TXT → Text.
+type RR struct {
+	Name   string
+	Type   Type
+	Class  Class
+	TTL    uint32
+	A      ip6.IPv4
+	AAAA   ip6.Addr
+	Target string
+	Pref   uint16
+	Text   string
+}
+
+// Message is a full DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard recursive query for (name, type) with the
+// given transaction ID — the shape ZMapv6's DNS probe module sends.
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: NormalizeName(name), Type: t, Class: ClassIN}},
+	}
+}
+
+// Reply builds a response skeleton echoing the query's ID and question.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:               m.Header.ID,
+			Response:         true,
+			RecursionDesired: m.Header.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+func (h Header) flags() uint16 {
+	var f uint16
+	if h.Response {
+		f |= 1 << 15
+	}
+	f |= uint16(h.Opcode&0xf) << 11
+	if h.Authoritative {
+		f |= 1 << 10
+	}
+	if h.Truncated {
+		f |= 1 << 9
+	}
+	if h.RecursionDesired {
+		f |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		f |= 1 << 7
+	}
+	f |= uint16(h.RCode & 0xf)
+	return f
+}
+
+func headerFromFlags(id, f uint16) Header {
+	return Header{
+		ID:                 id,
+		Response:           f&(1<<15) != 0,
+		Opcode:             uint8(f >> 11 & 0xf),
+		Authoritative:      f&(1<<10) != 0,
+		Truncated:          f&(1<<9) != 0,
+		RecursionDesired:   f&(1<<8) != 0,
+		RecursionAvailable: f&(1<<7) != 0,
+		RCode:              RCode(f & 0xf),
+	}
+}
+
+// Encode serializes the message with name compression.
+func (m *Message) Encode() ([]byte, error) {
+	buf := make([]byte, 12, 128)
+	binary.BigEndian.PutUint16(buf[0:], m.Header.ID)
+	binary.BigEndian.PutUint16(buf[2:], m.Header.flags())
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(buf[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(buf[10:], uint16(len(m.Additional)))
+
+	table := make(map[string]int)
+	var err error
+	for _, q := range m.Questions {
+		buf, err = appendCompressedName(buf, q.Name, table)
+		if err != nil {
+			return nil, fmt.Errorf("question %q: %w", q.Name, err)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			buf, err = appendRR(buf, rr, table)
+			if err != nil {
+				return nil, fmt.Errorf("rr %q: %w", rr.Name, err)
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendRR(buf []byte, rr RR, table map[string]int) ([]byte, error) {
+	var err error
+	buf, err = appendCompressedName(buf, rr.Name, table)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type))
+	cl := rr.Class
+	if cl == 0 {
+		cl = ClassIN
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(cl))
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+
+	// RDLENGTH placeholder.
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	switch rr.Type {
+	case TypeA:
+		buf = append(buf, rr.A[:]...)
+	case TypeAAAA:
+		buf = append(buf, rr.AAAA[:]...)
+	case TypeNS, TypeCNAME, TypePTR:
+		buf, err = appendCompressedName(buf, rr.Target, table)
+		if err != nil {
+			return nil, err
+		}
+	case TypeMX:
+		buf = binary.BigEndian.AppendUint16(buf, rr.Pref)
+		buf, err = appendCompressedName(buf, rr.Target, table)
+		if err != nil {
+			return nil, err
+		}
+	case TypeTXT:
+		// Single character-string; long text is split into 255-byte chunks.
+		text := rr.Text
+		for len(text) > 255 {
+			buf = append(buf, 255)
+			buf = append(buf, text[:255]...)
+			text = text[255:]
+		}
+		buf = append(buf, byte(len(text)))
+		buf = append(buf, text...)
+	default:
+		return nil, fmt.Errorf("dnswire: cannot encode type %v", rr.Type)
+	}
+	rdlen := len(buf) - lenAt - 2
+	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
+	return buf, nil
+}
+
+// Decode parses a wire-format DNS message.
+func Decode(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrTruncated
+	}
+	id := binary.BigEndian.Uint16(msg[0:])
+	flags := binary.BigEndian.Uint16(msg[2:])
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+	if qd+an+ns+ar > 4096 {
+		return nil, ErrTooManyRecords
+	}
+	out := &Message{Header: headerFromFlags(id, flags)}
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = parseName(msg, off)
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		if off+4 > len(msg) {
+			return nil, ErrTruncated
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		out.Questions = append(out.Questions, q)
+	}
+	for _, sec := range []struct {
+		n    int
+		dst  *[]RR
+		name string
+	}{{an, &out.Answers, "answer"}, {ns, &out.Authority, "authority"}, {ar, &out.Additional, "additional"}} {
+		for i := 0; i < sec.n; i++ {
+			var rr RR
+			rr, off, err = parseRR(msg, off)
+			if err != nil {
+				return nil, fmt.Errorf("%s %d: %w", sec.name, i, err)
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	return out, nil
+}
+
+func parseRR(msg []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	rr.Name, off, err = parseName(msg, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(msg) {
+		return rr, 0, ErrTruncated
+	}
+	rr.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+	rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+	rr.TTL = binary.BigEndian.Uint32(msg[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return rr, 0, ErrTruncated
+	}
+	rdEnd := off + rdlen
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, 0, fmt.Errorf("dnswire: A rdata length %d", rdlen)
+		}
+		copy(rr.A[:], msg[off:])
+	case TypeAAAA:
+		if rdlen != 16 {
+			return rr, 0, fmt.Errorf("dnswire: AAAA rdata length %d", rdlen)
+		}
+		copy(rr.AAAA[:], msg[off:])
+	case TypeNS, TypeCNAME, TypePTR:
+		rr.Target, _, err = parseName(msg, off)
+		if err != nil {
+			return rr, 0, err
+		}
+	case TypeMX:
+		if rdlen < 3 {
+			return rr, 0, fmt.Errorf("dnswire: MX rdata length %d", rdlen)
+		}
+		rr.Pref = binary.BigEndian.Uint16(msg[off:])
+		rr.Target, _, err = parseName(msg, off+2)
+		if err != nil {
+			return rr, 0, err
+		}
+	case TypeTXT:
+		var text []byte
+		p := off
+		for p < rdEnd {
+			l := int(msg[p])
+			p++
+			if p+l > rdEnd {
+				return rr, 0, ErrTruncated
+			}
+			text = append(text, msg[p:p+l]...)
+			p += l
+		}
+		rr.Text = string(text)
+	default:
+		// Unknown types are skipped but kept with empty payload.
+	}
+	return rr, rdEnd, nil
+}

@@ -1,0 +1,296 @@
+package dnswire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hitlist6/internal/ip6"
+)
+
+func TestQueryRoundtrip(t *testing.T) {
+	q := NewQuery(0x1234, "WWW.Google.COM.", TypeAAAA)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.ID != 0x1234 || got.Header.Response || !got.Header.RecursionDesired {
+		t.Errorf("header: %+v", got.Header)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions: %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "www.google.com" {
+		t.Errorf("name not normalized: %q", got.Questions[0].Name)
+	}
+	if got.Questions[0].Type != TypeAAAA || got.Questions[0].Class != ClassIN {
+		t.Errorf("qtype/qclass: %v %v", got.Questions[0].Type, got.Questions[0].Class)
+	}
+}
+
+func TestResponseRoundtripAllTypes(t *testing.T) {
+	q := NewQuery(7, "example.org", TypeAAAA)
+	r := q.Reply()
+	r.Header.RCode = RCodeNoError
+	r.Header.RecursionAvailable = true
+	r.Header.Authoritative = true
+	r.Answers = append(r.Answers,
+		RR{Name: "example.org", Type: TypeCNAME, TTL: 60, Target: "cdn.example.org"},
+		RR{Name: "cdn.example.org", Type: TypeAAAA, TTL: 300, AAAA: ip6.MustParseAddr("2001:db9::1")},
+		RR{Name: "example.org", Type: TypeA, TTL: 300, A: ip6.IPv4{192, 0, 2, 7}},
+		RR{Name: "example.org", Type: TypeTXT, TTL: 10, Text: "hello world"},
+	)
+	r.Authority = append(r.Authority,
+		RR{Name: "example.org", Type: TypeNS, TTL: 3600, Target: "ns1.example.org"},
+	)
+	r.Additional = append(r.Additional,
+		RR{Name: "example.org", Type: TypeMX, TTL: 3600, Pref: 10, Target: "mail.example.org"},
+	)
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Header.Response || !got.Header.Authoritative || !got.Header.RecursionAvailable {
+		t.Errorf("flags: %+v", got.Header)
+	}
+	if len(got.Answers) != 4 || len(got.Authority) != 1 || len(got.Additional) != 1 {
+		t.Fatalf("sections: %d/%d/%d", len(got.Answers), len(got.Authority), len(got.Additional))
+	}
+	if got.Answers[0].Target != "cdn.example.org" {
+		t.Errorf("CNAME target: %q", got.Answers[0].Target)
+	}
+	if got.Answers[1].AAAA != ip6.MustParseAddr("2001:db9::1") {
+		t.Errorf("AAAA: %v", got.Answers[1].AAAA)
+	}
+	if got.Answers[2].A != (ip6.IPv4{192, 0, 2, 7}) {
+		t.Errorf("A: %v", got.Answers[2].A)
+	}
+	if got.Answers[3].Text != "hello world" {
+		t.Errorf("TXT: %q", got.Answers[3].Text)
+	}
+	if got.Authority[0].Target != "ns1.example.org" {
+		t.Errorf("NS: %q", got.Authority[0].Target)
+	}
+	mx := got.Additional[0]
+	if mx.Pref != 10 || mx.Target != "mail.example.org" {
+		t.Errorf("MX: %+v", mx)
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	r := NewQuery(1, "a.very.long.domain.example.com", TypeAAAA).Reply()
+	for i := 0; i < 5; i++ {
+		r.Answers = append(r.Answers, RR{
+			Name: "a.very.long.domain.example.com", Type: TypeAAAA, TTL: 1,
+			AAAA: ip6.Addr{15: byte(i)},
+		})
+	}
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncompressed, each answer would repeat the 32-byte name; compressed
+	// answers use a 2-byte pointer.
+	if len(wire) > 12+32+4+5*(2+10+16)+16 {
+		t.Errorf("message not compressed: %d bytes", len(wire))
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range got.Answers {
+		if a.Name != "a.very.long.domain.example.com" {
+			t.Errorf("decompressed name: %q", a.Name)
+		}
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	// Arbitrary label data (constrained to legal label charset) survives
+	// an encode/decode cycle.
+	f := func(id uint16, raw [16]byte, labelSeed uint8) bool {
+		label := strings.Repeat(string('a'+rune(labelSeed%26)), int(labelSeed%60)+1)
+		name := label + ".example.net"
+		q := NewQuery(id, name, TypeAAAA)
+		r := q.Reply()
+		r.Answers = append(r.Answers, RR{Name: name, Type: TypeAAAA, TTL: 42, AAAA: ip6.AddrFrom16(raw)})
+		wire, err := r.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.Header.ID == id &&
+			got.Answers[0].AAAA == ip6.AddrFrom16(raw) &&
+			got.Answers[0].Name == NormalizeName(name)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	q := NewQuery(9, "www.example.com", TypeAAAA)
+	wire, _ := q.Encode()
+
+	if _, err := Decode(wire[:8]); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := Decode(wire[:len(wire)-3]); err == nil {
+		t.Error("truncated question accepted")
+	}
+	// Claim many questions with no data.
+	bad := bytes.Clone(wire)
+	bad[4], bad[5] = 0xff, 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Error("bogus qdcount accepted")
+	}
+	// Forward compression pointer.
+	ptr := []byte{0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 0x20, 0, 1, 0, 1}
+	if _, err := Decode(ptr); err == nil {
+		t.Error("forward pointer accepted")
+	}
+	// Self-referential pointer at offset 12.
+	loop := []byte{0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 12, 0, 1, 0, 1}
+	if _, err := Decode(loop); err == nil {
+		t.Error("pointer loop accepted")
+	}
+}
+
+func TestLabelLimits(t *testing.T) {
+	long := strings.Repeat("a", 64) + ".com"
+	if _, err := NewQuery(1, long, TypeAAAA).Encode(); err == nil {
+		t.Error("64-byte label accepted")
+	}
+	huge := strings.Repeat("abcdefgh.", 32) + "com" // > 255 total
+	if _, err := NewQuery(1, huge, TypeAAAA).Encode(); err == nil {
+		t.Error("over-long name accepted")
+	}
+	if _, err := NewQuery(1, "a..b.com", TypeAAAA).Encode(); err == nil {
+		t.Error("empty label accepted")
+	}
+	// 63-byte label is legal.
+	ok := strings.Repeat("a", 63) + ".com"
+	if _, err := NewQuery(1, ok, TypeAAAA).Encode(); err != nil {
+		t.Errorf("63-byte label rejected: %v", err)
+	}
+}
+
+func TestRootName(t *testing.T) {
+	q := NewQuery(3, ".", TypeNS)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Questions[0].Name != "" {
+		t.Errorf("root name: %q", got.Questions[0].Name)
+	}
+}
+
+func TestLongTXTChunking(t *testing.T) {
+	text := strings.Repeat("x", 700)
+	r := NewQuery(5, "t.example.com", TypeTXT).Reply()
+	r.Answers = append(r.Answers, RR{Name: "t.example.com", Type: TypeTXT, TTL: 1, Text: text})
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Text != text {
+		t.Errorf("TXT roundtrip lost data: %d bytes", len(got.Answers[0].Text))
+	}
+}
+
+func TestRCodeAndTypeStrings(t *testing.T) {
+	if RCodeRefused.String() != "REFUSED" || RCodeNoError.String() != "NOERROR" {
+		t.Error("RCode strings")
+	}
+	if RCode(12).String() != "RCODE12" {
+		t.Error("unknown RCode string")
+	}
+	if TypeAAAA.String() != "AAAA" || TypeMX.String() != "MX" {
+		t.Error("Type strings")
+	}
+	if Type(999).String() != "TYPE999" {
+		t.Error("unknown Type string")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	if NormalizeName("WWW.Example.COM.") != "www.example.com" {
+		t.Error("NormalizeName failed")
+	}
+	if NormalizeName("") != "" {
+		t.Error("empty name")
+	}
+}
+
+func TestReplyEchoesQuestion(t *testing.T) {
+	q := NewQuery(77, "abc.example.com", TypeAAAA)
+	r := q.Reply()
+	if r.Header.ID != 77 || !r.Header.Response {
+		t.Error("Reply header wrong")
+	}
+	if len(r.Questions) != 1 || r.Questions[0].Name != "abc.example.com" {
+		t.Error("Reply question wrong")
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	// Hand-build a message with an unknown RR type (e.g. 99) and 4 bytes of
+	// rdata; Decode should skip over rdata gracefully.
+	msg := []byte{
+		0, 1, 0x80, 0, 0, 0, 0, 1, 0, 0, 0, 0, // header: 1 answer
+		1, 'x', 0, // name "x"
+		0, 99, 0, 1, // type 99, class IN
+		0, 0, 0, 5, // TTL
+		0, 4, 1, 2, 3, 4, // rdlength 4 + rdata
+	}
+	got, err := Decode(msg)
+	if err != nil {
+		t.Fatalf("unknown type: %v", err)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Type != Type(99) {
+		t.Errorf("answers: %+v", got.Answers)
+	}
+}
+
+func BenchmarkEncodeQuery(b *testing.B) {
+	q := NewQuery(1, "www.google.com", TypeAAAA)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeResponse(b *testing.B) {
+	r := NewQuery(1, "www.google.com", TypeAAAA).Reply()
+	r.Answers = append(r.Answers, RR{Name: "www.google.com", Type: TypeAAAA, TTL: 300, AAAA: ip6.MustParseAddr("2607:f8b0::2004")})
+	wire, _ := r.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

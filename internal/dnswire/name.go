@@ -1,0 +1,166 @@
+// Package dnswire implements the DNS wire format (RFC 1035 with AAAA from
+// RFC 3596): message building and parsing with name compression.
+//
+// The hitlist service probes UDP/53 by sending a real DNS query and judging
+// responsiveness from whatever comes back — exactly the behaviour that made
+// Great-Firewall injections look like responsive resolvers. The GFW filter
+// therefore needs to look *inside* responses (A-for-AAAA answers, Teredo
+// AAAA records, multiple answers), so the codec is a first-class substrate
+// here, not a mock.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name-handling errors.
+var (
+	ErrNameTooLong     = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong    = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel      = errors.New("dnswire: empty label")
+	ErrBadPointer      = errors.New("dnswire: bad compression pointer")
+	ErrPointerLoop     = errors.New("dnswire: compression pointer loop")
+	ErrTruncated       = errors.New("dnswire: message truncated")
+	ErrTooManyRecords  = errors.New("dnswire: implausible record count")
+	ErrTrailingGarbage = errors.New("dnswire: trailing bytes after message")
+)
+
+// NormalizeName lower-cases a domain name and strips one trailing dot.
+// DNS names are case-insensitive; the registry and the codec use this
+// canonical form throughout.
+func NormalizeName(name string) string {
+	name = strings.TrimSuffix(name, ".")
+	return strings.ToLower(name)
+}
+
+// appendName encodes name (dot-separated, optionally ending in a dot) into
+// buf in uncompressed wire form. An empty name encodes the root.
+func appendName(buf []byte, name string) ([]byte, error) {
+	name = NormalizeName(name)
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name) > 253 {
+		return nil, ErrNameTooLong
+	}
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '.' {
+			label := name[start:i]
+			if len(label) == 0 {
+				return nil, ErrEmptyLabel
+			}
+			if len(label) > 63 {
+				return nil, ErrLabelTooLong
+			}
+			buf = append(buf, byte(len(label)))
+			buf = append(buf, label...)
+			start = i + 1
+		}
+	}
+	return append(buf, 0), nil
+}
+
+// appendCompressedName encodes name using compression against previously
+// encoded names recorded in table (suffix -> offset). It records new suffix
+// offsets for subsequent names.
+func appendCompressedName(buf []byte, name string, table map[string]int) ([]byte, error) {
+	name = NormalizeName(name)
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name) > 253 {
+		return nil, ErrNameTooLong
+	}
+	for {
+		if off, ok := table[name]; ok && off < 0x3fff {
+			return append(buf, 0xc0|byte(off>>8), byte(off)), nil
+		}
+		if len(buf) < 0x3fff {
+			table[name] = len(buf)
+		}
+		dot := strings.IndexByte(name, '.')
+		var label string
+		if dot < 0 {
+			label = name
+		} else {
+			label = name[:dot]
+		}
+		if len(label) == 0 {
+			return nil, ErrEmptyLabel
+		}
+		if len(label) > 63 {
+			return nil, ErrLabelTooLong
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+		if dot < 0 {
+			return append(buf, 0), nil
+		}
+		name = name[dot+1:]
+	}
+}
+
+// parseName decodes a possibly compressed name starting at off.
+// It returns the name in normalized text form and the offset just past the
+// name's bytes at the top level (pointers are followed but do not advance).
+func parseName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	ptrBudget := 32 // generous; real messages chain a handful at most
+	end := off
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncated
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				end = off + 1
+			}
+			name := sb.String()
+			if len(name) > 253 {
+				return "", 0, ErrNameTooLong
+			}
+			return name, end, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(b&0x3f)<<8 | int(msg[off+1])
+			if !jumped {
+				end = off + 2
+			}
+			if ptr >= off {
+				// Forward or self pointers are invalid and would loop.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			off = ptr
+			jumped = true
+		case b&0xc0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type %#x", b&0xc0)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncated
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			for _, c := range msg[off+1 : off+1+l] {
+				if c >= 'A' && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				sb.WriteByte(c)
+			}
+			off += 1 + l
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package dnswire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hitlist6/internal/rng"
+)
+
+// TestDecodeNeverPanics feeds pseudo-random byte soup into the decoder:
+// whatever the network sends, parsing must fail cleanly, never crash.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rng.NewStream(1, "dns-fuzz")
+	for i := 0; i < 20000; i++ {
+		n := int(r.Uint64n(64))
+		buf := make([]byte, n)
+		r.Fill(buf)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("Decode panicked on %x: %v", buf, rec)
+				}
+			}()
+			_, _ = Decode(buf)
+		}()
+	}
+}
+
+// TestDecodeTruncationsOfValidMessage: every prefix of a valid message
+// either parses or errors — no panics, no infinite loops.
+func TestDecodeTruncationsOfValidMessage(t *testing.T) {
+	m := NewQuery(7, "www.example.com", TypeAAAA).Reply()
+	m.Answers = append(m.Answers, RR{Name: "www.example.com", Type: TypeAAAA, TTL: 1})
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(wire); i++ {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic at truncation %d: %v", i, rec)
+				}
+			}()
+			_, _ = Decode(wire[:i])
+		}()
+	}
+}
+
+// TestDecodeBitflips: single-byte corruptions of a valid message must not
+// panic and, when they parse, must yield a structurally bounded message.
+func TestDecodeBitflips(t *testing.T) {
+	m := NewQuery(7, "www.example.com", TypeAAAA).Reply()
+	m.Answers = append(m.Answers,
+		RR{Name: "www.example.com", Type: TypeA, TTL: 1, A: [4]byte{1, 2, 3, 4}},
+		RR{Name: "www.example.com", Type: TypeCNAME, TTL: 1, Target: "x.example.com"},
+	)
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(wire); pos++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			buf := append([]byte(nil), wire...)
+			buf[pos] ^= flip
+			got, err := Decode(buf)
+			if err != nil {
+				continue
+			}
+			if len(got.Answers) > 4096 || len(got.Questions) > 4096 {
+				t.Fatalf("unbounded sections after bitflip at %d", pos)
+			}
+		}
+	}
+}
+
+// TestEncodeDecodeIdempotent: decode(encode(m)) re-encodes to identical
+// bytes — the codec is a fixed point after one round trip.
+func TestEncodeDecodeIdempotent(t *testing.T) {
+	f := func(id uint16, raw [16]byte) bool {
+		m := NewQuery(id, "idempotent.example.org", TypeAAAA).Reply()
+		m.Answers = append(m.Answers, RR{
+			Name: "idempotent.example.org", Type: TypeAAAA, TTL: 60, AAAA: raw,
+		})
+		w1, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		d, err := Decode(w1)
+		if err != nil {
+			return false
+		}
+		// Re-encode needs Class defaulting to match.
+		for i := range d.Answers {
+			d.Answers[i].Class = ClassIN
+		}
+		w2, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		if len(w1) != len(w2) {
+			return false
+		}
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package gfw implements the paper's Section 4 contribution: detecting and
+// filtering DNS responses injected by the Great Firewall of China.
+//
+// The detector works from response evidence only — exactly what a scan
+// operator sees: A records answering AAAA questions, AAAA records carrying
+// deprecated Teredo addresses, and multiple responses to a single query.
+// Ground-truth flags from the network model are never consulted; tests use
+// them solely to score the detector.
+package gfw
+
+import (
+	"hitlist6/internal/dnswire"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/scan"
+)
+
+// Classification is the evidence extracted from the DNS responses to one
+// probe.
+type Classification struct {
+	// AForAAAA: at least one response answered the AAAA question with an
+	// A record only (first/second injection era signature).
+	AForAAAA bool
+
+	// Teredo: at least one AAAA answer carries a Teredo (2001::/32)
+	// address (third era signature).
+	Teredo bool
+
+	// MultiResponse: more than one DNS message arrived for one query,
+	// indicating multiple on-path injectors.
+	MultiResponse bool
+
+	// Responses is the number of DNS messages received.
+	Responses int
+}
+
+// Injected reports whether the evidence marks the result as a GFW
+// injection. A clearly erroneous record (IPv4-only answer or Teredo
+// address for an AAAA question) is the deciding signal, as in the paper;
+// multiple responses alone are only supporting evidence.
+func (c Classification) Injected() bool { return c.AForAAAA || c.Teredo }
+
+// ClassifyMessages inspects raw wire-format responses to a AAAA query.
+func ClassifyMessages(msgs [][]byte) Classification {
+	c := Classification{Responses: len(msgs), MultiResponse: len(msgs) > 1}
+	for _, wire := range msgs {
+		m, err := dnswire.Decode(wire)
+		if err != nil {
+			continue
+		}
+		hasA, hasRealAAAA := false, false
+		for _, rr := range m.Answers {
+			switch rr.Type {
+			case dnswire.TypeA:
+				hasA = true
+			case dnswire.TypeAAAA:
+				if rr.AAAA.IsTeredo() {
+					c.Teredo = true
+				} else {
+					hasRealAAAA = true
+				}
+			}
+		}
+		if hasA && !hasRealAAAA {
+			c.AForAAAA = true
+		}
+	}
+	return c
+}
+
+// ClassifyResult classifies a live scan result (UDP/53 only; other
+// protocols yield the zero Classification).
+func ClassifyResult(r scan.Result) Classification {
+	if r.Proto != netmodel.UDP53 || len(r.DNS) == 0 {
+		return Classification{}
+	}
+	return ClassifyMessages(r.DNS)
+}
+
+// ClassifyRecord classifies a parsed CSV row (the file-based filter tool
+// path).
+func ClassifyRecord(rec scan.Record) Classification {
+	if rec.Proto != netmodel.UDP53 {
+		return Classification{}
+	}
+	c := Classification{Responses: rec.Responses, MultiResponse: rec.Responses > 1}
+	hasA, hasRealAAAA := false, false
+	for _, a := range rec.Answers {
+		switch a.Type {
+		case dnswire.TypeA:
+			hasA = true
+		case dnswire.TypeAAAA:
+			if addr, err := ip6.ParseAddr(a.Value); err == nil {
+				if addr.IsTeredo() {
+					c.Teredo = true
+				} else {
+					hasRealAAAA = true
+				}
+			}
+		}
+	}
+	if hasA && !hasRealAAAA {
+		c.AForAAAA = true
+	}
+	return c
+}
+
+// FilterResults splits scan results into kept and injected, implementing
+// the post-scan filter the service now runs: injected DNS successes are
+// removed so the 30-day filter can phase the addresses out, while
+// responses on other protocols pass through untouched.
+func FilterResults(results []scan.Result) (kept, injected []scan.Result) {
+	kept = make([]scan.Result, 0, len(results))
+	for _, r := range results {
+		if r.Success && ClassifyResult(r).Injected() {
+			injected = append(injected, r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept, injected
+}
+
+// FilterRecords is FilterResults over parsed CSV rows (cmd/gfw-filter).
+func FilterRecords(recs []scan.Record) (kept, injected []scan.Record) {
+	kept = make([]scan.Record, 0, len(recs))
+	for _, rec := range recs {
+		if rec.Success && ClassifyRecord(rec).Injected() {
+			injected = append(injected, rec)
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	return kept, injected
+}
+
+// Tracker accumulates injection evidence across the service's lifetime and
+// derives the cumulative input filter: the analog of the paper's list of
+// 134 M addresses that saw at least one DNS injection but never responded
+// to any other protocol.
+type Tracker struct {
+	injectedSeen ip6.Set // addresses with ≥1 injected DNS response
+	otherProto   ip6.Set // addresses responsive to any non-DNS protocol
+	realDNS      ip6.Set // addresses with ≥1 clean DNS response
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		injectedSeen: ip6.NewSet(0),
+		otherProto:   ip6.NewSet(0),
+		realDNS:      ip6.NewSet(0),
+	}
+}
+
+// Observe folds one scan's results into the cumulative evidence.
+func (t *Tracker) Observe(results []scan.Result) {
+	for _, r := range results {
+		if !r.Success {
+			continue
+		}
+		if r.Proto == netmodel.UDP53 {
+			if ClassifyResult(r).Injected() {
+				t.injectedSeen.Add(r.Target)
+			} else {
+				t.realDNS.Add(r.Target)
+			}
+			continue
+		}
+		t.otherProto.Add(r.Target)
+	}
+}
+
+// InjectedOnly returns the addresses that ever triggered an injection and
+// never answered anything else — the set the paper removes from the
+// cumulative input.
+func (t *Tracker) InjectedOnly() ip6.Set {
+	out := ip6.NewSet(0)
+	for a := range t.injectedSeen {
+		if !t.otherProto.Has(a) && !t.realDNS.Has(a) {
+			out.Add(a)
+		}
+	}
+	return out
+}
+
+// InjectedSeen returns every address that ever showed injection evidence,
+// including those that are real hosts on other protocols (which the paper
+// keeps in the hitlist).
+func (t *Tracker) InjectedSeen() ip6.Set { return t.injectedSeen }
+
+// Stats summarizes the tracker.
+func (t *Tracker) Stats() (injected, injectedOnly, otherProto int) {
+	return t.injectedSeen.Len(), t.InjectedOnly().Len(), t.otherProto.Len()
+}

@@ -1,0 +1,5 @@
+package ip6
+
+import "hitlist6/internal/rng"
+
+func newBenchStream() *rng.Stream { return rng.NewStream(99, "ip6-bench") }

@@ -1,0 +1,70 @@
+package ip6
+
+import "fmt"
+
+// MAC is a 48-bit IEEE 802 address.
+type MAC [6]byte
+
+// String formats the MAC in colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// OUI returns the 24-bit Organizationally Unique Identifier.
+func (m MAC) OUI() [3]byte { return [3]byte{m[0], m[1], m[2]} }
+
+// IsEUI64 reports whether the interface identifier of a follows the
+// modified EUI-64 format derived from a MAC address, i.e. bytes 11 and 12
+// are 0xff, 0xfe. Section 4.1 of the paper uses this to show that 282 M
+// input addresses derive from only 22.7 M distinct MAC addresses.
+func (a Addr) IsEUI64() bool {
+	return a[11] == 0xff && a[12] == 0xfe
+}
+
+// EUI64MAC extracts the MAC address embedded in a modified EUI-64
+// interface identifier. ok is false when the address is not EUI-64.
+// The universal/local bit (bit 1 of the first MAC byte) is flipped back.
+func (a Addr) EUI64MAC() (MAC, bool) {
+	if !a.IsEUI64() {
+		return MAC{}, false
+	}
+	return MAC{a[8] ^ 0x02, a[9], a[10], a[13], a[14], a[15]}, true
+}
+
+// EUI64IID returns the 64-bit interface identifier of a modified EUI-64
+// address (the low 64 bits), and ok=false if the address is not EUI-64.
+// Grouping input addresses by this value reveals prefix-rotation bias.
+func (a Addr) EUI64IID() (uint64, bool) {
+	if !a.IsEUI64() {
+		return 0, false
+	}
+	return a.Lo(), true
+}
+
+// AddrFromMAC builds the modified EUI-64 address for mac inside the /64
+// prefix p (bits beyond 64 in p are ignored).
+func AddrFromMAC(p Prefix, mac MAC) Addr {
+	a := mask(p.addr, 64)
+	a[8] = mac[0] ^ 0x02
+	a[9] = mac[1]
+	a[10] = mac[2]
+	a[11] = 0xff
+	a[12] = 0xfe
+	a[13] = mac[3]
+	a[14] = mac[4]
+	a[15] = mac[5]
+	return a
+}
+
+// LowByteAddr reports whether the interface identifier is a "low" value:
+// all zero except the final byte group (e.g. ::1, ::25). Such addresses
+// are typical manual server assignments and are what dense-cluster target
+// generation exploits.
+func (a Addr) LowByteAddr() bool {
+	for i := 8; i < 14; i++ {
+		if a[i] != 0 {
+			return false
+		}
+	}
+	return a[14] != 0 || a[15] != 0
+}

@@ -1,0 +1,334 @@
+package ip6
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/32")
+	if p.Bits() != 32 || p.Addr() != MustParseAddr("2001:db8::") {
+		t.Errorf("parsed %v", p)
+	}
+	if p.String() != "2001:db8::/32" {
+		t.Errorf("String = %q", p.String())
+	}
+	// Base must be masked.
+	q := MustParsePrefix("2001:db8:ffff::1/32")
+	if q != p {
+		t.Errorf("masking failed: %v", q)
+	}
+	if _, err := ParsePrefix("192.0.2.0/24"); err == nil {
+		t.Error("IPv4 prefix accepted")
+	}
+	if _, err := ParsePrefix("2001:db8::/129"); err == nil {
+		t.Error("/129 accepted")
+	}
+	if _, err := ParsePrefix("garbage"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/32")
+	if !p.Contains(MustParseAddr("2001:db8:1234::1")) {
+		t.Error("Contains failed inside")
+	}
+	if p.Contains(MustParseAddr("2001:db9::1")) {
+		t.Error("Contains succeeded outside")
+	}
+	all := MustParsePrefix("::/0")
+	if !all.Contains(MustParseAddr("ff02::1")) {
+		t.Error("::/0 must contain everything")
+	}
+	host := MustParsePrefix("2001:db8::1/128")
+	if !host.Contains(MustParseAddr("2001:db8::1")) || host.Contains(MustParseAddr("2001:db8::2")) {
+		t.Error("/128 membership wrong")
+	}
+}
+
+func TestContainsPrefixOverlaps(t *testing.T) {
+	p32 := MustParsePrefix("2001:db8::/32")
+	p48 := MustParsePrefix("2001:db8:1::/48")
+	other := MustParsePrefix("2001:db9::/48")
+	if !p32.ContainsPrefix(p48) || p48.ContainsPrefix(p32) {
+		t.Error("ContainsPrefix wrong")
+	}
+	if !p32.ContainsPrefix(p32) {
+		t.Error("prefix must contain itself")
+	}
+	if !p32.Overlaps(p48) || !p48.Overlaps(p32) {
+		t.Error("Overlaps wrong for nested")
+	}
+	if p48.Overlaps(other) {
+		t.Error("Overlaps wrong for disjoint")
+	}
+}
+
+func TestParentChild(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/32")
+	if p.Parent(4) != MustParsePrefix("2001:db0::/28") {
+		t.Errorf("Parent: %v", p.Parent(4))
+	}
+	if p.Parent(40) != MustParsePrefix("::/0") {
+		t.Errorf("Parent clamp: %v", p.Parent(40))
+	}
+	c := p.Child(4, 0xa)
+	if c != MustParsePrefix("2001:db8:a000::/36") {
+		t.Errorf("Child: %v", c)
+	}
+	// SubprefixOfNibble covers the paper's "2001:db8:[0-f]000::/36" walk.
+	seen := map[Prefix]bool{}
+	for v := byte(0); v < 16; v++ {
+		sp := p.SubprefixOfNibble(v)
+		if sp.Bits() != 36 || !p.ContainsPrefix(sp) {
+			t.Fatalf("SubprefixOfNibble(%x) = %v", v, sp)
+		}
+		seen[sp] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("got %d distinct subprefixes, want 16", len(seen))
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/64")
+	if p.First() != MustParseAddr("2001:db8::") {
+		t.Errorf("First: %v", p.First())
+	}
+	if p.Last() != MustParseAddr("2001:db8::ffff:ffff:ffff:ffff") {
+		t.Errorf("Last: %v", p.Last())
+	}
+	if p.NumAddressesLog2() != 64 {
+		t.Errorf("NumAddressesLog2: %d", p.NumAddressesLog2())
+	}
+}
+
+func TestNthAddr(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/64")
+	if p.NthAddr(0) != p.First() {
+		t.Error("NthAddr(0)")
+	}
+	if p.NthAddr(255) != MustParseAddr("2001:db8::ff") {
+		t.Errorf("NthAddr(255): %v", p.NthAddr(255))
+	}
+}
+
+func TestSlash64(t *testing.T) {
+	a := MustParseAddr("2001:db8:1:2:3:4:5:6")
+	if Slash64(a) != MustParsePrefix("2001:db8:1:2::/64") {
+		t.Errorf("Slash64: %v", Slash64(a))
+	}
+}
+
+func TestComparePrefix(t *testing.T) {
+	a := MustParsePrefix("2001:db8::/32")
+	b := MustParsePrefix("2001:db8::/48")
+	c := MustParsePrefix("2001:db9::/32")
+	if ComparePrefix(a, b) != -1 || ComparePrefix(b, a) != 1 {
+		t.Error("length ordering wrong")
+	}
+	if ComparePrefix(a, c) != -1 || ComparePrefix(a, a) != 0 {
+		t.Error("address ordering wrong")
+	}
+}
+
+func TestPrefixProperty(t *testing.T) {
+	// Any address is contained by the prefix built from it at any length,
+	// and masking is idempotent.
+	f := func(raw [16]byte, bits uint8) bool {
+		b := int(bits) % 129
+		a := AddrFrom16(raw)
+		p := PrefixFrom(a, b)
+		if !p.Contains(a) {
+			return false
+		}
+		return PrefixFrom(p.Addr(), b) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixMapLPM(t *testing.T) {
+	m := NewPrefixMap[string]()
+	m.Insert(MustParsePrefix("2001:db8::/32"), "as32")
+	m.Insert(MustParsePrefix("2001:db8:1::/48"), "as48")
+	m.Insert(MustParsePrefix("2000::/3"), "global")
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+
+	p, v, ok := m.Lookup(MustParseAddr("2001:db8:1::5"))
+	if !ok || v != "as48" || p.Bits() != 48 {
+		t.Errorf("LPM: %v %v %v", p, v, ok)
+	}
+	_, v, ok = m.Lookup(MustParseAddr("2001:db8:2::5"))
+	if !ok || v != "as32" {
+		t.Errorf("LPM fallback: %v", v)
+	}
+	_, v, ok = m.Lookup(MustParseAddr("2a00::1"))
+	if !ok || v != "global" {
+		t.Errorf("LPM shortest: %v", v)
+	}
+	if _, _, ok := m.Lookup(MustParseAddr("fe80::1")); ok {
+		t.Error("lookup outside all prefixes matched")
+	}
+
+	all := m.LookupAll(MustParseAddr("2001:db8:1::5"))
+	if len(all) != 3 || all[0].Bits() != 48 || all[2].Bits() != 3 {
+		t.Errorf("LookupAll: %v", all)
+	}
+
+	if !m.Contains(MustParseAddr("2001:db8::1")) {
+		t.Error("Contains failed")
+	}
+
+	// Exact get / delete.
+	if v, ok := m.Get(MustParsePrefix("2001:db8::/32")); !ok || v != "as32" {
+		t.Error("Get failed")
+	}
+	if _, ok := m.Get(MustParsePrefix("2001:db8::/33")); ok {
+		t.Error("Get matched non-exact prefix")
+	}
+	if !m.Delete(MustParsePrefix("2001:db8:1::/48")) || m.Len() != 2 {
+		t.Error("Delete failed")
+	}
+	if m.Delete(MustParsePrefix("2001:db8:1::/48")) {
+		t.Error("double Delete succeeded")
+	}
+	_, v, _ = m.Lookup(MustParseAddr("2001:db8:1::5"))
+	if v != "as32" {
+		t.Error("LPM after delete wrong")
+	}
+}
+
+func TestPrefixMapReplaceAndWalk(t *testing.T) {
+	m := NewPrefixMap[int]()
+	p := MustParsePrefix("2001:db8::/32")
+	m.Insert(p, 1)
+	m.Insert(p, 2)
+	if m.Len() != 1 {
+		t.Errorf("replace should not grow: %d", m.Len())
+	}
+	if v, _ := m.Get(p); v != 2 {
+		t.Errorf("replaced value: %d", v)
+	}
+	m.Insert(MustParsePrefix("2001:db9::/32"), 3)
+	sum := 0
+	m.Walk(func(_ Prefix, v int) bool { sum += v; return true })
+	if sum != 5 {
+		t.Errorf("Walk sum = %d", sum)
+	}
+	// Early stop.
+	n := 0
+	m.Walk(func(_ Prefix, _ int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Walk early-stop visited %d", n)
+	}
+	ps := m.Prefixes()
+	if len(ps) != 2 || !ps[0].Addr().Less(ps[1].Addr()) {
+		t.Errorf("Prefixes order: %v", ps)
+	}
+}
+
+func TestPrefixSet(t *testing.T) {
+	s := NewPrefixSet()
+	s.Add(MustParsePrefix("2001:db8::/32"))
+	s.Add(MustParsePrefix("2001:db8:f::/48"))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(MustParsePrefix("2001:db8::/32")) {
+		t.Error("Has failed")
+	}
+	if !s.Contains(MustParseAddr("2001:db8:1::1")) {
+		t.Error("Contains failed")
+	}
+	p, ok := s.Match(MustParseAddr("2001:db8:f::1"))
+	if !ok || p.Bits() != 48 {
+		t.Errorf("Match: %v %v", p, ok)
+	}
+	count := 0
+	s.Walk(func(Prefix) bool { count++; return true })
+	if count != 2 {
+		t.Errorf("Walk visited %d", count)
+	}
+	if !s.Delete(MustParsePrefix("2001:db8:f::/48")) || s.Len() != 1 {
+		t.Error("Delete failed")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a1 := MustParseAddr("2001:db8::1")
+	a2 := MustParseAddr("2001:db8::2")
+	a3 := MustParseAddr("2001:db8::3")
+	s := SetOf(a1, a2)
+	if s.Len() != 2 || !s.Has(a1) || s.Has(a3) {
+		t.Fatal("SetOf wrong")
+	}
+	if !s.Add(a3) || s.Add(a3) {
+		t.Error("Add return values wrong")
+	}
+	other := SetOf(a2, a3)
+	if got := s.Intersect(other); got.Len() != 2 {
+		t.Errorf("Intersect: %d", got.Len())
+	}
+	if got := s.IntersectCount(other); got != 2 {
+		t.Errorf("IntersectCount: %d", got)
+	}
+	if got := s.Diff(other); got.Len() != 1 || !got.Has(a1) {
+		t.Errorf("Diff: %v", got)
+	}
+	u := SetOf(a1).Union(SetOf(a2))
+	if u.Len() != 2 {
+		t.Errorf("Union: %d", u.Len())
+	}
+	c := s.Clone()
+	c.Delete(a1)
+	if !s.Has(a1) {
+		t.Error("Clone aliases original")
+	}
+	sorted := s.Sorted()
+	if len(sorted) != 3 || !sorted[0].Less(sorted[1]) || !sorted[1].Less(sorted[2]) {
+		t.Errorf("Sorted: %v", sorted)
+	}
+	var sl []Addr
+	sl = append(sl, a3, a1, a2)
+	SortAddrs(sl)
+	if sl[0] != a1 || sl[2] != a3 {
+		t.Errorf("SortAddrs: %v", sl)
+	}
+	s2 := NewSet(0)
+	s2.AddSlice(sl)
+	s2.AddAll(other)
+	if s2.Len() != 3 {
+		t.Errorf("AddSlice/AddAll: %d", s2.Len())
+	}
+}
+
+func BenchmarkPrefixMapLookup(b *testing.B) {
+	m := NewPrefixMap[int]()
+	r := newBenchStream()
+	addrs := make([]Addr, 1024)
+	for i := 0; i < 10000; i++ {
+		a := AddrFromUint64s(0x2001<<48|uint64(i)<<16, 0)
+		m.Insert(PrefixFrom(a, 32+(i%5)*8), i)
+	}
+	for i := range addrs {
+		addrs[i] = AddrFromUint64s(0x2001<<48|uint64(r.Uint64n(10000))<<16, r.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkSetAdd(b *testing.B) {
+	r := newBenchStream()
+	s := NewSet(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(AddrFromUint64s(r.Uint64(), r.Uint64()))
+	}
+}

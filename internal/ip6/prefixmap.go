@@ -1,0 +1,158 @@
+package ip6
+
+import "sort"
+
+// PrefixMap associates values with IPv6 prefixes and answers
+// longest-prefix-match queries. It is the routing-table primitive behind
+// AS attribution, alias matching and blocklists.
+//
+// The implementation keeps one hash map per populated prefix length, so a
+// lookup costs at most one map access per distinct length in the table
+// (BGP-style tables populate a handful of lengths). This is simpler and,
+// for our workloads, faster than a pointer-chasing trie.
+type PrefixMap[T any] struct {
+	byLen   [129]map[Addr]T
+	lens    []int // populated lengths, descending (longest first)
+	entries int
+}
+
+// NewPrefixMap returns an empty PrefixMap.
+func NewPrefixMap[T any]() *PrefixMap[T] { return &PrefixMap[T]{} }
+
+// Len returns the number of entries.
+func (m *PrefixMap[T]) Len() int { return m.entries }
+
+// Insert adds or replaces the value for prefix p.
+func (m *PrefixMap[T]) Insert(p Prefix, v T) {
+	b := p.Bits()
+	if m.byLen[b] == nil {
+		m.byLen[b] = make(map[Addr]T)
+		m.lens = append(m.lens, b)
+		sort.Sort(sort.Reverse(sort.IntSlice(m.lens)))
+	}
+	if _, ok := m.byLen[b][p.Addr()]; !ok {
+		m.entries++
+	}
+	m.byLen[b][p.Addr()] = v
+}
+
+// Get returns the value stored for exactly p.
+func (m *PrefixMap[T]) Get(p Prefix) (T, bool) {
+	var zero T
+	b := p.Bits()
+	if m.byLen[b] == nil {
+		return zero, false
+	}
+	v, ok := m.byLen[b][p.Addr()]
+	if !ok {
+		return zero, false
+	}
+	return v, true
+}
+
+// Delete removes prefix p; it reports whether it was present.
+func (m *PrefixMap[T]) Delete(p Prefix) bool {
+	b := p.Bits()
+	if m.byLen[b] == nil {
+		return false
+	}
+	if _, ok := m.byLen[b][p.Addr()]; !ok {
+		return false
+	}
+	delete(m.byLen[b], p.Addr())
+	m.entries--
+	return true
+}
+
+// Lookup returns the longest prefix containing a and its value.
+func (m *PrefixMap[T]) Lookup(a Addr) (Prefix, T, bool) {
+	for _, b := range m.lens {
+		masked := mask(a, b)
+		if v, ok := m.byLen[b][masked]; ok {
+			return Prefix{addr: masked, bits: uint8(b)}, v, true
+		}
+	}
+	var zero T
+	return Prefix{}, zero, false
+}
+
+// LookupAll returns every prefix containing a, longest first.
+func (m *PrefixMap[T]) LookupAll(a Addr) []Prefix {
+	var out []Prefix
+	for _, b := range m.lens {
+		masked := mask(a, b)
+		if _, ok := m.byLen[b][masked]; ok {
+			out = append(out, Prefix{addr: masked, bits: uint8(b)})
+		}
+	}
+	return out
+}
+
+// Contains reports whether any prefix in the map covers a.
+func (m *PrefixMap[T]) Contains(a Addr) bool {
+	for _, b := range m.lens {
+		if _, ok := m.byLen[b][mask(a, b)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Walk calls fn for every entry. Iteration order is unspecified; fn
+// returning false stops the walk.
+func (m *PrefixMap[T]) Walk(fn func(Prefix, T) bool) {
+	for _, b := range m.lens {
+		for a, v := range m.byLen[b] {
+			if !fn(Prefix{addr: a, bits: uint8(b)}, v) {
+				return
+			}
+		}
+	}
+}
+
+// Prefixes returns all prefixes sorted by address then length, a stable
+// order for deterministic output.
+func (m *PrefixMap[T]) Prefixes() []Prefix {
+	out := make([]Prefix, 0, m.entries)
+	m.Walk(func(p Prefix, _ T) bool {
+		out = append(out, p)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return ComparePrefix(out[i], out[j]) < 0 })
+	return out
+}
+
+// PrefixSet is a PrefixMap without values.
+type PrefixSet struct{ m PrefixMap[struct{}] }
+
+// NewPrefixSet returns an empty PrefixSet.
+func NewPrefixSet() *PrefixSet { return &PrefixSet{} }
+
+// Add inserts prefix p.
+func (s *PrefixSet) Add(p Prefix) { s.m.Insert(p, struct{}{}) }
+
+// Has reports whether exactly p is in the set.
+func (s *PrefixSet) Has(p Prefix) bool { _, ok := s.m.Get(p); return ok }
+
+// Delete removes p, reporting whether it was present.
+func (s *PrefixSet) Delete(p Prefix) bool { return s.m.Delete(p) }
+
+// Contains reports whether any prefix in the set covers a.
+func (s *PrefixSet) Contains(a Addr) bool { return s.m.Contains(a) }
+
+// Match returns the longest prefix in the set containing a.
+func (s *PrefixSet) Match(a Addr) (Prefix, bool) {
+	p, _, ok := s.m.Lookup(a)
+	return p, ok
+}
+
+// Len returns the number of prefixes.
+func (s *PrefixSet) Len() int { return s.m.Len() }
+
+// Prefixes returns all prefixes in stable order.
+func (s *PrefixSet) Prefixes() []Prefix { return s.m.Prefixes() }
+
+// Walk visits every prefix; fn returning false stops the walk.
+func (s *PrefixSet) Walk(fn func(Prefix) bool) {
+	s.m.Walk(func(p Prefix, _ struct{}) bool { return fn(p) })
+}

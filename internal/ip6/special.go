@@ -1,0 +1,98 @@
+package ip6
+
+import "encoding/binary"
+
+// IPv4 is an IPv4 address used where the simulation needs one (A records,
+// Teredo analysis).
+type IPv4 [4]byte
+
+// String formats the IPv4 address in dotted-quad form.
+func (v IPv4) String() string {
+	var b []byte
+	b = appendUint8(b, v[0])
+	b = append(b, '.')
+	b = appendUint8(b, v[1])
+	b = append(b, '.')
+	b = appendUint8(b, v[2])
+	b = append(b, '.')
+	b = appendUint8(b, v[3])
+	return string(b)
+}
+
+func appendUint8(b []byte, v uint8) []byte {
+	if v >= 100 {
+		b = append(b, '0'+v/100)
+	}
+	if v >= 10 {
+		b = append(b, '0'+(v/10)%10)
+	}
+	return append(b, '0'+v%10)
+}
+
+// Uint32 returns the address as a big-endian uint32.
+func (v IPv4) Uint32() uint32 { return binary.BigEndian.Uint32(v[:]) }
+
+// IPv4FromUint32 builds an IPv4 address from a big-endian uint32.
+func IPv4FromUint32(x uint32) IPv4 {
+	var v IPv4
+	binary.BigEndian.PutUint32(v[:], x)
+	return v
+}
+
+var teredoPrefix = MustParsePrefix("2001::/32")
+
+// IsTeredo reports whether a is a Teredo (RFC 4380) address, i.e. inside
+// 2001::/32. The third GFW injection era returned AAAA records carrying
+// Teredo addresses, which is one of the filter's pieces of evidence.
+func (a Addr) IsTeredo() bool { return teredoPrefix.Contains(a) }
+
+// TeredoClient extracts the obfuscated client IPv4 address embedded in a
+// Teredo address (the low 32 bits, XOR 0xffffffff).
+func (a Addr) TeredoClient() (IPv4, bool) {
+	if !a.IsTeredo() {
+		return IPv4{}, false
+	}
+	x := binary.BigEndian.Uint32(a[12:]) ^ 0xffffffff
+	return IPv4FromUint32(x), true
+}
+
+// TeredoServer extracts the Teredo server IPv4 address (bytes 4..8).
+func (a Addr) TeredoServer() (IPv4, bool) {
+	if !a.IsTeredo() {
+		return IPv4{}, false
+	}
+	return IPv4{a[4], a[5], a[6], a[7]}, true
+}
+
+// TeredoAddr builds a Teredo address for the given server and client IPv4
+// addresses with zero flags and port, as seen in injected responses.
+func TeredoAddr(server, client IPv4) Addr {
+	var a Addr
+	a[0], a[1] = 0x20, 0x01
+	copy(a[4:8], server[:])
+	binary.BigEndian.PutUint32(a[12:], client.Uint32()^0xffffffff)
+	return a
+}
+
+var (
+	linkLocal = MustParsePrefix("fe80::/10")
+	ula       = MustParsePrefix("fc00::/7")
+	multicast = MustParsePrefix("ff00::/8")
+	docRange  = MustParsePrefix("2001:db8::/32")
+)
+
+// IsGlobalUnicast reports whether a is plausibly a globally routed unicast
+// address: not ::, not link-local, ULA, multicast, loopback or documentation
+// space. Candidate filtering uses this before scans.
+func (a Addr) IsGlobalUnicast() bool {
+	if a.IsZero() {
+		return false
+	}
+	if a == (Addr{15: 1}) { // ::1
+		return false
+	}
+	if linkLocal.Contains(a) || ula.Contains(a) || multicast.Contains(a) || docRange.Contains(a) {
+		return false
+	}
+	return true
+}

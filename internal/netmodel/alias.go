@@ -1,0 +1,122 @@
+package netmodel
+
+import (
+	"sync"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/rng"
+)
+
+// AliasRule makes a whole prefix fully responsive: every address inside
+// answers the rule's protocols. Backends controls how many distinct
+// servers stand behind the prefix:
+//
+//   - Backends == 1 models a true alias — a single host answering for the
+//     complete prefix (the original IPv6 Hitlist definition);
+//   - small Backends (2–16) model CDN load-balancing fleets where subsets
+//     of addresses share a server, which the Too Big Trick exposes as
+//     partially shared PMTU caches (Akamai/Cloudflare in the paper);
+//   - large Backends model per-address termination (no sharing visible).
+type AliasRule struct {
+	Prefix ip6.Prefix
+	AS     *AS
+
+	Protos   ProtoSet
+	Backends int
+
+	BornDay  int
+	DeathDay int
+
+	// FP is the fleet's base TCP fingerprint. If WindowJitter is true,
+	// each backend perturbs the TCP window size — the small population of
+	// prefixes whose fingerprints differ in the paper (160 of 33.5 k).
+	FP           TCPFingerprint
+	WindowJitter bool
+
+	// HostsDomains marks CDN prefixes that serve websites; the domain
+	// registry places domains inside these.
+	HostsDomains bool
+
+	// DNS is the behaviour on UDP/53 when Protos includes it (e.g.
+	// Cloudflare's anycast resolvers).
+	DNS DNSBehavior
+
+	// MTU is the served MTU (for TBT, usually 1500).
+	MTU uint16
+}
+
+// activeAt reports whether the rule is in force at the given day.
+func (r *AliasRule) activeAt(day int) bool {
+	return day >= r.BornDay && day < r.DeathDay
+}
+
+// BackendOf maps an address to the backend index serving it.
+func (r *AliasRule) BackendOf(a ip6.Addr) int {
+	if r.Backends <= 1 {
+		return 0
+	}
+	return int(rng.Mix(a.Hi(), a.Lo(), uint64(r.Prefix.Bits()), 0xbac4) % uint64(r.Backends))
+}
+
+// FingerprintFor returns the TCP fingerprint an observer sees when
+// handshaking with address a under this rule.
+func (r *AliasRule) FingerprintFor(a ip6.Addr) TCPFingerprint {
+	fp := r.FP
+	if r.WindowJitter {
+		b := uint64(r.BackendOf(a))
+		fp.Window = uint16(16384 + rng.Mix(b, r.Prefix.Addr().Hi(), 0x11f)%49152)
+	}
+	return fp
+}
+
+// pmtuKey identifies one PMTU cache: a concrete host address, or one
+// backend of an aliased prefix.
+type pmtuKey struct {
+	prefix  ip6.Prefix
+	backend int
+	host    ip6.Addr
+}
+
+// pmtuCache is the mutable part of the world: Packet-Too-Big messages
+// poison per-server PMTU caches, which the Too Big Trick then reads back
+// through fragmented echo replies. Entries expire after pmtuHoldDays.
+type pmtuCache struct {
+	mu      sync.Mutex
+	entries map[pmtuKey]pmtuEntry
+}
+
+type pmtuEntry struct {
+	mtu uint16
+	day int
+}
+
+const pmtuHoldDays = 1
+
+func newPMTUCache() *pmtuCache {
+	return &pmtuCache{entries: make(map[pmtuKey]pmtuEntry)}
+}
+
+func (c *pmtuCache) set(k pmtuKey, mtu uint16, day int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[k]; ok && cur.day == day && cur.mtu < mtu {
+		return // keep the smaller learned MTU
+	}
+	c.entries[k] = pmtuEntry{mtu: mtu, day: day}
+}
+
+func (c *pmtuCache) get(k pmtuKey, day int) (uint16, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok || day-e.day > pmtuHoldDays {
+		return 0, false
+	}
+	return e.mtu, true
+}
+
+func (c *pmtuCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[pmtuKey]pmtuEntry)
+}

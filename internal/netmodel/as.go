@@ -1,0 +1,153 @@
+package netmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"hitlist6/internal/ip6"
+)
+
+// Category classifies an AS by its dominant role; the world generator uses
+// it to pick host populations, alias structure and path behaviour.
+type Category uint8
+
+// AS categories.
+const (
+	CatISP         Category = iota // eyeball networks: CPE, EUI-64, prefix rotation
+	CatCDN                         // content delivery: aliased prefixes, many domains
+	CatCloud                       // hosting/cloud: servers, some aliased space
+	CatTransit                     // backbone: routers, few end hosts
+	CatEducation                   // campus networks
+	CatDNSProvider                 // anycast DNS services
+	CatEnterprise                  // everything else
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatISP:
+		return "isp"
+	case CatCDN:
+		return "cdn"
+	case CatCloud:
+		return "cloud"
+	case CatTransit:
+		return "transit"
+	case CatEducation:
+		return "education"
+	case CatDNSProvider:
+		return "dns"
+	case CatEnterprise:
+		return "enterprise"
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// AS is an autonomous system in the synthetic Internet.
+type AS struct {
+	ASN      int
+	Name     string
+	Country  string // ISO code; "CN" ASes sit behind the GFW
+	Category Category
+
+	// Announced BGP prefixes. AnnouncedFrom gives the day each prefix
+	// first appears in the routing table (0 for the beginning of time);
+	// the Trafficforce event of February 2022 is modelled through this.
+	Announced     []ip6.Prefix
+	AnnouncedFrom []int
+
+	// RouterRotationDays controls the AS's border-router addressing as
+	// seen by traceroutes: 0 means stable router interface addresses;
+	// a positive value rotates the randomized interface identifiers every
+	// that many days. Rotation is what floods the hitlist input with
+	// one-shot addresses (Section 4.1) and, in Chinese ASes, feeds the
+	// GFW spike.
+	RouterRotationDays int
+}
+
+// AnnouncedAddressesLog2 returns log2 of the total announced address space
+// (approximated by the largest prefix; exact summing over prefixes is done
+// in analysis where needed).
+func (a *AS) AnnouncedAddressesLog2() int {
+	best := -1
+	for _, p := range a.Announced {
+		if l := p.NumAddressesLog2(); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// ASTable is the BGP view: longest-prefix-match from address to AS.
+type ASTable struct {
+	m *ip6.PrefixMap[*AS]
+	// all ASes by ASN for iteration.
+	byASN map[int]*AS
+}
+
+// NewASTable builds a table over the given ASes, indexing every announced
+// prefix. Conflicting announcements are resolved longest-prefix-first at
+// lookup, as in real routing.
+func NewASTable(ases []*AS) *ASTable {
+	t := &ASTable{m: ip6.NewPrefixMap[*AS](), byASN: make(map[int]*AS, len(ases))}
+	for _, as := range ases {
+		if _, dup := t.byASN[as.ASN]; dup {
+			panic(fmt.Sprintf("netmodel: duplicate ASN %d", as.ASN))
+		}
+		t.byASN[as.ASN] = as
+		for _, p := range as.Announced {
+			t.m.Insert(p, as)
+		}
+	}
+	return t
+}
+
+// Announce inserts an additional (more-specific) announcement for an AS
+// after table construction, keeping AS.Announced/AnnouncedFrom in sync.
+// CDNs announcing their aliased specifics use this.
+func (t *ASTable) Announce(p ip6.Prefix, as *AS, fromDay int) {
+	as.Announced = append(as.Announced, p)
+	as.AnnouncedFrom = append(as.AnnouncedFrom, fromDay)
+	t.m.Insert(p, as)
+}
+
+// Lookup returns the origin AS of addr, or nil if unrouted.
+func (t *ASTable) Lookup(addr ip6.Addr) *AS {
+	_, as, ok := t.m.Lookup(addr)
+	if !ok {
+		return nil
+	}
+	return as
+}
+
+// LookupPrefix returns the matched announcement and AS for addr.
+func (t *ASTable) LookupPrefix(addr ip6.Addr) (ip6.Prefix, *AS, bool) {
+	return t.m.Lookup(addr)
+}
+
+// ByASN returns the AS with the given number, or nil.
+func (t *ASTable) ByASN(asn int) *AS { return t.byASN[asn] }
+
+// All returns every AS sorted by ASN.
+func (t *ASTable) All() []*AS {
+	out := make([]*AS, 0, len(t.byASN))
+	for _, as := range t.byASN {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// NumASes returns the number of ASes announcing at least one prefix.
+func (t *ASTable) NumASes() int { return len(t.byASN) }
+
+// NumPrefixes returns the number of announced prefixes.
+func (t *ASTable) NumPrefixes() int { return t.m.Len() }
+
+// AnnouncedPrefixes returns every announced prefix in stable order.
+func (t *ASTable) AnnouncedPrefixes() []ip6.Prefix { return t.m.Prefixes() }
+
+// WalkPrefixes visits (prefix, AS) pairs; fn returning false stops.
+func (t *ASTable) WalkPrefixes(fn func(ip6.Prefix, *AS) bool) {
+	t.m.Walk(fn)
+}

@@ -1,0 +1,175 @@
+package netmodel
+
+import (
+	"hitlist6/internal/dnswire"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/rng"
+)
+
+// InjectionMode selects the record shape the injector forges. The paper
+// observed A-record injection in the earlier events and Teredo-carrying
+// AAAA records in the 2021/2022 event.
+type InjectionMode uint8
+
+// Injection modes.
+const (
+	InjectA InjectionMode = iota
+	InjectTeredo
+)
+
+// InjectionEra is one period of GFW DNS-injection behaviour as seen from
+// the (non-Chinese) vantage point. The three spikes in Figure 3 correspond
+// to three eras.
+type InjectionEra struct {
+	StartDay int
+	EndDay   int
+	Mode     InjectionMode
+}
+
+// GFWModel simulates the Great Firewall's DNS injection at the border of
+// Chinese networks: any UDP/53 query for a censored domain whose target
+// sits inside an affected AS receives multiple forged answers, regardless
+// of whether the target host exists.
+type GFWModel struct {
+	// AffectedASNs are the Chinese ASes whose inbound paths cross an
+	// injector.
+	AffectedASNs map[int]bool
+
+	// BlockedDomains are censored names (and all their subdomains).
+	BlockedDomains map[string]bool
+
+	// Eras are injection periods; outside every era the injector is
+	// silent towards our vantage point.
+	Eras []InjectionEra
+
+	// WrongIPv4s is the pool of valid, routed but unrelated IPv4
+	// addresses forged answers carry (the paper maps them to Facebook,
+	// Microsoft, Dropbox and others).
+	WrongIPv4s []ip6.IPv4
+
+	// TeredoServers is the pool of server IPv4s embedded into forged
+	// Teredo addresses.
+	TeredoServers []ip6.IPv4
+
+	seed uint64
+}
+
+// NewGFWModel builds an injector with the default forged-address pools.
+func NewGFWModel(seed uint64) *GFWModel {
+	g := &GFWModel{
+		AffectedASNs:   make(map[int]bool),
+		BlockedDomains: make(map[string]bool),
+		seed:           seed,
+	}
+	// Synthetic stand-ins for the unrelated operators the paper names
+	// (documentation/test ranges are avoided so they look "generally
+	// routed" to the filter).
+	g.WrongIPv4s = []ip6.IPv4{
+		{31, 13, 94, 37},    // Facebook-like
+		{157, 240, 17, 35},  // Facebook-like
+		{13, 107, 21, 200},  // Microsoft-like
+		{204, 79, 197, 200}, // Microsoft-like
+		{162, 125, 2, 6},    // Dropbox-like
+		{199, 16, 158, 9},   // Twitter-like
+		{69, 63, 184, 14},   // Facebook-like
+		{108, 160, 166, 9},  // Dropbox-like
+	}
+	g.TeredoServers = []ip6.IPv4{
+		{65, 54, 227, 120}, // teredo.ipv6.microsoft.com-like
+		{94, 245, 121, 253},
+	}
+	return g
+}
+
+// Blocked reports whether qname (or a parent domain) is censored.
+func (g *GFWModel) Blocked(qname string) bool {
+	qname = dnswire.NormalizeName(qname)
+	for qname != "" {
+		if g.BlockedDomains[qname] {
+			return true
+		}
+		dot := -1
+		for i := 0; i < len(qname); i++ {
+			if qname[i] == '.' {
+				dot = i
+				break
+			}
+		}
+		if dot < 0 {
+			return false
+		}
+		qname = qname[dot+1:]
+	}
+	return false
+}
+
+// eraAt returns the active era at the given day, if any.
+func (g *GFWModel) eraAt(day int) (InjectionEra, bool) {
+	for _, e := range g.Eras {
+		if day >= e.StartDay && day < e.EndDay {
+			return e, true
+		}
+	}
+	return InjectionEra{}, false
+}
+
+// ActiveAt reports whether any injection era covers the day.
+func (g *GFWModel) ActiveAt(day int) bool {
+	_, ok := g.eraAt(day)
+	return ok
+}
+
+// Inject returns the forged wire-format responses for a query towards
+// target, or nil when the injector stays silent. Multiple injectors on the
+// path produce two or three answers, as the paper observed ("ZMap
+// accumulated two or three responses for each scanned address").
+func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message, day int) [][]byte {
+	if targetAS == nil || !g.AffectedASNs[targetAS.ASN] {
+		return nil
+	}
+	era, ok := g.eraAt(day)
+	if !ok {
+		return nil
+	}
+	if len(query.Questions) == 0 {
+		return nil
+	}
+	q := query.Questions[0]
+	if !g.Blocked(q.Name) {
+		// Unblocked domains — including the authors' own — draw no
+		// answer at all, not even a DNS error.
+		return nil
+	}
+	n := 2 + int(rng.Mix(g.seed, target.Hi(), target.Lo(), uint64(day), 0x6f3)%2)
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		h := rng.Mix(g.seed, target.Hi(), target.Lo(), uint64(day), uint64(i), 0x9a1)
+		reply := query.Reply()
+		reply.Header.RecursionAvailable = true
+		reply.Header.RCode = dnswire.RCodeNoError
+		switch era.Mode {
+		case InjectA:
+			// An A record answering an AAAA question: the signature of
+			// the first two events.
+			reply.Answers = append(reply.Answers, dnswire.RR{
+				Name: q.Name, Type: dnswire.TypeA, TTL: 60 + uint32(h%240),
+				A: g.WrongIPv4s[h%uint64(len(g.WrongIPv4s))],
+			})
+		case InjectTeredo:
+			server := g.TeredoServers[h%uint64(len(g.TeredoServers))]
+			client := g.WrongIPv4s[(h>>8)%uint64(len(g.WrongIPv4s))]
+			reply.Answers = append(reply.Answers, dnswire.RR{
+				Name: q.Name, Type: dnswire.TypeAAAA, TTL: 60 + uint32(h%240),
+				AAAA: ip6.TeredoAddr(server, client),
+			})
+		}
+		wire, err := reply.Encode()
+		if err != nil {
+			// The forged reply is built from validated parts; failing to
+			// encode indicates a programming error.
+			panic("netmodel: encoding injected response: " + err.Error())
+		}
+		out = append(out, wire)
+	}
+	return out
+}

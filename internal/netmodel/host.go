@@ -1,0 +1,107 @@
+package netmodel
+
+import (
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/rng"
+)
+
+// DNSBehavior classifies how a UDP/53-responsive host answers queries.
+// Section 4.2 of the paper probes the DNS-responsive remainder with a
+// unique-hash subdomain and observes these classes.
+type DNSBehavior uint8
+
+// DNS behaviour classes.
+const (
+	DNSNone         DNSBehavior = iota // does not answer DNS
+	DNSRefusing                        // authoritative/resolver answering with an error status (93.8 %)
+	DNSOpenResolver                    // recursive resolver producing the correct record (4.6 %)
+	DNSReferral                        // refers to root / parent zone (593 targets)
+	DNSProxy                           // correct record, but recursion exits elsewhere (15 targets)
+	DNSBroken                          // junk: bad status codes, referral to localhost (1.1 %)
+)
+
+// String names the behaviour class.
+func (b DNSBehavior) String() string {
+	switch b {
+	case DNSNone:
+		return "none"
+	case DNSRefusing:
+		return "refusing"
+	case DNSOpenResolver:
+		return "open-resolver"
+	case DNSReferral:
+		return "referral"
+	case DNSProxy:
+		return "proxy"
+	case DNSBroken:
+		return "broken"
+	}
+	return "unknown"
+}
+
+// Host is a single responsive end host (or router interface) in the world.
+type Host struct {
+	Addr   ip6.Addr
+	Protos ProtoSet
+
+	// BornDay..DeathDay (exclusive) bound the host's lifetime.
+	BornDay  int
+	DeathDay int
+
+	// UptimePermille is the per-epoch probability (in 1/1000) that the
+	// host answers during an availability epoch; it produces the churn of
+	// Figure 4. 1000 means always up.
+	UptimePermille uint16
+
+	// FP is the host's TCP fingerprint.
+	FP TCPFingerprint
+
+	// DNS is the behaviour class when probed on UDP/53.
+	DNS DNSBehavior
+
+	// MTU is the link MTU for TBT purposes (usually 1500).
+	MTU uint16
+
+	// DownFrom/DownTo define an optional long outage window during which
+	// the host is silent. Hosts with outages longer than the service's
+	// 30-day filter get evicted and — because the filter never re-tests —
+	// stay lost until a re-scan of the unresponsive pool finds them again
+	// (the Section 6 "unresponsive addresses" source).
+	DownFrom, DownTo int
+}
+
+// availEpochDays is the length of a host availability epoch: the up/down
+// draw is constant within an epoch, so scans a day apart see little churn
+// while scans a week apart see more — matching the increased churn the
+// paper observes when scan runtime grew.
+const availEpochDays = 10
+
+// aliveAt reports whether the host exists at the given day.
+func (h *Host) aliveAt(day int) bool {
+	return day >= h.BornDay && day < h.DeathDay
+}
+
+// upAt reports whether the host answers probes at the given day: alive,
+// outside any outage window, and drawn "up" for the availability epoch
+// covering day. The draw is a pure function of (address, epoch) so any
+// observer sees a consistent world.
+func (h *Host) upAt(day int) bool {
+	if !h.aliveAt(day) {
+		return false
+	}
+	if h.DownTo > h.DownFrom && day >= h.DownFrom && day < h.DownTo {
+		return false
+	}
+	if h.UptimePermille >= 1000 {
+		return true
+	}
+	// Per-host phase offset decorrelates epoch boundaries across hosts.
+	phase := rng.Mix(h.Addr.Hi(), h.Addr.Lo(), 0xeb0c) % availEpochDays
+	epoch := (uint64(day) + phase) / availEpochDays
+	return rng.Mix(h.Addr.Hi(), h.Addr.Lo(), epoch, 0x0b5e)%1000 < uint64(h.UptimePermille)
+}
+
+// RespondsTo reports whether the host answers protocol p at the given day.
+func (h *Host) RespondsTo(p Protocol, day int) bool {
+	return h.Protos.Has(p) && h.upAt(day)
+}

@@ -1,0 +1,447 @@
+package netmodel
+
+import (
+	"sync"
+
+	"hitlist6/internal/dnswire"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/rng"
+)
+
+// ProbeKind is the wire-level probe type.
+type ProbeKind uint8
+
+// Probe kinds.
+const (
+	EchoRequest  ProbeKind = iota // ICMPv6 echo request (Size selects payload)
+	TCPSYN                        // TCP SYN to Port
+	DNSQuery                      // UDP datagram to port 53 carrying Payload
+	QUICInitial                   // UDP datagram to port 443 (QUIC Initial)
+	PacketTooBig                  // ICMPv6 Packet Too Big carrying MTU
+)
+
+// Probe is one outgoing packet.
+type Probe struct {
+	Kind    ProbeKind
+	Target  ip6.Addr
+	Day     int
+	Size    int    // echo payload size (TBT sends 1300 B)
+	Port    uint16 // TCP destination port
+	Payload []byte // DNS query wire bytes for DNSQuery
+	MTU     uint16 // MTU announced in PacketTooBig
+}
+
+// RespKind is the wire-level response type.
+type RespKind uint8
+
+// Response kinds.
+const (
+	RespNone RespKind = iota // silence (timeout)
+	RespEchoReply
+	RespSynAck
+	RespRST
+	RespDNS
+	RespQUIC
+	RespUnreach
+)
+
+// Response is what (if anything) came back for a probe.
+type Response struct {
+	Kind RespKind
+
+	// Fragmented marks a fragmented echo reply (TBT evidence).
+	Fragmented bool
+
+	// FP carries the TCP fingerprint for SYN-ACK responses.
+	FP TCPFingerprint
+
+	// DNS carries one or more wire-format DNS messages; more than one
+	// indicates multiple responders (e.g. several GFW injectors).
+	DNS [][]byte
+
+	// InjectedCount is ground truth — how many of the DNS messages were
+	// forged by the GFW. Detection code must never read it; it exists so
+	// tests can score the detector.
+	InjectedCount int
+}
+
+// Positive reports whether the response would be counted as target
+// responsiveness by a ZMap-style scanner (any packet back except an
+// unreachable).
+func (r Response) Positive() bool {
+	return r.Kind != RespNone && r.Kind != RespUnreach
+}
+
+// NSQuery is a query observed at the experimenter's authoritative name
+// server (the unique-subdomain experiment of Section 4.2).
+type NSQuery struct {
+	Source ip6.Addr
+	QName  string
+}
+
+// Network is the synthetic Internet.
+type Network struct {
+	Seed uint64
+
+	// AS is the BGP view.
+	AS *ASTable
+
+	// GFW is the injection model (may be nil for GFW-free worlds).
+	GFW *GFWModel
+
+	// OurZone is the experimenter-controlled DNS zone used by the
+	// Section 4.2 behaviour evaluation.
+	OurZone string
+
+	hosts   map[ip6.Addr]*Host
+	aliases *ip6.PrefixMap[*AliasRule]
+	pmtu    *pmtuCache
+
+	nsmu  sync.Mutex
+	nslog []NSQuery
+
+	probemu sync.Mutex
+	probes  uint64
+
+	// transit caches the backbone ASes for path synthesis.
+	transit []*AS
+}
+
+// NewNetwork builds an empty world over the given AS table.
+func NewNetwork(seed uint64, table *ASTable) *Network {
+	return &Network{
+		Seed:    seed,
+		AS:      table,
+		OurZone: "hitlist-exp.example",
+		hosts:   make(map[ip6.Addr]*Host),
+		aliases: ip6.NewPrefixMap[*AliasRule](),
+		pmtu:    newPMTUCache(),
+	}
+}
+
+// AddHost registers a host. Later registrations of the same address win.
+func (n *Network) AddHost(h *Host) { n.hosts[h.Addr] = h }
+
+// AddAlias registers an aliased (fully responsive) prefix rule.
+func (n *Network) AddAlias(r *AliasRule) { n.aliases.Insert(r.Prefix, r) }
+
+// NumHosts returns the number of registered hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// Host returns the host registered at addr, if any (ground truth).
+func (n *Network) Host(addr ip6.Addr) (*Host, bool) {
+	h, ok := n.hosts[addr]
+	return h, ok
+}
+
+// WalkHosts visits every registered host (ground truth; iteration order is
+// unspecified).
+func (n *Network) WalkHosts(fn func(*Host) bool) {
+	for _, h := range n.hosts {
+		if !fn(h) {
+			return
+		}
+	}
+}
+
+// AliasRules returns all registered alias rules (ground truth, for
+// scoring detection quality in tests and for the world generator).
+func (n *Network) AliasRules() []*AliasRule {
+	out := make([]*AliasRule, 0, n.aliases.Len())
+	n.aliases.Walk(func(_ ip6.Prefix, r *AliasRule) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// AliasRuleFor returns the alias rule covering addr at the given day.
+func (n *Network) AliasRuleFor(addr ip6.Addr, day int) (*AliasRule, bool) {
+	_, r, ok := n.aliases.Lookup(addr)
+	if !ok || !r.activeAt(day) {
+		return nil, false
+	}
+	return r, true
+}
+
+// ProbeCount returns how many probes the network has served — the load
+// measure ethics sections care about.
+func (n *Network) ProbeCount() uint64 {
+	n.probemu.Lock()
+	defer n.probemu.Unlock()
+	return n.probes
+}
+
+// ResetPMTU clears all poisoned PMTU caches (between TBT runs).
+func (n *Network) ResetPMTU() { n.pmtu.reset() }
+
+// NSLogSnapshot returns and clears the queries seen at our authoritative
+// name server.
+func (n *Network) NSLogSnapshot() []NSQuery {
+	n.nsmu.Lock()
+	defer n.nsmu.Unlock()
+	out := n.nslog
+	n.nslog = nil
+	return out
+}
+
+func (n *Network) recordNSQuery(src ip6.Addr, qname string) {
+	n.nsmu.Lock()
+	defer n.nsmu.Unlock()
+	n.nslog = append(n.nslog, NSQuery{Source: src, QName: qname})
+}
+
+// TrueResponds is ground truth: whether target would answer protocol p at
+// the given day (alias rules, live hosts, and GFW injection for UDP/53
+// towards blocked domains — the last mirrors what a ZMap scan measures).
+// Measurement code must use the scanner; this exists for world assembly
+// and test scoring.
+func (n *Network) TrueResponds(target ip6.Addr, p Protocol, day int) bool {
+	if r, ok := n.AliasRuleFor(target, day); ok && r.Protos.Has(p) {
+		return true
+	}
+	if h, ok := n.hosts[target]; ok && h.RespondsTo(p, day) {
+		return true
+	}
+	if p == UDP53 && n.GFW != nil && n.GFW.ActiveAt(day) {
+		if as := n.AS.Lookup(target); as != nil && n.GFW.AffectedASNs[as.ASN] {
+			return true
+		}
+	}
+	return false
+}
+
+// Probe sends one probe into the world and returns the response.
+// It is safe for concurrent use.
+func (n *Network) Probe(p Probe) Response {
+	n.probemu.Lock()
+	n.probes++
+	n.probemu.Unlock()
+
+	switch p.Kind {
+	case EchoRequest:
+		return n.probeEcho(p)
+	case TCPSYN:
+		return n.probeTCP(p)
+	case DNSQuery:
+		return n.probeDNS(p)
+	case QUICInitial:
+		return n.probeQUIC(p)
+	case PacketTooBig:
+		return n.probePTB(p)
+	}
+	return Response{}
+}
+
+// effectiveMTU returns the responder's current PMTU towards us and the
+// cache key, honoring poisoned caches.
+func (n *Network) effectiveMTU(target ip6.Addr, day int) (uint16, pmtuKey, bool) {
+	if r, ok := n.AliasRuleFor(target, day); ok {
+		key := pmtuKey{prefix: r.Prefix, backend: r.BackendOf(target)}
+		if mtu, ok := n.pmtu.get(key, day); ok {
+			return mtu, key, true
+		}
+		mtu := r.MTU
+		if mtu == 0 {
+			mtu = 1500
+		}
+		return mtu, key, true
+	}
+	if h, ok := n.hosts[target]; ok {
+		key := pmtuKey{host: target}
+		if mtu, ok := n.pmtu.get(key, day); ok {
+			return mtu, key, true
+		}
+		mtu := h.MTU
+		if mtu == 0 {
+			mtu = 1500
+		}
+		return mtu, key, true
+	}
+	return 0, pmtuKey{}, false
+}
+
+func (n *Network) probeEcho(p Probe) Response {
+	if !n.respondsToProto(p.Target, ICMP, p.Day) {
+		return Response{}
+	}
+	mtu, _, _ := n.effectiveMTU(p.Target, p.Day)
+	frag := p.Size > 0 && p.Size+48 > int(mtu) // 40 B IPv6 + 8 B ICMPv6 headers
+	return Response{Kind: RespEchoReply, Fragmented: frag}
+}
+
+func (n *Network) probePTB(p Probe) Response {
+	// Packet Too Big poisons the responder's PMTU cache; no reply.
+	if !n.respondsToProto(p.Target, ICMP, p.Day) {
+		return Response{}
+	}
+	mtu := p.MTU
+	if mtu < 1280 {
+		mtu = 1280
+	}
+	if _, key, ok := n.effectiveMTU(p.Target, p.Day); ok {
+		n.pmtu.set(key, mtu, p.Day)
+	}
+	return Response{}
+}
+
+func (n *Network) probeTCP(p Probe) Response {
+	var proto Protocol
+	switch p.Port {
+	case 80:
+		proto = TCP80
+	case 443:
+		proto = TCP443
+	default:
+		return Response{}
+	}
+	if r, ok := n.AliasRuleFor(p.Target, p.Day); ok && r.Protos.Has(proto) {
+		return Response{Kind: RespSynAck, FP: r.FingerprintFor(p.Target)}
+	}
+	if h, ok := n.hosts[p.Target]; ok {
+		if h.RespondsTo(proto, p.Day) {
+			return Response{Kind: RespSynAck, FP: h.FP}
+		}
+		// A live host without the port sends RST when it is up at all.
+		if h.upAt(p.Day) && h.Protos.Has(ICMP) {
+			return Response{Kind: RespRST}
+		}
+	}
+	return Response{}
+}
+
+func (n *Network) probeQUIC(p Probe) Response {
+	if n.respondsToProto(p.Target, UDP443, p.Day) {
+		return Response{Kind: RespQUIC}
+	}
+	return Response{}
+}
+
+func (n *Network) respondsToProto(target ip6.Addr, proto Protocol, day int) bool {
+	if r, ok := n.AliasRuleFor(target, day); ok && r.Protos.Has(proto) {
+		return true
+	}
+	h, ok := n.hosts[target]
+	return ok && h.RespondsTo(proto, day)
+}
+
+func (n *Network) probeDNS(p Probe) Response {
+	query, err := dnswire.Decode(p.Payload)
+	if err != nil || len(query.Questions) == 0 {
+		return Response{}
+	}
+	var resp Response
+
+	// GFW injection happens on the path, before and regardless of the
+	// target itself.
+	targetAS := n.AS.Lookup(p.Target)
+	if n.GFW != nil {
+		if injected := n.GFW.Inject(p.Target, targetAS, query, p.Day); len(injected) > 0 {
+			resp.DNS = append(resp.DNS, injected...)
+			resp.InjectedCount = len(injected)
+			resp.Kind = RespDNS
+		}
+	}
+
+	// The target's own answer, if it serves DNS.
+	behavior := DNSNone
+	var answerer ip6.Addr
+	if r, ok := n.AliasRuleFor(p.Target, p.Day); ok && r.Protos.Has(UDP53) {
+		behavior = r.DNS
+		if behavior == DNSNone {
+			behavior = DNSRefusing
+		}
+		answerer = p.Target
+	} else if h, ok := n.hosts[p.Target]; ok && h.RespondsTo(UDP53, p.Day) {
+		behavior = h.DNS
+		if behavior == DNSNone {
+			behavior = DNSRefusing
+		}
+		answerer = p.Target
+	}
+	if behavior != DNSNone {
+		if wire := n.answerDNS(answerer, behavior, query, p.Day); wire != nil {
+			resp.DNS = append(resp.DNS, wire)
+			resp.Kind = RespDNS
+		}
+	}
+	return resp
+}
+
+// syntheticAAAA derives the "correct" AAAA record for a name: a stable
+// pseudo-address inside a hosting range. Both the open resolvers in the
+// world and our own zone's authoritative server agree on it.
+func syntheticAAAA(qname string) ip6.Addr {
+	h := rng.HashString(dnswire.NormalizeName(qname))
+	return ip6.AddrFromUint64s(0x2a0e_b107_0000_0000|h>>40, h)
+}
+
+func (n *Network) answerDNS(src ip6.Addr, behavior DNSBehavior, query *dnswire.Message, day int) []byte {
+	q := query.Questions[0]
+	reply := query.Reply()
+	inOurZone := n.OurZone != "" && nameInZone(q.Name, n.OurZone)
+	switch behavior {
+	case DNSRefusing:
+		reply.Header.RCode = dnswire.RCodeRefused
+	case DNSOpenResolver:
+		reply.Header.RecursionAvailable = true
+		if q.Type == dnswire.TypeAAAA {
+			reply.Answers = append(reply.Answers, dnswire.RR{
+				Name: q.Name, Type: dnswire.TypeAAAA, TTL: 300, AAAA: syntheticAAAA(q.Name),
+			})
+		}
+		if inOurZone {
+			// Recursion reaches our authoritative server from the
+			// resolver's own address.
+			n.recordNSQuery(src, dnswire.NormalizeName(q.Name))
+		}
+	case DNSProxy:
+		reply.Header.RecursionAvailable = true
+		if q.Type == dnswire.TypeAAAA {
+			reply.Answers = append(reply.Answers, dnswire.RR{
+				Name: q.Name, Type: dnswire.TypeAAAA, TTL: 300, AAAA: syntheticAAAA(q.Name),
+			})
+		}
+		if inOurZone {
+			// The recursion exits through a different interface: the
+			// query source at our name server does not match the probed
+			// target.
+			egress := src
+			egress[15] ^= 0x5a
+			egress[14] ^= 0x01
+			n.recordNSQuery(egress, dnswire.NormalizeName(q.Name))
+		}
+	case DNSReferral:
+		// Upward referral to the root zone.
+		reply.Header.RCode = dnswire.RCodeNoError
+		reply.Authority = append(reply.Authority,
+			dnswire.RR{Name: "", Type: dnswire.TypeNS, TTL: 518400, Target: "a.root-servers.net"},
+			dnswire.RR{Name: "", Type: dnswire.TypeNS, TTL: 518400, Target: "b.root-servers.net"},
+		)
+	case DNSBroken:
+		// Incorrect status codes or referrals to localhost.
+		if rng.Mix(src.Hi(), src.Lo(), uint64(day), 0xb40c)%2 == 0 {
+			reply.Header.RCode = dnswire.RCodeNotImp
+		} else {
+			reply.Answers = append(reply.Answers, dnswire.RR{
+				Name: q.Name, Type: dnswire.TypeCNAME, TTL: 0, Target: "localhost",
+			})
+		}
+	default:
+		return nil
+	}
+	wire, err := reply.Encode()
+	if err != nil {
+		panic("netmodel: encoding DNS answer: " + err.Error())
+	}
+	return wire
+}
+
+func nameInZone(name, zone string) bool {
+	name = dnswire.NormalizeName(name)
+	zone = dnswire.NormalizeName(zone)
+	if name == zone {
+		return true
+	}
+	return len(name) > len(zone)+1 && name[len(name)-len(zone):] == zone && name[len(name)-len(zone)-1] == '.'
+}

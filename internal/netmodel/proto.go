@@ -1,0 +1,168 @@
+// Package netmodel implements the synthetic IPv6 Internet the hitlist
+// service is measured against.
+//
+// The real paper probes the live Internet from a German vantage point over
+// four years. That substrate is gated (scanning infrastructure, time), so
+// this package provides the closest synthetic equivalent: an addressable
+// "world" of autonomous systems, BGP announcements, host populations with
+// growth and churn, fully responsive (aliased) prefixes backed by one or
+// many servers, a Great-Firewall DNS injector, and router paths for
+// traceroute. The scanner (internal/scan) and every filter in the pipeline
+// interact with it only through probes and responses, never through ground
+// truth, so the measurement code paths are the same as against the real
+// Internet.
+package netmodel
+
+import "fmt"
+
+// Protocol identifies one of the five protocols the IPv6 Hitlist probes.
+type Protocol uint8
+
+// The probed protocols, in the paper's order.
+const (
+	ICMP Protocol = iota
+	TCP443
+	TCP80
+	UDP443
+	UDP53
+	NumProtocols = 5
+)
+
+// Protocols lists all probed protocols in canonical (paper table) order.
+var Protocols = [NumProtocols]Protocol{ICMP, TCP443, TCP80, UDP443, UDP53}
+
+// String returns the paper's notation, e.g. "TCP/80".
+func (p Protocol) String() string {
+	switch p {
+	case ICMP:
+		return "ICMP"
+	case TCP80:
+		return "TCP/80"
+	case TCP443:
+		return "TCP/443"
+	case UDP53:
+		return "UDP/53"
+	case UDP443:
+		return "UDP/443"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// ParseProtocol parses the notation produced by String.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range Protocols {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("netmodel: unknown protocol %q", s)
+}
+
+// ProtoSet is a bitmask over Protocol.
+type ProtoSet uint8
+
+// ProtoSetOf builds a set from protocols.
+func ProtoSetOf(ps ...Protocol) ProtoSet {
+	var s ProtoSet
+	for _, p := range ps {
+		s |= 1 << p
+	}
+	return s
+}
+
+// AllProtocols is the set of every probed protocol.
+var AllProtocols = ProtoSetOf(ICMP, TCP80, TCP443, UDP53, UDP443)
+
+// Has reports whether p is in the set.
+func (s ProtoSet) Has(p Protocol) bool { return s&(1<<p) != 0 }
+
+// With returns the set with p added.
+func (s ProtoSet) With(p Protocol) ProtoSet { return s | 1<<p }
+
+// Without returns the set with p removed.
+func (s ProtoSet) Without(p Protocol) ProtoSet { return s &^ (1 << p) }
+
+// Empty reports whether no protocol is set.
+func (s ProtoSet) Empty() bool { return s == 0 }
+
+// Count returns the number of protocols in the set.
+func (s ProtoSet) Count() int {
+	n := 0
+	for _, p := range Protocols {
+		if s.Has(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// String lists the members, e.g. "ICMP+TCP/80".
+func (s ProtoSet) String() string {
+	if s == 0 {
+		return "none"
+	}
+	out := ""
+	for _, p := range Protocols {
+		if s.Has(p) {
+			if out != "" {
+				out += "+"
+			}
+			out += p.String()
+		}
+	}
+	return out
+}
+
+// TCPFingerprint captures the TCP handshake features the paper's
+// fingerprinting uses (Section 5.1): an order-preserving string of TCP
+// options, window size, window scale, MSS, and the initial TTL rounded to
+// the next power of two (iTTL).
+type TCPFingerprint struct {
+	Optionstext string
+	Window      uint16
+	WScale      uint8
+	MSS         uint16
+	ITTL        uint8
+}
+
+// Equal reports whether two fingerprints match on all features.
+func (f TCPFingerprint) Equal(g TCPFingerprint) bool { return f == g }
+
+// EqualIgnoringWindow compares all features except the window size, which
+// legitimately varies across connections to the same host.
+func (f TCPFingerprint) EqualIgnoringWindow(g TCPFingerprint) bool {
+	f.Window = 0
+	g.Window = 0
+	return f == g
+}
+
+// RoundITTL rounds an observed hop-decremented TTL up to the likely initial
+// TTL (next power of two, capped at 255), as done by Backes et al. and the
+// hitlist fingerprinting.
+func RoundITTL(observed uint8) uint8 {
+	switch {
+	case observed <= 32:
+		return 32
+	case observed <= 64:
+		return 64
+	case observed <= 128:
+		return 128
+	default:
+		return 255
+	}
+}
+
+// Stock fingerprint profiles used by the world generator. Distinct profiles
+// indicate distinct hosts; a uniform profile across an aliased prefix is
+// consistent with a single host or a centrally administered fleet.
+var (
+	FPLinux     = TCPFingerprint{Optionstext: "MSS-SACK-TS-NOP-WS", Window: 64240, WScale: 7, MSS: 1440, ITTL: 64}
+	FPLinuxLB   = TCPFingerprint{Optionstext: "MSS-SACK-TS-NOP-WS", Window: 65535, WScale: 9, MSS: 1440, ITTL: 64}
+	FPBSD       = TCPFingerprint{Optionstext: "MSS-NOP-WS-SACK-TS", Window: 65535, WScale: 6, MSS: 1440, ITTL: 64}
+	FPWindows   = TCPFingerprint{Optionstext: "MSS-NOP-WS-NOP-NOP-SACK", Window: 65535, WScale: 8, MSS: 1440, ITTL: 128}
+	FPEmbedded  = TCPFingerprint{Optionstext: "MSS", Window: 5840, WScale: 0, MSS: 1220, ITTL: 64}
+	FPMiddlebox = TCPFingerprint{Optionstext: "MSS-SACK-NOP-WS", Window: 29200, WScale: 5, MSS: 1380, ITTL: 255}
+)
+
+// FPProfiles enumerates the stock profiles for deterministic assignment.
+var FPProfiles = []TCPFingerprint{FPLinux, FPLinuxLB, FPBSD, FPWindows, FPEmbedded, FPMiddlebox}

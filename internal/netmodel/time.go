@@ -1,0 +1,35 @@
+package netmodel
+
+import "time"
+
+// The simulation clock counts days since the IPv6 Hitlist service started
+// publishing data (2018-07-01). All world events (host births, GFW eras,
+// the Trafficforce announcement) and scans are dated on this axis.
+
+// Epoch is day 0 of the simulation.
+var Epoch = time.Date(2018, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// Forever marks an open-ended interval.
+const Forever = 1 << 30
+
+// DayOf converts a calendar date to a simulation day.
+func DayOf(year int, month time.Month, day int) int {
+	d := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return int(d.Sub(Epoch).Hours() / 24)
+}
+
+// DateOf converts a simulation day back to a calendar date.
+func DateOf(day int) time.Time { return Epoch.AddDate(0, 0, day) }
+
+// DateString formats a simulation day as YYYY-MM-DD.
+func DateString(day int) string { return DateOf(day).Format("2006-01-02") }
+
+// Well-known snapshot days used throughout the evaluation (the paper's
+// Table 1 snapshot dates).
+var (
+	Day2018 = DayOf(2018, 7, 1)
+	Day2019 = DayOf(2019, 4, 1)
+	Day2020 = DayOf(2020, 4, 1)
+	Day2021 = DayOf(2021, 4, 2)
+	Day2022 = DayOf(2022, 4, 7)
+)

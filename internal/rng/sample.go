@@ -1,0 +1,141 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples from a Zipf-Mandelbrot-like distribution over ranks
+// [0, n): P(k) proportional to 1/(k+q)^s. It precomputes the CDF, so sampling
+// is O(log n). It is used to skew address populations across ASes the way
+// the paper's Figure 2/8/9 CDFs are skewed.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s >= 0 and
+// shift q >= 0.
+func NewZipf(n int, s, q float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k)+1+q, s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(r *Stream) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Weight returns the probability mass of rank k.
+func (z *Zipf) Weight(k int) float64 {
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
+
+// Weighted is an alias-free cumulative weighted sampler over arbitrary
+// weights.
+type Weighted struct {
+	cdf []float64
+}
+
+// NewWeighted builds a sampler from non-negative weights. At least one
+// weight must be positive.
+func NewWeighted(weights []float64) *Weighted {
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		panic("rng: all weights zero")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Weighted{cdf: cdf}
+}
+
+// Sample draws an index with probability proportional to its weight.
+func (w *Weighted) Sample(r *Stream) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(w.cdf, u)
+	if i >= len(w.cdf) {
+		i = len(w.cdf) - 1
+	}
+	return i
+}
+
+// Poisson draws from a Poisson distribution with mean lambda.
+// For large lambda it uses a normal approximation, which is accurate enough
+// for workload generation.
+func (r *Stream) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Binomial draws the number of successes among n trials with probability p.
+// It uses a normal approximation when n*p is large.
+func (r *Stream) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	np := float64(n) * p
+	if np > 50 && float64(n)*(1-p) > 50 {
+		v := np + math.Sqrt(np*(1-p))*r.NormFloat64()
+		switch {
+		case v < 0:
+			return 0
+		case v > float64(n):
+			return n
+		}
+		return int(v + 0.5)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,112 @@
+package scan
+
+import (
+	"bytes"
+	"testing"
+
+	"hitlist6/internal/dnswire"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+// TestWriteRecordRoundtrip exercises the gfw-filter tool's path: parse a
+// CSV, re-serialize records verbatim, parse again — a fixed point.
+func TestWriteRecordRoundtrip(t *testing.T) {
+	teredo := ip6.TeredoAddr(ip6.IPv4{65, 54, 227, 120}, ip6.IPv4{31, 13, 94, 37})
+	recs := []Record{
+		{
+			Addr: ip6.MustParseAddr("240e::1"), Proto: netmodel.UDP53, Day: 1376,
+			Success: true, Kind: netmodel.RespDNS, Responses: 3, RCode: "NOERROR",
+			Answers: []AnswerSummary{
+				{Type: dnswire.TypeAAAA, Value: teredo.String()},
+				{Type: dnswire.TypeA, Value: "31.13.94.37"},
+			},
+		},
+		{
+			Addr: ip6.MustParseAddr("2001:db9::80"), Proto: netmodel.ICMP, Day: 1376,
+			Success: true, Kind: netmodel.RespEchoReply,
+		},
+		{
+			Addr: ip6.MustParseAddr("2001:db9::81"), Proto: netmodel.TCP443, Day: 1376,
+			Success: false, Kind: netmodel.RespNone,
+		},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("rows: %d", len(got))
+	}
+	for i := range recs {
+		a, b := recs[i], got[i]
+		if a.Addr != b.Addr || a.Proto != b.Proto || a.Day != b.Day ||
+			a.Success != b.Success || a.Kind != b.Kind || a.Responses != b.Responses ||
+			a.RCode != b.RCode || len(a.Answers) != len(b.Answers) {
+			t.Fatalf("row %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+		for j := range a.Answers {
+			if a.Answers[j] != b.Answers[j] {
+				t.Fatalf("answer %d/%d mismatch", i, j)
+			}
+		}
+	}
+	// Second pass is byte-identical (fixed point).
+	var buf2 bytes.Buffer
+	w2, _ := NewWriter(&buf2)
+	for _, rec := range got {
+		if err := w2.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-serialization is not a fixed point")
+	}
+}
+
+// TestSummarizeDNSMultiMessage: answers accumulate across messages and
+// the first message's rcode wins.
+func TestSummarizeDNSMultiMessage(t *testing.T) {
+	mk := func(rcode dnswire.RCode, rrs ...dnswire.RR) []byte {
+		q := dnswire.NewQuery(5, "www.google.com", dnswire.TypeAAAA)
+		r := q.Reply()
+		r.Header.RCode = rcode
+		r.Answers = rrs
+		w, err := r.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	m1 := mk(dnswire.RCodeNoError, dnswire.RR{Name: "www.google.com", Type: dnswire.TypeA, A: ip6.IPv4{1, 2, 3, 4}})
+	m2 := mk(dnswire.RCodeRefused, dnswire.RR{Name: "www.google.com", Type: dnswire.TypeA, A: ip6.IPv4{5, 6, 7, 8}})
+	rcode, answers := SummarizeDNS([][]byte{m1, m2})
+	if rcode != "NOERROR" {
+		t.Errorf("rcode: %q", rcode)
+	}
+	if len(answers) != 2 || answers[0].Value != "1.2.3.4" || answers[1].Value != "5.6.7.8" {
+		t.Errorf("answers: %+v", answers)
+	}
+	// Undecodable messages are skipped.
+	rcode, answers = SummarizeDNS([][]byte{{0xde, 0xad}, m1})
+	if len(answers) != 1 {
+		t.Errorf("corrupt message not skipped: %+v", answers)
+	}
+	_ = rcode
+}

@@ -1,0 +1,246 @@
+// Package scan implements a ZMapv6-style stateless scanner against the
+// synthetic Internet.
+//
+// Like the real tool, it sends one probe per (target, protocol), treats any
+// returned packet as success — which is precisely how GFW-injected DNS
+// answers were counted as responsive targets — supports retries to absorb
+// probe loss, and emits ZMap-style CSV. Unlike the real tool it probes a
+// netmodel.Network instead of a raw socket; everything above the probe layer
+// is the same code path the paper's pipeline uses.
+package scan
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hitlist6/internal/dnswire"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/rng"
+)
+
+// Config parameterizes a scanner.
+type Config struct {
+	// Seed drives the deterministic loss draws.
+	Seed uint64
+
+	// Workers is the probe concurrency; 0 means GOMAXPROCS.
+	Workers int
+
+	// LossRate is the per-probe probability that either the probe or its
+	// response is lost in transit.
+	LossRate float64
+
+	// Retries is how many times a lost probe is retransmitted.
+	Retries int
+
+	// QName is the DNS question sent on UDP/53 probes. The hitlist
+	// service queries a AAAA record for www.google.com — a blocked
+	// domain, which is what made the service GFW-sensitive. It is kept
+	// for consistency (Section 4.2's argument) and filtered downstream.
+	QName string
+
+	// QNameFor, when set, overrides QName per target (the Section 4.2
+	// unique-subdomain experiment).
+	QNameFor func(ip6.Addr) string
+
+	// RatePPS models the probes-per-second budget; it only affects the
+	// reported scan duration, not wall-clock time.
+	RatePPS int
+}
+
+// DefaultConfig mirrors the service's scanning configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:     seed,
+		LossRate: 0.01,
+		Retries:  1,
+		QName:    "www.google.com",
+		RatePPS:  100_000,
+	}
+}
+
+// Result is the outcome of probing one target on one protocol.
+type Result struct {
+	Target ip6.Addr
+	Proto  netmodel.Protocol
+	Day    int
+
+	// Success is the ZMap view: some packet came back.
+	Success bool
+
+	Kind netmodel.RespKind
+	FP   netmodel.TCPFingerprint
+
+	// DNS carries the raw response messages for UDP/53 probes.
+	DNS [][]byte
+
+	// InjectedTruth is ground truth from the network model (how many DNS
+	// messages were injected); used only to score detection quality.
+	InjectedTruth int
+}
+
+// Stats aggregates a scan run.
+type Stats struct {
+	ProbesSent uint64
+	Responses  uint64
+	Successes  uint64
+	// EstimatedSeconds is the modeled scan duration at Config.RatePPS.
+	EstimatedSeconds float64
+}
+
+// Scanner probes targets in a network.
+type Scanner struct {
+	net *netmodel.Network
+	cfg Config
+}
+
+// New builds a scanner over the given network.
+func New(net *netmodel.Network, cfg Config) *Scanner {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QName == "" {
+		cfg.QName = "www.google.com"
+	}
+	if cfg.RatePPS <= 0 {
+		cfg.RatePPS = 100_000
+	}
+	return &Scanner{net: net, cfg: cfg}
+}
+
+// Config returns the scanner's configuration.
+func (s *Scanner) Config() Config { return s.cfg }
+
+// lost draws deterministic per-attempt probe loss.
+func (s *Scanner) lost(a ip6.Addr, p netmodel.Protocol, day, attempt int) bool {
+	if s.cfg.LossRate <= 0 {
+		return false
+	}
+	th := uint64(s.cfg.LossRate * (1 << 32))
+	return rng.Mix(s.cfg.Seed, a.Hi(), a.Lo(), uint64(p), uint64(day), uint64(attempt), 0x1055)&0xffffffff < th
+}
+
+// ProbeOne probes a single target with a single protocol, honoring loss
+// and retries.
+func (s *Scanner) ProbeOne(target ip6.Addr, proto netmodel.Protocol, day int) Result {
+	res := Result{Target: target, Proto: proto, Day: day}
+	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
+		if s.lost(target, proto, day, attempt) {
+			continue
+		}
+		resp := s.net.Probe(s.buildProbe(target, proto, day))
+		if resp.Kind == netmodel.RespNone {
+			// Genuine silence: retrying cannot help, the world is
+			// deterministic within a day.
+			break
+		}
+		// ZMap classification: an RST means the host is alive but the
+		// port is closed — recorded, but not a success.
+		res.Success = resp.Positive() && resp.Kind != netmodel.RespRST
+		res.Kind = resp.Kind
+		res.FP = resp.FP
+		res.DNS = resp.DNS
+		res.InjectedTruth = resp.InjectedCount
+		break
+	}
+	return res
+}
+
+func (s *Scanner) buildProbe(target ip6.Addr, proto netmodel.Protocol, day int) netmodel.Probe {
+	switch proto {
+	case netmodel.ICMP:
+		return netmodel.Probe{Kind: netmodel.EchoRequest, Target: target, Day: day, Size: 8}
+	case netmodel.TCP80:
+		return netmodel.Probe{Kind: netmodel.TCPSYN, Target: target, Day: day, Port: 80}
+	case netmodel.TCP443:
+		return netmodel.Probe{Kind: netmodel.TCPSYN, Target: target, Day: day, Port: 443}
+	case netmodel.UDP443:
+		return netmodel.Probe{Kind: netmodel.QUICInitial, Target: target, Day: day, Port: 443}
+	case netmodel.UDP53:
+		qname := s.cfg.QName
+		if s.cfg.QNameFor != nil {
+			qname = s.cfg.QNameFor(target)
+		}
+		txid := uint16(rng.Mix(s.cfg.Seed, target.Hi(), target.Lo(), uint64(day)))
+		q := dnswire.NewQuery(txid, qname, dnswire.TypeAAAA)
+		wire, err := q.Encode()
+		if err != nil {
+			panic(fmt.Sprintf("scan: building DNS query for %q: %v", qname, err))
+		}
+		return netmodel.Probe{Kind: netmodel.DNSQuery, Target: target, Day: day, Payload: wire}
+	}
+	panic(fmt.Sprintf("scan: unknown protocol %v", proto))
+}
+
+// Scan probes every target with every requested protocol using a worker
+// pool and returns all results. Order follows (target, protocol) input
+// order. The context cancels the scan early; the partial result set and
+// ctx.Err() are returned.
+func (s *Scanner) Scan(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int) ([]Result, Stats, error) {
+	type job struct{ ti, pi int }
+	results := make([]Result, len(targets)*len(protos))
+	jobs := make(chan job, 4*s.cfg.Workers)
+	var wg sync.WaitGroup
+	var sent, succ, resp atomic.Uint64
+
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := s.ProbeOne(targets[j.ti], protos[j.pi], day)
+				sent.Add(uint64(1 + s.cfg.Retries))
+				if r.Kind != netmodel.RespNone {
+					resp.Add(1)
+				}
+				if r.Success {
+					succ.Add(1)
+				}
+				results[j.ti*len(protos)+j.pi] = r
+			}
+		}()
+	}
+
+	var err error
+feed:
+	for ti := range targets {
+		for pi := range protos {
+			select {
+			case jobs <- job{ti, pi}:
+			case <-ctx.Done():
+				err = ctx.Err()
+				break feed
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	st := Stats{
+		ProbesSent: sent.Load(),
+		Responses:  resp.Load(),
+		Successes:  succ.Load(),
+	}
+	st.EstimatedSeconds = float64(st.ProbesSent) / float64(s.cfg.RatePPS)
+	return results, st, err
+}
+
+// ResponsiveSet runs a scan and returns, per protocol, the set of targets
+// that answered. It is the aggregation the pipeline consumes.
+func (s *Scanner) ResponsiveSet(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int) (map[netmodel.Protocol]ip6.Set, Stats, error) {
+	results, st, err := s.Scan(ctx, targets, protos, day)
+	out := make(map[netmodel.Protocol]ip6.Set, len(protos))
+	for _, p := range protos {
+		out[p] = ip6.NewSet(0)
+	}
+	for _, r := range results {
+		if r.Success {
+			out[r.Proto].Add(r.Target)
+		}
+	}
+	return out, st, err
+}

@@ -1,0 +1,153 @@
+package sources
+
+import (
+	"context"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/yarrp"
+)
+
+func TestSnapshotFeed(t *testing.T) {
+	addrs := []ip6.Addr{ip6.MustParseAddr("2001:db9::2"), ip6.MustParseAddr("2001:db9::1")}
+	f := Snapshot("det", 100, addrs)
+	// The window stays open for two weeks so the next scheduled scan
+	// catches one-shot imports.
+	if f.ActiveAt(99) || !f.ActiveAt(100) || !f.ActiveAt(113) || f.ActiveAt(114) {
+		t.Error("activity window")
+	}
+	got, err := f.Collect(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Less(got[1]) {
+		t.Errorf("snapshot: %v", got)
+	}
+}
+
+func TestRecurringFeedAndDrain(t *testing.T) {
+	calls := 0
+	f1 := Recurring("dns", 0, 1000, func(day int) []ip6.Addr {
+		calls++
+		return []ip6.Addr{ip6.MustParseAddr("2001:db9::1")}
+	})
+	f2 := Snapshot("ark", 500, []ip6.Addr{ip6.MustParseAddr("2001:db9::2")})
+
+	out, err := Drain(context.Background(), []*Feed{f1, f2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out["dns"]) != 1 {
+		t.Errorf("drain day 10: %v", out)
+	}
+	out, err = Drain(context.Background(), []*Feed{f1, f2}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("drain day 500: %v", out)
+	}
+	if calls != 2 {
+		t.Errorf("collect calls: %d", calls)
+	}
+}
+
+func TestRotatingCPE(t *testing.T) {
+	isp := &netmodel.AS{ASN: 3320, Name: "DTAG", Country: "DE", Category: netmodel.CatISP,
+		Announced: []ip6.Prefix{ip6.MustParsePrefix("2003::/19")}, AnnouncedFrom: []int{0}}
+	pool := RotatingCPE{
+		ISP: isp, Base: ip6.MustParsePrefix("2003::/19"),
+		MACs: 500, PerDay: 300, RotationDays: 30, Seed: 5,
+	}
+	f := pool.Feed("cpe-dtag", 0, 10000)
+
+	day0, err := f.Collect(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(day0) != 300 {
+		t.Fatalf("per-day count: %d", len(day0))
+	}
+	euiCount := 0
+	macs := map[ip6.MAC]bool{}
+	for _, a := range day0 {
+		if !ip6.MustParsePrefix("2003::/19").Contains(a) {
+			t.Fatalf("address %v outside ISP space", a)
+		}
+		if a.IsEUI64() {
+			euiCount++
+			if m, ok := a.EUI64MAC(); ok {
+				macs[m] = true
+			}
+		}
+	}
+	if euiCount != len(day0) {
+		t.Errorf("all CPE addresses must be EUI-64: %d/%d", euiCount, len(day0))
+	}
+	// Fewer MACs than addresses: devices repeat.
+	if len(macs) >= len(day0) {
+		t.Errorf("no MAC reuse: %d macs for %d addrs", len(macs), len(day0))
+	}
+
+	// Rotation: same day within a period → same prefix per device; across
+	// periods the accumulated distinct address set grows faster than the
+	// per-day set.
+	all := ip6.NewSet(0)
+	for day := 0; day < 120; day += 30 {
+		got, _ := f.Collect(context.Background(), day)
+		all.AddSlice(got)
+	}
+	if all.Len() <= 350 {
+		t.Errorf("rotation did not accumulate distinct addresses: %d", all.Len())
+	}
+
+	// The same MAC appears under multiple prefixes across periods
+	// (the Section 4.1 EUI-64 grouping signal).
+	iidToHis := map[uint64]map[uint64]bool{}
+	for day := 0; day < 300; day += 30 {
+		got, _ := f.Collect(context.Background(), day)
+		for _, a := range got {
+			iid, _ := a.EUI64IID()
+			if iidToHis[iid] == nil {
+				iidToHis[iid] = map[uint64]bool{}
+			}
+			iidToHis[iid][a.Hi()] = true
+		}
+	}
+	multi := 0
+	for _, his := range iidToHis {
+		if len(his) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no IID observed under multiple prefixes")
+	}
+}
+
+func TestTracerouteFeed(t *testing.T) {
+	ases := []*netmodel.AS{
+		{ASN: 1, Name: "T", Country: "US", Category: netmodel.CatTransit,
+			Announced: []ip6.Prefix{ip6.MustParsePrefix("2914::/24")}, AnnouncedFrom: []int{0}},
+		{ASN: 2, Name: "D", Country: "DE", Category: netmodel.CatISP,
+			Announced: []ip6.Prefix{ip6.MustParsePrefix("2003::/19")}, AnnouncedFrom: []int{0}},
+	}
+	n := netmodel.NewNetwork(3, netmodel.NewASTable(ases))
+	tr := yarrp.New(n, yarrp.Config{Seed: 1})
+	f := TracerouteFeed("atlas", 0, 100, tr, func(day int) []ip6.Addr {
+		return []ip6.Addr{ip6.MustParseAddr("2003::42")}
+	})
+	got, err := f.Collect(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("traceroute feed found nothing")
+	}
+	for _, a := range got {
+		if a == ip6.MustParseAddr("2003::42") {
+			t.Error("feed leaked the target")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package dc implements the paper's own target generation approach,
+// distance clustering (Section 6.1): "extending more densely clustered
+// address regions that show high entropy in the last nibble(s)".
+//
+// Clusters are runs of at least MinClusterSize addresses inside one /64
+// where consecutive addresses are at most MaxGap apart. Given the size of
+// the IPv6 space, even ten addresses within distance 64 are very unlikely
+// to be random, so the missing addresses inside a cluster's span are
+// generated as candidates. The paper measures ~12 % responsiveness for
+// these — the best hit rate among the evaluated generators.
+package dc
+
+import (
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/tga"
+)
+
+// Config are the clustering parameters; the paper uses clusters of at
+// least 10 addresses with a distance of at most 64.
+type Config struct {
+	MinClusterSize int
+	MaxGap         uint64
+	// MaxFill caps generated addresses per cluster, guarding against
+	// degenerate spans.
+	MaxFill int
+}
+
+// DefaultConfig matches the paper's parameters.
+func DefaultConfig() Config { return Config{MinClusterSize: 10, MaxGap: 64, MaxFill: 4096} }
+
+// Cluster is one dense run found in a /64.
+type Cluster struct {
+	Prefix ip6.Prefix
+	First  ip6.Addr
+	Last   ip6.Addr
+	Seeds  int
+}
+
+// Span returns the total number of addresses the cluster covers.
+func (c Cluster) Span() uint64 { return c.Last.Lo() - c.First.Lo() + 1 }
+
+// Generator implements tga.Generator.
+type Generator struct{ cfg Config }
+
+// New returns a distance-clustering generator.
+func New(cfg Config) *Generator {
+	if cfg.MinClusterSize <= 0 {
+		cfg.MinClusterSize = 10
+	}
+	if cfg.MaxGap == 0 {
+		cfg.MaxGap = 64
+	}
+	if cfg.MaxFill <= 0 {
+		cfg.MaxFill = 4096
+	}
+	return &Generator{cfg: cfg}
+}
+
+// Name implements tga.Generator.
+func (g *Generator) Name() string { return "DC" }
+
+// FindClusters locates dense runs in the seed set.
+func FindClusters(seeds []ip6.Addr, cfg Config) []Cluster {
+	groups := tga.GroupBySlash64(seeds)
+	var out []Cluster
+	for _, p := range tga.SortedPrefixes(groups) {
+		addrs := groups[p] // sorted ascending
+		runStart := 0
+		flush := func(end int) { // [runStart, end)
+			if end-runStart >= cfg.MinClusterSize {
+				out = append(out, Cluster{
+					Prefix: p,
+					First:  addrs[runStart],
+					Last:   addrs[end-1],
+					Seeds:  end - runStart,
+				})
+			}
+		}
+		for i := 1; i < len(addrs); i++ {
+			if addrs[i].Lo()-addrs[i-1].Lo() > cfg.MaxGap {
+				flush(i)
+				runStart = i
+			}
+		}
+		flush(len(addrs))
+	}
+	return out
+}
+
+// Fill generates the missing addresses inside a cluster's span, up to max.
+func Fill(c Cluster, have ip6.Set, max int) []ip6.Addr {
+	var out []ip6.Addr
+	hi := c.First.Hi()
+	for lo := c.First.Lo(); lo <= c.Last.Lo() && len(out) < max; lo++ {
+		a := ip6.AddrFromUint64s(hi, lo)
+		if !have.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Generate implements tga.Generator.
+func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	if len(seeds) == 0 || budget <= 0 {
+		return nil
+	}
+	have := ip6.NewSet(len(seeds))
+	have.AddSlice(seeds)
+	var out []ip6.Addr
+	for _, c := range FindClusters(seeds, g.cfg) {
+		if budget <= 0 {
+			break
+		}
+		max := g.cfg.MaxFill
+		if max > budget {
+			max = budget
+		}
+		gen := Fill(c, have, max)
+		out = append(out, gen...)
+		budget -= len(gen)
+	}
+	return tga.DedupAgainstSeeds(out, seeds)
+}

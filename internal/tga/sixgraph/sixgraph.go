@@ -1,0 +1,154 @@
+// Package sixgraph reimplements 6Graph (Yang et al., Computer Networks
+// 2022): graph-theoretic address pattern mining. Seeds become nodes;
+// addresses that agree on all but a few nibbles are linked; dense
+// components become patterns — fixed nibbles plus wildcard dimensions —
+// which are then enumerated as candidates.
+//
+// 6Graph is the most aggressive of the structural generators: it wildcards
+// up to three dimensions per pattern, which is why the paper measures it
+// producing the largest candidate set (125.8 M) at the lowest structural
+// hit rate (~3 %), biased towards very dense regions (Free SAS).
+package sixgraph
+
+import (
+	"sort"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/tga"
+)
+
+// Config tunes pattern mining.
+type Config struct {
+	// MinPatternSupport is the minimum component size that forms a
+	// pattern.
+	MinPatternSupport int
+	// MaxWildcards bounds wildcard dimensions per pattern.
+	MaxWildcards int
+}
+
+// DefaultConfig matches the published defaults at our scale.
+func DefaultConfig() Config { return Config{MinPatternSupport: 4, MaxWildcards: 3} }
+
+// Pattern is a mined address pattern: a base address and wildcard
+// dimensions.
+type Pattern struct {
+	Base      ip6.Addr
+	Wildcards []int
+	Support   int
+}
+
+// NumCandidatesLog16 returns the pattern volume as a power of 16.
+func (p Pattern) NumCandidatesLog16() int { return len(p.Wildcards) }
+
+// Generator implements tga.Generator.
+type Generator struct{ cfg Config }
+
+// New returns a 6Graph generator.
+func New(cfg Config) *Generator {
+	if cfg.MinPatternSupport <= 0 {
+		cfg.MinPatternSupport = 4
+	}
+	if cfg.MaxWildcards <= 0 {
+		cfg.MaxWildcards = 3
+	}
+	return &Generator{cfg: cfg}
+}
+
+// Name implements tga.Generator.
+func (g *Generator) Name() string { return "6Graph" }
+
+// Mine extracts patterns from seeds. The graph's connected components are
+// computed implicitly: grouping by "address with the k lowest-entropy
+// varying nibbles masked" links exactly the addresses that differ only in
+// those dimensions, which is the similarity the published edge criterion
+// captures. Mining proceeds from 1 wildcard upwards so tight patterns win.
+func Mine(seeds []ip6.Addr, cfg Config) []Pattern {
+	if len(seeds) == 0 {
+		return nil
+	}
+	entropy := tga.NibbleEntropy(seeds)
+	// Wildcard dimension order: highest entropy last-32-positions first —
+	// structural assignment varies in the low nibbles.
+	dims := make([]int, 0, 32)
+	for i := 31; i >= 16; i-- { // only IID dims are wildcard candidates
+		if entropy[i] > 0 {
+			dims = append(dims, i)
+		}
+	}
+	sort.SliceStable(dims, func(a, b int) bool { return entropy[dims[a]] > entropy[dims[b]] })
+
+	var patterns []Pattern
+	used := ip6.NewSet(len(seeds))
+	for k := 1; k <= cfg.MaxWildcards && k <= len(dims); k++ {
+		wild := append([]int(nil), dims[:k]...)
+		sort.Ints(wild)
+		groups := make(map[ip6.Addr][]ip6.Addr)
+		for _, a := range seeds {
+			if used.Has(a) {
+				continue
+			}
+			masked := a
+			for _, d := range wild {
+				masked = masked.SetNibble(d, 0)
+			}
+			groups[masked] = append(groups[masked], a)
+		}
+		keys := make([]ip6.Addr, 0, len(groups))
+		for m := range groups {
+			keys = append(keys, m)
+		}
+		ip6.SortAddrs(keys)
+		for _, m := range keys {
+			members := groups[m]
+			if len(members) < cfg.MinPatternSupport {
+				continue
+			}
+			patterns = append(patterns, Pattern{Base: m, Wildcards: wild, Support: len(members)})
+			for _, a := range members {
+				used.Add(a)
+			}
+		}
+	}
+	// Highest support first: enumeration under budget favors dense
+	// regions, reproducing the Free SAS bias.
+	sort.SliceStable(patterns, func(i, j int) bool { return patterns[i].Support > patterns[j].Support })
+	return patterns
+}
+
+// Enumerate expands a pattern into concrete addresses, up to budget.
+func Enumerate(p Pattern, budget int) []ip6.Addr {
+	var out []ip6.Addr
+	var rec func(addr ip6.Addr, d int)
+	rec = func(addr ip6.Addr, d int) {
+		if len(out) >= budget {
+			return
+		}
+		if d == len(p.Wildcards) {
+			out = append(out, addr)
+			return
+		}
+		for v := byte(0); v < 16; v++ {
+			rec(addr.SetNibble(p.Wildcards[d], v), d+1)
+			if len(out) >= budget {
+				return
+			}
+		}
+	}
+	rec(p.Base, 0)
+	return out
+}
+
+// Generate implements tga.Generator.
+func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	patterns := Mine(seeds, g.cfg)
+	var out []ip6.Addr
+	for _, p := range patterns {
+		if budget <= 0 {
+			break
+		}
+		gen := Enumerate(p, budget)
+		out = append(out, gen...)
+		budget -= len(gen)
+	}
+	return tga.DedupAgainstSeeds(out, seeds)
+}

@@ -1,0 +1,209 @@
+// Package sixtree reimplements 6Tree (Liu et al., Computer Networks 2019):
+// a space-tree model of the seed set built by divisive hierarchical
+// clustering (DHC) over nibble vectors, with candidate generation inside
+// the densest leaf regions.
+//
+// Following the hitlist paper's usage, the active-scan feedback loop of the
+// original is disabled: "we prevented active scans, limited 6Tree to target
+// generation only, and used the detection proposed by the IPv6 Hitlist
+// service during our scans." The generator therefore only expands regions;
+// alias handling is left to the pipeline's APD, reproducing the Akamai
+// blow-up the paper reports when 6Tree's own alias check is trusted.
+package sixtree
+
+import (
+	"sort"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/tga"
+)
+
+// Config tunes the tree.
+type Config struct {
+	// MaxLeafSize stops DHC splitting below this many seeds.
+	MaxLeafSize int
+	// MaxFreeDims bounds how many variable nibble dimensions a leaf may
+	// enumerate during generation.
+	MaxFreeDims int
+}
+
+// DefaultConfig matches the published defaults at our scale.
+func DefaultConfig() Config { return Config{MaxLeafSize: 16, MaxFreeDims: 2} }
+
+// Tree is a built space tree.
+type Tree struct {
+	cfg    Config
+	root   *node
+	leaves []*node
+}
+
+type node struct {
+	seeds    []ip6.Addr
+	fixed    [32]bool // dimensions with a single observed value
+	children []*node
+	splitDim int
+}
+
+// Generator is the tga.Generator implementation.
+type Generator struct{ cfg Config }
+
+// New returns a 6Tree generator.
+func New(cfg Config) *Generator {
+	if cfg.MaxLeafSize <= 0 {
+		cfg.MaxLeafSize = 16
+	}
+	if cfg.MaxFreeDims <= 0 {
+		cfg.MaxFreeDims = 2
+	}
+	return &Generator{cfg: cfg}
+}
+
+// Name implements tga.Generator.
+func (g *Generator) Name() string { return "6Tree" }
+
+// Build constructs the space tree over the seeds.
+func Build(seeds []ip6.Addr, cfg Config) *Tree {
+	t := &Tree{cfg: cfg, root: &node{seeds: seeds}}
+	t.split(t.root)
+	return t
+}
+
+// split applies DHC: recurse on the dimension with the fewest distinct
+// values (>1) — the least-entropy split — until leaves are small.
+func (t *Tree) split(n *node) {
+	vals := tga.NibbleValueSets(n.seeds)
+	for i, vs := range vals {
+		n.fixed[i] = len(vs) == 1
+	}
+	if len(n.seeds) <= t.cfg.MaxLeafSize {
+		t.leaves = append(t.leaves, n)
+		return
+	}
+	// Least-entropy splitting dimension; ties break towards the most
+	// significant position, approximating the vertical mode of 6Tree.
+	best, bestCount := -1, 17
+	for i, vs := range vals {
+		if len(vs) > 1 && len(vs) < bestCount {
+			best, bestCount = i, len(vs)
+		}
+	}
+	if best < 0 { // all seeds identical
+		t.leaves = append(t.leaves, n)
+		return
+	}
+	n.splitDim = best
+	buckets := make(map[byte][]ip6.Addr)
+	for _, a := range n.seeds {
+		buckets[a.Nibble(best)] = append(buckets[a.Nibble(best)], a)
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		child := &node{seeds: buckets[byte(k)]}
+		n.children = append(n.children, child)
+		t.split(child)
+	}
+}
+
+// Leaves returns the number of leaf regions.
+func (t *Tree) Leaves() int { return len(t.leaves) }
+
+// Generate implements tga.Generator: build the tree, then expand leaves in
+// density order. A shared novelty set makes the budget count genuinely new
+// addresses, never duplicates or seeds.
+func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	if len(seeds) == 0 || budget <= 0 {
+		return nil
+	}
+	t := Build(seeds, g.cfg)
+
+	// Densest leaves first: most seeds per free dimension.
+	leaves := append([]*node(nil), t.leaves...)
+	sort.SliceStable(leaves, func(i, j int) bool {
+		return leafPriority(leaves[i]) > leafPriority(leaves[j])
+	})
+
+	seen := ip6.NewSet(len(seeds) + budget)
+	seen.AddSlice(seeds)
+	var out []ip6.Addr
+	for _, leaf := range leaves {
+		if len(out) >= budget {
+			break
+		}
+		// Single observations are not regions; expanding them would
+		// extrapolate from density 1.
+		if len(leaf.seeds) < 2 {
+			continue
+		}
+		out = expandLeaf(leaf, g.cfg.MaxFreeDims, budget, seen, out)
+	}
+	return out
+}
+
+func leafPriority(n *node) float64 {
+	free := 0
+	for _, f := range n.fixed {
+		if !f {
+			free++
+		}
+	}
+	if free == 0 {
+		free = 1
+	}
+	return float64(len(n.seeds)) / float64(free)
+}
+
+// expandLeaf enumerates the region's free dimensions over all 16 nibble
+// values, holding everything else at each seed's value — the "region
+// expansion" of 6Tree. When the leaf's own variability offers fewer than
+// maxDims dimensions (because DHC fixed them on the way down), the lowest
+// address nibbles are expanded as well; this is what discovers genuinely
+// new neighbors rather than only recombinations.
+func expandLeaf(n *node, maxDims, budget int, seen ip6.Set, out []ip6.Addr) []ip6.Addr {
+	// Free dims, least significant first.
+	var free []int
+	taken := [32]bool{}
+	for i := 31; i >= 0 && len(free) < maxDims; i-- {
+		if !n.fixed[i] {
+			free = append(free, i)
+			taken[i] = true
+		}
+	}
+	for i := 31; i >= 16 && len(free) < maxDims; i-- {
+		if !taken[i] {
+			free = append(free, i)
+			taken[i] = true
+		}
+	}
+	if len(free) == 0 {
+		return out
+	}
+	for _, seed := range n.seeds {
+		var rec func(addr ip6.Addr, d int)
+		rec = func(addr ip6.Addr, d int) {
+			if len(out) >= budget {
+				return
+			}
+			if d == len(free) {
+				if seen.Add(addr) {
+					out = append(out, addr)
+				}
+				return
+			}
+			for v := byte(0); v < 16; v++ {
+				rec(addr.SetNibble(free[d], v), d+1)
+				if len(out) >= budget {
+					return
+				}
+			}
+		}
+		rec(seed, 0)
+		if len(out) >= budget {
+			break
+		}
+	}
+	return out
+}

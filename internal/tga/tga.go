@@ -1,0 +1,120 @@
+// Package tga defines the target generation algorithm (TGA) interface and
+// shared seed utilities used by the concrete generators (6Tree, 6Graph,
+// 6GAN, 6VecLM and the paper's own distance clustering).
+//
+// All generators consume a seed set of known-responsive addresses and emit
+// candidate addresses, the paper's Section 6 workload. The reimplementations
+// follow the published algorithms' structure; where the originals train
+// neural models (6GAN's GAN+RL, 6VecLM's transformer) we substitute
+// deterministic statistical models over nibble sequences that preserve the
+// generators' observable behaviour: their candidate volume, their bias
+// towards dense regions, and their (low) hit rates.
+package tga
+
+import (
+	"math"
+	"sort"
+
+	"hitlist6/internal/ip6"
+)
+
+// Generator produces candidate addresses from seeds.
+type Generator interface {
+	// Name is the analysis label ("6Tree", "6Graph", ...).
+	Name() string
+	// Generate returns up to budget candidates derived from seeds.
+	// Implementations are deterministic and must not return seed
+	// addresses themselves.
+	Generate(seeds []ip6.Addr, budget int) []ip6.Addr
+}
+
+// DedupAgainstSeeds removes seed addresses and duplicates from candidates,
+// preserving order.
+func DedupAgainstSeeds(candidates, seeds []ip6.Addr) []ip6.Addr {
+	seedSet := ip6.NewSet(len(seeds))
+	seedSet.AddSlice(seeds)
+	seen := ip6.NewSet(len(candidates))
+	out := candidates[:0]
+	for _, c := range candidates {
+		if seedSet.Has(c) || !seen.Add(c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// NibbleEntropy computes the empirical Shannon entropy (bits) of each of
+// the 32 nibble positions over the seed set — the Entropy/IP-style signal
+// every structural TGA starts from.
+func NibbleEntropy(seeds []ip6.Addr) [32]float64 {
+	var counts [32][16]int
+	for _, a := range seeds {
+		n := a.Nibbles()
+		for i, v := range n {
+			counts[i][v]++
+		}
+	}
+	var out [32]float64
+	if len(seeds) == 0 {
+		return out
+	}
+	total := float64(len(seeds))
+	for i := range counts {
+		h := 0.0
+		for _, c := range counts[i] {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / total
+			h -= p * math.Log2(p)
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// NibbleValueSets returns, per position, the sorted distinct nibble values
+// observed in the seed set.
+func NibbleValueSets(seeds []ip6.Addr) [32][]byte {
+	var seen [32][16]bool
+	for _, a := range seeds {
+		n := a.Nibbles()
+		for i, v := range n {
+			seen[i][v] = true
+		}
+	}
+	var out [32][]byte
+	for i := range seen {
+		for v := byte(0); v < 16; v++ {
+			if seen[i][v] {
+				out[i] = append(out[i], v)
+			}
+		}
+	}
+	return out
+}
+
+// GroupBySlash64 buckets seeds by their /64, sorted within each bucket.
+// Distance clustering and the dense-region analyses operate per /64.
+func GroupBySlash64(seeds []ip6.Addr) map[ip6.Prefix][]ip6.Addr {
+	out := make(map[ip6.Prefix][]ip6.Addr)
+	for _, a := range seeds {
+		p := ip6.Slash64(a)
+		out[p] = append(out[p], a)
+	}
+	for _, v := range out {
+		ip6.SortAddrs(v)
+	}
+	return out
+}
+
+// SortedPrefixes returns the map keys in stable order.
+func SortedPrefixes(m map[ip6.Prefix][]ip6.Addr) []ip6.Prefix {
+	out := make([]ip6.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
+	return out
+}

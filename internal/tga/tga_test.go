@@ -1,0 +1,79 @@
+package tga
+
+import (
+	"testing"
+
+	"hitlist6/internal/ip6"
+)
+
+func addrs(ss ...string) []ip6.Addr {
+	out := make([]ip6.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = ip6.MustParseAddr(s)
+	}
+	return out
+}
+
+func TestDedupAgainstSeeds(t *testing.T) {
+	seeds := addrs("2001:db9::1", "2001:db9::2")
+	cands := addrs("2001:db9::1", "2001:db9::3", "2001:db9::3", "2001:db9::4")
+	out := DedupAgainstSeeds(cands, seeds)
+	if len(out) != 2 || out[0] != ip6.MustParseAddr("2001:db9::3") || out[1] != ip6.MustParseAddr("2001:db9::4") {
+		t.Errorf("dedup: %v", out)
+	}
+	if DedupAgainstSeeds(nil, seeds) != nil {
+		t.Error("nil candidates")
+	}
+}
+
+func TestNibbleEntropy(t *testing.T) {
+	// All same → zero entropy everywhere.
+	same := addrs("2001:db9::1", "2001:db9::1")
+	e := NibbleEntropy(same)
+	for i, v := range e {
+		if v != 0 {
+			t.Fatalf("entropy[%d] = %v for identical seeds", i, v)
+		}
+	}
+	// Last nibble uniform over two values → 1 bit at position 31 only.
+	two := addrs("2001:db9::1", "2001:db9::2")
+	e = NibbleEntropy(two)
+	if e[31] != 1 {
+		t.Errorf("entropy[31] = %v, want 1", e[31])
+	}
+	for i := 0; i < 31; i++ {
+		if e[i] != 0 {
+			t.Errorf("entropy[%d] = %v, want 0", i, e[i])
+		}
+	}
+	// Empty input.
+	e = NibbleEntropy(nil)
+	if e[0] != 0 {
+		t.Error("empty entropy")
+	}
+}
+
+func TestNibbleValueSets(t *testing.T) {
+	vs := NibbleValueSets(addrs("2001:db9::1", "2001:db9::2", "2001:db9::f"))
+	if len(vs[31]) != 3 || vs[31][0] != 1 || vs[31][1] != 2 || vs[31][2] != 0xf {
+		t.Errorf("value set: %v", vs[31])
+	}
+	if len(vs[0]) != 1 || vs[0][0] != 2 {
+		t.Errorf("fixed position: %v", vs[0])
+	}
+}
+
+func TestGroupBySlash64(t *testing.T) {
+	groups := GroupBySlash64(addrs("2001:db9::2", "2001:db9::1", "2001:db9:0:1::1"))
+	if len(groups) != 2 {
+		t.Fatalf("groups: %d", len(groups))
+	}
+	g := groups[ip6.MustParsePrefix("2001:db9::/64")]
+	if len(g) != 2 || !g[0].Less(g[1]) {
+		t.Errorf("group not sorted: %v", g)
+	}
+	ps := SortedPrefixes(groups)
+	if len(ps) != 2 || ip6.ComparePrefix(ps[0], ps[1]) >= 0 {
+		t.Errorf("sorted prefixes: %v", ps)
+	}
+}

@@ -1,0 +1,168 @@
+package worldgen
+
+import (
+	"sort"
+
+	"hitlist6/internal/dnsdb"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/rng"
+	"hitlist6/internal/sources"
+	"hitlist6/internal/yarrp"
+)
+
+// BuildFeeds wires the service's input feeds over the generated world.
+// A yarrp tracer is required because the traceroute feeds really trace.
+func (w *World) BuildFeeds(tracer *yarrp.Tracer) []*sources.Feed {
+	p := w.Params
+	var feeds []*sources.Feed
+
+	// Host refs sorted by birth day for windowed emission.
+	byBorn := func(refs []hostRef) []hostRef {
+		cp := append([]hostRef(nil), refs...)
+		sort.Slice(cp, func(i, j int) bool {
+			if cp[i].Born != cp[j].Born {
+				return cp[i].Born < cp[j].Born
+			}
+			return cp[i].Addr.Less(cp[j].Addr)
+		})
+		return cp
+	}
+	emitWindow := func(refs []hostRef, day, window int) []ip6.Addr {
+		lo := sort.Search(len(refs), func(i int) bool { return refs[i].Born > day-window })
+		hi := sort.Search(len(refs), func(i int) bool { return refs[i].Born > day })
+		out := make([]ip6.Addr, 0, hi-lo)
+		for _, ref := range refs[lo:hi] {
+			out = append(out, ref.Addr)
+		}
+		return out
+	}
+
+	// DNS resolutions: web and DNS hosts appear when their records go
+	// live (a 45-day window covers the service's scan cadence), plus a
+	// rotating slice of registry records — the path through which CDN
+	// (aliased) hosting addresses enter the input.
+	dnsRefs := byBorn(append(append([]hostRef(nil), w.webHosts...), w.dnsHosts...))
+	var registryAAAA []ip6.Addr
+	w.Registry.Walk(func(d *dnsdb.Domain) bool {
+		registryAAAA = append(registryAAAA, d.AAAA...)
+		return true
+	})
+	ip6.SortAddrs(registryAAAA)
+	feeds = append(feeds, sources.Recurring("dns-aaaa", 0, EndDay+1, func(day int) []ip6.Addr {
+		out := emitWindow(dnsRefs, day, 45)
+		if n := len(registryAAAA); n > 0 {
+			k := p.count(2e6)
+			start := (day * 131) % n
+			for i := 0; i < k; i++ {
+				out = append(out, registryAAAA[(start+i)%n])
+			}
+		}
+		// Cloud rotation: CDN/ELB-style records point at ever-fresh
+		// addresses inside Amazon's fully responsive space, the
+		// accumulation bias of Figure 2.
+		r := rng.NewStream(rng.Mix(p.Seed, uint64(day), 0xa3a), "amazon-rotation")
+		amazon := w.Net.AS.ByASN(ASNAmazon)
+		n := p.count(1.4e6)
+		for i := 0; i < n; i++ {
+			base := amazon.Announced[r.Intn(len(amazon.Announced))]
+			out = append(out, ip6.AddrFromUint64s(
+				base.Addr().Hi()|uint64(r.Intn(1<<24))<<8, uint64(r.Intn(1<<16))))
+		}
+		return out
+	}))
+
+	// The service's own traceroutes: ICMP hosts (routers, devices) plus
+	// the short-lived transients observed in the current weeks.
+	icmpRefs := byBorn(w.icmpHosts)
+	feeds = append(feeds, sources.Recurring("traceroute", 0, EndDay+1, func(day int) []ip6.Addr {
+		out := emitWindow(icmpRefs, day, 45)
+		for wk := day/7 - 1; wk <= day/7; wk++ {
+			out = append(out, w.transientByWeek[wk]...)
+		}
+		return out
+	}))
+
+	// Traceroutes towards Chinese networks: the GFW feeder. Destination
+	// volume follows the era schedule; discovered rotating router
+	// interfaces enter the input and, once scanned on UDP/53, "respond"
+	// through injection.
+	feeds = append(feeds, sources.TracerouteFeed("traceroute-cn", 0, EndDay+1, tracer, func(day int) []ip6.Addr {
+		return w.cnDestinations(day)
+	}))
+
+	// RIPE-Atlas-like CPE artifacts: rotating EUI-64 device addresses.
+	type cpePool struct {
+		asn          int
+		perDay, macs float64
+		rotd         int
+	}
+	for _, c := range []cpePool{
+		{ASNANTEL, 1.2e6, 8e6, 21},
+		{ASNDTAG, 800e3, 6e6, 30},
+		{ASNVNPT, 250e3, 4e6, 45},
+		{ASNGlasfaser, 120e3, 1.5e6, 60},
+	} {
+		as := w.Net.AS.ByASN(c.asn)
+		pool := sources.RotatingCPE{
+			ISP: as, Base: as.Announced[0],
+			MACs: p.count(c.macs), PerDay: p.count(c.perDay),
+			RotationDays: c.rotd, Seed: p.Seed ^ uint64(c.asn),
+		}
+		feeds = append(feeds, pool.Feed("atlas-cpe-"+as.Name, 0, EndDay+1))
+	}
+
+	// The one-shot rDNS import of early 2019 (the Figure 4 event).
+	rdnsDay := netmodel.DayOf(2019, 2, 1)
+	rdnsAddrs := append([]ip6.Addr(nil), w.rdnsAddrs...)
+	// The import also carried plenty of never-responsive junk.
+	r := rng.NewStream(p.Seed, "rdns-junk")
+	for i := 0; i < p.count(6e6); i++ {
+		as := w.Net.AS.ByASN(300000 + r.Intn(p.TailASes))
+		rdnsAddrs = append(rdnsAddrs, ip6.AddrFromUint64s(
+			as.Announced[0].Addr().Hi()|uint64(r.Intn(1<<20)), r.Uint64()))
+	}
+	feeds = append(feeds, sources.Snapshot("rdns", rdnsDay, rdnsAddrs))
+
+	return feeds
+}
+
+// cnDestinations samples traceroute destinations inside Chinese ASes for
+// a given day, with volume following the injection-era schedule and AS
+// choice following the Table 5 shares.
+func (w *World) cnDestinations(day int) []ip6.Addr {
+	p := w.Params
+	rate := 100e3 // paper-scale destinations per scan, baseline
+	switch {
+	case day >= netmodel.DayOf(2021, 2, 1):
+		// Era 3 ramps up towards the >100 M peak.
+		ramp := float64(day-netmodel.DayOf(2021, 2, 1)) / float64(EndDay-netmodel.DayOf(2021, 2, 1))
+		rate = 600e3 + ramp*1.2e6
+	case day >= netmodel.DayOf(2020, 5, 1) && day < netmodel.DayOf(2020, 11, 1):
+		rate = 500e3
+	case day >= netmodel.DayOf(2019, 4, 15) && day < netmodel.DayOf(2019, 9, 1):
+		rate = 300e3
+	}
+	n := p.count(rate)
+	r := rng.NewStream(rng.Mix(p.Seed, uint64(day), 0xc4), "cn-dest")
+	out := make([]ip6.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		acc := 0.0
+		region := w.cnSpace[len(w.cnSpace)-1]
+		total := 0.0
+		for _, c := range w.cnSpace {
+			total += c.weight
+		}
+		for _, c := range w.cnSpace {
+			acc += c.weight / total
+			if u < acc {
+				region = c
+				break
+			}
+		}
+		out = append(out, region.prefix.RandomAddr(r))
+	}
+	return out
+}

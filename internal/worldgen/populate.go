@@ -1,0 +1,587 @@
+package worldgen
+
+import (
+	"fmt"
+
+	"hitlist6/internal/dnsdb"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/rng"
+)
+
+// webProtos is the standard web-server protocol set.
+var webProtos = netmodel.ProtoSetOf(netmodel.ICMP, netmodel.TCP80, netmodel.TCP443)
+
+// buildAliases installs the fully responsive (aliased) prefixes: the named
+// CDN structure from Section 5 plus the growing tail of aliased /64s.
+func (w *World) buildAliases(p Params) {
+	r := rng.NewStream(p.Seed, "aliases")
+	add := func(prefix ip6.Prefix, asn int, protos netmodel.ProtoSet, backends, born int, domains bool, dns netmodel.DNSBehavior) *netmodel.AliasRule {
+		as := w.Net.AS.ByASN(asn)
+		rule := &netmodel.AliasRule{
+			Prefix: prefix, AS: as, Protos: protos,
+			Backends: backends, BornDay: born, DeathDay: netmodel.Forever,
+			FP: netmodel.FPLinuxLB, HostsDomains: domains, DNS: dns, MTU: 1500,
+		}
+		w.Net.AddAlias(rule)
+		// CDNs and hosters announce their aliased specifics in BGP (up to
+		// /48), which is how the multi-level detection catches the whole
+		// region at once instead of one /64 at a time.
+		if prefix.Bits() < 64 {
+			already := false
+			for _, p := range as.Announced {
+				if p == prefix {
+					already = true
+					break
+				}
+			}
+			if !already {
+				w.Net.AS.Announce(prefix, as, born)
+			}
+		}
+		return rule
+	}
+	cdnProtos := webProtos.With(netmodel.UDP443)
+
+	// Amazon: nearly its whole space fully responsive (the 200 M-address
+	// bias the paper highlights). 14 of 16 /32s per /28.
+	for _, base := range w.Net.AS.ByASN(ASNAmazon).Announced {
+		for i := uint64(0); i < 14; i++ {
+			add(base.Child(4, i), ASNAmazon, webProtos, 1, 0, i < 2, netmodel.DNSNone)
+		}
+	}
+	// Fastly: 15/16 of the /32 aliased (95.3 % in the paper), QUIC on.
+	fastly := w.Net.AS.ByASN(ASNFastly).Announced[0]
+	for i := uint64(0); i < 15; i++ {
+		add(fastly.Child(4, i), ASNFastly, cdnProtos, 1, 0, i < 4, netmodel.DNSNone)
+	}
+	// Cloudflare: domain-hosting /48s — one "mega" prefix hosts millions
+	// of domains — plus a resolver prefix answering UDP/53. Partial
+	// PMTU sharing (Backends > 1) reproduces the TBT findings.
+	cf := w.Net.AS.ByASN(ASNCloudflare).Announced[0]
+	nCF := 24
+	for i := 0; i < nCF; i++ {
+		rule := add(cf.Child(16, uint64(i+1)), ASNCloudflare, cdnProtos, 6, 0, true, netmodel.DNSNone)
+		rule.FP = netmodel.FPLinux
+	}
+	add(cf.Child(16, 0x99), ASNCloudflare, cdnProtos.With(netmodel.UDP53), 6, 0, false, netmodel.DNSRefusing)
+	// Cloudflare-London and Akamai-Intl: 100 % of announced space.
+	add(w.Net.AS.ByASN(ASNCloudflareLon).Announced[0], ASNCloudflareLon, cdnProtos, 6, 0, true, netmodel.DNSNone)
+	add(w.Net.AS.ByASN(ASNAkamaiIntl).Announced[0], ASNAkamaiIntl, cdnProtos, 6, 0, false, netmodel.DNSNone)
+	// Akamai: partially aliased; the dense /48 that blew up 6Tree.
+	ak := w.Net.AS.ByASN(ASNAkamai).Announced[0]
+	for i := 0; i < 6; i++ {
+		add(ak.Child(16, uint64(i+1)), ASNAkamai, cdnProtos, 8, 0, true, netmodel.DNSNone)
+	}
+	// Google: a few aliased QUIC-speaking /48s.
+	gg := w.Net.AS.ByASN(ASNGoogle).Announced[0]
+	for i := 0; i < 4; i++ {
+		add(gg.Child(16, uint64(i+1)), ASNGoogle, cdnProtos, 1, 0, true, netmodel.DNSNone)
+	}
+	// EpicUp: whole /28s aliased — the shortest aliased prefixes.
+	for _, pre := range w.Net.AS.ByASN(ASNEpicUp).Announced {
+		add(pre, ASNEpicUp, netmodel.ProtoSetOf(netmodel.ICMP, netmodel.TCP80), 1, 0, false, netmodel.DNSNone)
+	}
+	// Misaka: anycast DNS service (UDP/53-responsive aliased prefix).
+	add(w.Net.AS.ByASN(ASNMisaka).Announced[0].Child(3, 1), ASNMisaka,
+		netmodel.ProtoSetOf(netmodel.ICMP, netmodel.UDP53), 1, 0, false, netmodel.DNSRefusing)
+	// Trafficforce: every announced /64 aliased, ICMP only, born with the
+	// February 2022 announcement.
+	for _, pre := range w.Net.AS.ByASN(ASNTrafficforce).Announced {
+		rule := add(pre, ASNTrafficforce, netmodel.ProtoSetOf(netmodel.ICMP), 1, TrafficforceDay, false, netmodel.DNSNone)
+		rule.FP = netmodel.FPEmbedded
+	}
+
+	// The tail: aliased /64s across hosting ASes, growing from the 2018
+	// level (12 k) to the 2022 level (42.8 k) linearly over the period.
+	n2018 := p.count(12000)
+	n2022 := p.count(42800)
+	hostASNs := []int{ASNLinode, ASNDigitalOcean, ASNHomePL, ASNRacktech, ASNGlasfaser}
+	for i := 0; i < p.TailASes; i += 2 {
+		hostASNs = append(hostASNs, 300000+i)
+	}
+	for i := 0; i < n2022; i++ {
+		asn := hostASNs[r.Intn(len(hostASNs))]
+		as := w.Net.AS.ByASN(asn)
+		base := as.Announced[r.Intn(len(as.Announced))]
+		sub := base.Child(32, uint64(rng.Mix(p.Seed, uint64(i), 0xa64)%(1<<31)))
+		born := 0
+		if i >= n2018 {
+			born = 1 + r.Intn(TrafficforceDay-2)
+		}
+		protos := cdnProtos
+		switch {
+		case r.Bool(0.08):
+			protos = netmodel.ProtoSetOf(netmodel.ICMP, netmodel.TCP80)
+		case r.Bool(0.25):
+			protos = webProtos
+		}
+		backends := 1
+		if r.Bool(0.01) {
+			backends = 4096 // per-address termination: TBT sees no sharing
+		}
+		rule := add(sub, asn, protos, backends, born, r.Bool(0.12), netmodel.DNSNone)
+		if r.Bool(0.005) {
+			rule.WindowJitter = true // the 160/33.5k variable-FP prefixes
+		}
+		if r.Bool(0.3) {
+			rule.FP = netmodel.FPLinux
+		}
+	}
+
+	// A small population of longer aliased prefixes (/80, /96): the tail
+	// of Figure 5, only detectable when enough input addresses fall into
+	// them (the ≥100-address threshold ablation).
+	nLong := p.count(1800)
+	for i := 0; i < nLong; i++ {
+		asn := hostASNs[r.Intn(len(hostASNs))]
+		as := w.Net.AS.ByASN(asn)
+		base := as.Announced[r.Intn(len(as.Announced))]
+		bits := 80
+		if i%3 == 0 {
+			bits = 96
+		}
+		sub := ip6.PrefixFrom(ip6.AddrFromUint64s(
+			base.Addr().Hi()|rng.Mix(p.Seed, uint64(i), 0x10f6)%(1<<32),
+			rng.Mix(p.Seed, uint64(i), 0x20f6)&^0xffffffff), bits)
+		add(sub, asn, webProtos, 1, 0, false, netmodel.DNSNone)
+	}
+}
+
+// hostSpec is the outcome of the cohort draw for one host.
+type hostSpec struct {
+	born, death    int
+	downFrom, down int
+	transient      bool
+	comeback       bool
+}
+
+// buildHosts creates the responsive host population: the Table 1 growth
+// cohorts, the short-lived transients that dominate the cumulative count,
+// the hidden hosts only target generation can find, and the comeback
+// cohort for the unresponsive-pool re-scan.
+func (w *World) buildHosts(p Params) {
+	r := rng.NewStream(p.Seed, "hosts")
+
+	// AS assignment: pinned shares for named ASes (Figure 2/9 shapes),
+	// Zipf over the tail.
+	type asShare struct {
+		asn   int
+		share float64
+		dense bool // dense low-IID blocks (TGA-discoverable)
+	}
+	shares := []asShare{
+		{ASNLinode, 0.079, true},
+		{4812, 0.050, false},
+		{ASNFreeSAS, 0.047, true},
+		{ASNDTAG, 0.032, false},
+		{ASNVNPT, 0.022, false},
+		{ASNDigitalOcean, 0.021, true},
+		{ASNGlasfaser, 0.019, false},
+		{ASNHomePL, 0.016, true},
+		{ASNRacktech, 0.012, true},
+		{ASNChinaMobile, 0.012, true},
+		{4134, 0.010, false},
+		{ASNCERN, 0.009, true},
+		{ASNARNES, 0.007, true},
+		{ASNANTEL, 0.015, false},
+		{ASNGoogle, 0.004, false},
+	}
+	pinned := 0.0
+	for _, s := range shares {
+		pinned += s.share
+	}
+	zipf := rng.NewZipf(p.TailASes, 1.05, 3)
+
+	pickAS := func() (asn int, dense bool) {
+		u := r.Float64()
+		acc := 0.0
+		for _, s := range shares {
+			acc += s.share
+			if u < acc {
+				return s.asn, s.dense
+			}
+		}
+		i := zipf.Sample(r)
+		return 300000 + i, i%3 == 0
+	}
+
+	// Cohort sizes (paper magnitudes × scale).
+	base := p.count(1.9e6)
+	rdns := p.count(800e3)
+	growth := p.count(1.4e6)
+	transients := p.count(38e6)
+	comebacks := p.count(1.2e6)
+	hidden := p.count(2.6e6) // responsive but unknown to the service's feeds
+
+	// Hidden hosts interleave with visible ones inside the same dense
+	// blocks: the feeds know only part of each block, and the gap-filling
+	// generators (Section 6) discover the rest.
+	hiddenLeft := hidden
+	maybeHidden := func(asn int, dense bool) {
+		if dense && hiddenLeft > 0 && r.Bool(0.6) {
+			w.addCohortHost(p, r, asn, dense, hostSpec{born: 0, death: netmodel.Forever}, feedHidden)
+			hiddenLeft--
+		}
+	}
+
+	for i := 0; i < base; i++ {
+		asn, dense := pickAS()
+		w.addCohortHost(p, r, asn, dense, hostSpec{born: 0, death: netmodel.Forever}, feedDefault)
+		maybeHidden(asn, dense)
+	}
+	rdnsDay := netmodel.DayOf(2019, 2, 1)
+	for i := 0; i < rdns; i++ {
+		death := netmodel.Forever
+		if r.Bool(0.8) {
+			// The one-shot import's hosts fade out over the following
+			// year, producing the 2019→2020 dip of Table 1.
+			death = netmodel.DayOf(2019, 7, 1) + r.Intn(300)
+		}
+		asn, dense := pickAS()
+		w.addCohortHost(p, r, asn, dense, hostSpec{born: rdnsDay, death: death}, feedRDNS)
+	}
+	growthFrom := netmodel.DayOf(2020, 2, 1)
+	for i := 0; i < growth; i++ {
+		born := growthFrom + r.Intn(EndDay-growthFrom)
+		death := netmodel.Forever
+		if r.Bool(0.15) {
+			death = born + 300 + r.Intn(400)
+		}
+		asn, dense := pickAS()
+		w.addCohortHost(p, r, asn, dense, hostSpec{born: born, death: death}, feedDefault)
+		maybeHidden(asn, dense)
+	}
+
+	// Remaining hidden budget goes to Free SAS, the paper's top TGA bias.
+	for hiddenLeft > 0 {
+		w.addCohortHost(p, r, ASNFreeSAS, true, hostSpec{born: 0, death: netmodel.Forever}, feedHidden)
+		hiddenLeft--
+	}
+
+	// Comeback cohort: long outage → evicted → responsive again later.
+	// Concentrated in VNPT and DigitalOcean (Table 4's top ASes for the
+	// unresponsive-address source).
+	for i := 0; i < comebacks; i++ {
+		asn := ASNVNPT
+		switch {
+		case r.Bool(0.062):
+			asn = ASNDigitalOcean
+		case r.Bool(0.45):
+			asn, _ = pickAS()
+		}
+		born := r.Intn(netmodel.DayOf(2021, 1, 1))
+		downFrom := born + 30 + r.Intn(200)
+		spec := hostSpec{born: born, death: netmodel.Forever, downFrom: downFrom, down: 150 + r.Intn(400), comeback: true}
+		w.addCohortHost(p, r, asn, false, spec, feedDefault)
+	}
+
+	// Transients: short-lived ICMP responders (rotating ISP space).
+	transientASNs := []int{ASNDTAG, ASNANTEL, ASNVNPT, 4134, 4812, ASNGlasfaser}
+	for i := 0; i < transients; i++ {
+		asn := transientASNs[r.Intn(len(transientASNs))]
+		if r.Bool(0.3) {
+			asn = 300000 + zipf.Sample(r)
+		}
+		as := w.Net.AS.ByASN(asn)
+		pre := as.Announced[r.Intn(len(as.Announced))]
+		addr := ip6.AddrFromUint64s(pre.Addr().Hi()|rng.Mix(p.Seed, uint64(i), 0x77a)%(1<<30), r.Uint64())
+		born := r.Intn(EndDay + 1)
+		h := &netmodel.Host{
+			Addr: addr, Protos: netmodel.ProtoSetOf(netmodel.ICMP),
+			BornDay: born, DeathDay: born + 5 + r.Intn(21),
+			UptimePermille: 1000, FP: netmodel.FPEmbedded, MTU: 1500,
+		}
+		w.Net.AddHost(h)
+		w.transientByWeek[born/7] = append(w.transientByWeek[born/7], addr)
+	}
+}
+
+// feedTag routes a cohort host into the right input feed.
+type feedTag uint8
+
+const (
+	feedDefault feedTag = iota // dns-aaaa or traceroute, by protocol
+	feedRDNS                   // the one-shot rDNS import
+	feedHidden                 // no feed: only target generation finds it
+)
+
+// addCohortHost materializes one cohort host: placement, protocol mix,
+// uptime, DNS behaviour — and records it in the feed pools.
+func (w *World) addCohortHost(p Params, r *rng.Stream, asn int, dense bool, spec hostSpec, tag feedTag) {
+	as := w.Net.AS.ByASN(asn)
+	if as == nil || len(as.Announced) == 0 {
+		return
+	}
+	addr := w.placeHost(p, r, as, dense)
+
+	// Protocol mix. All percentages approximate Table 1 / Figure 10.
+	protos := netmodel.ProtoSetOf(netmodel.ICMP)
+	dnsBehavior := netmodel.DNSNone
+	u := r.Float64()
+	switch {
+	case u < 0.27: // web server
+		protos = webProtos
+		switch v := r.Float64(); {
+		case v < 0.09:
+			protos = protos.Without(netmodel.TCP443)
+		case v < 0.15:
+			protos = protos.Without(netmodel.TCP80)
+		}
+		// QUIC adoption grows over the period.
+		quicP := 0.03 + 0.09*float64(spec.born)/float64(EndDay+1)
+		if r.Bool(quicP) {
+			protos = protos.With(netmodel.UDP443)
+		}
+		if r.Bool(0.06) {
+			protos = protos.Without(netmodel.ICMP)
+		}
+	case u < 0.314: // DNS infrastructure
+		protos = netmodel.ProtoSetOf(netmodel.ICMP, netmodel.UDP53)
+		switch v := r.Float64(); {
+		case v < 0.938:
+			dnsBehavior = netmodel.DNSRefusing
+		case v < 0.984:
+			dnsBehavior = netmodel.DNSOpenResolver
+		case v < 0.988:
+			dnsBehavior = netmodel.DNSReferral
+		case v < 0.989:
+			dnsBehavior = netmodel.DNSProxy
+		default:
+			dnsBehavior = netmodel.DNSBroken
+		}
+	}
+
+	uptime := uint16(925 + r.Intn(70))
+	if r.Bool(0.06) {
+		uptime = 1000 // the 5.4 % responsive through the whole period
+	}
+	fp := netmodel.FPProfiles[r.Intn(len(netmodel.FPProfiles))]
+	h := &netmodel.Host{
+		Addr: addr, Protos: protos, BornDay: spec.born, DeathDay: spec.death,
+		UptimePermille: uptime, FP: fp, DNS: dnsBehavior, MTU: 1500,
+	}
+	if spec.comeback {
+		h.DownFrom = spec.downFrom
+		h.DownTo = spec.downFrom + spec.down
+		h.UptimePermille = 1000
+	}
+	w.Net.AddHost(h)
+
+	switch tag {
+	case feedHidden:
+		// Invisible to every feed — only target generation finds these.
+	case feedRDNS:
+		w.rdnsAddrs = append(w.rdnsAddrs, addr)
+	default:
+		ref := hostRef{Addr: addr, Born: spec.born}
+		switch {
+		case protos.Has(netmodel.UDP53):
+			w.dnsHosts = append(w.dnsHosts, ref)
+		case protos.Has(netmodel.TCP80) || protos.Has(netmodel.TCP443):
+			w.webHosts = append(w.webHosts, ref)
+		default:
+			w.icmpHosts = append(w.icmpHosts, ref)
+		}
+	}
+}
+
+// denseBlockSize is how many hosts share one dense /64 block. Blocks fill
+// sequentially, so every dense block really is dense — the structure
+// distance clustering and the pattern miners exploit.
+const denseBlockSize = 20
+
+// placeHost picks an address inside the AS. Dense ASes use block
+// placement — runs of low IIDs with small gaps inside shared /64s — which
+// is what distance clustering and the pattern miners exploit; other ASes
+// scatter hosts across subnets with mixed IID styles.
+func (w *World) placeHost(p Params, r *rng.Stream, as *netmodel.AS, dense bool) ip6.Addr {
+	pre := as.Announced[r.Intn(len(as.Announced))]
+	if dense {
+		if w.denseCounter == nil {
+			w.denseCounter = make(map[int]int)
+		}
+		idx := w.denseCounter[as.ASN]
+		w.denseCounter[as.ASN]++
+		block := uint64(idx / denseBlockSize)
+		slot := uint64(idx % denseBlockSize)
+		sub := rng.Mix(uint64(as.ASN), block, 0xb10c) % (1 << 24)
+		hi := as.Announced[int(block)%len(as.Announced)].Addr().Hi() | sub
+		base := (rng.Mix(uint64(as.ASN), block, 0x0ff5) % 16) << 8
+		stride := 1 + rng.Mix(uint64(as.ASN), block, 0x57de)%5
+		jitter := rng.Mix(uint64(as.ASN), block, slot, 0x717) % stride
+		return ip6.AddrFromUint64s(hi, base+slot*(stride+1)+jitter+1)
+	}
+	sub := r.Uint64() % (1 << 28)
+	hi := pre.Addr().Hi() | sub
+	switch r.Intn(3) {
+	case 0: // low IID
+		return ip6.AddrFromUint64s(hi, 1+uint64(r.Intn(200)))
+	case 1: // EUI-64
+		mac := ip6.MAC{0x28, 0x6f, byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))}
+		return ip6.AddrFromMAC(ip6.PrefixFrom(ip6.AddrFromUint64s(hi, 0), 64), mac)
+	default: // random IID
+		return ip6.AddrFromUint64s(hi, r.Uint64())
+	}
+}
+
+// buildDomains populates the DNS registry: domains hosted in CDN aliased
+// prefixes (Section 5.2), domains on ordinary web hosts, NS/MX
+// infrastructure concentrated in Amazon, and the three top lists.
+func (w *World) buildDomains(p Params) {
+	r := rng.NewStream(p.Seed, "domains")
+	reg := dnsdb.NewRegistry()
+	w.Registry = reg
+
+	// Aliased prefixes that host domains, with Cloudflare's mega-prefix
+	// first (3.94 M domains in a single /48 in the paper).
+	var hosting []*netmodel.AliasRule
+	for _, rule := range w.Net.AliasRules() {
+		if rule.HostsDomains {
+			hosting = append(hosting, rule)
+		}
+	}
+	if len(hosting) == 0 {
+		return
+	}
+	// Stable order for determinism.
+	for i := 1; i < len(hosting); i++ {
+		for j := i; j > 0 && ip6.ComparePrefix(hosting[j].Prefix, hosting[j-1].Prefix) < 0; j-- {
+			hosting[j], hosting[j-1] = hosting[j-1], hosting[j]
+		}
+	}
+	mega := hosting[0]
+	for _, rule := range hosting {
+		if rule.AS != nil && rule.AS.ASN == ASNCloudflare {
+			mega = rule
+			break
+		}
+	}
+
+	inAliased := p.count(15e6)
+	onHosts := p.count(10e6)
+	topN := p.count(1e6)
+
+	alexaRank, majRank, umbRank := 1, 1, 1
+	addDomain := func(name string, addr ip6.Addr, ranked bool) {
+		d := &dnsdb.Domain{Name: name, AAAA: []ip6.Addr{addr}}
+		if ranked {
+			if alexaRank <= topN && r.Bool(0.6) {
+				d.Ranks[dnsdb.Alexa] = alexaRank
+				alexaRank++
+			}
+			if majRank <= topN && r.Bool(0.5) {
+				d.Ranks[dnsdb.Majestic] = majRank
+				majRank++
+			}
+			if umbRank <= topN && r.Bool(0.4) {
+				d.Ranks[dnsdb.Umbrella] = umbRank
+				umbRank++
+			}
+		}
+		reg.Add(d)
+	}
+
+	// Famous domains inside Cloudflare's aliased space (facebook.com and
+	// spotify.com were within the affected Alexa Top 1k).
+	fb := &dnsdb.Domain{Name: "facebook.com", AAAA: []ip6.Addr{mega.Prefix.NthAddr(0xface)}}
+	fb.Ranks[dnsdb.Alexa] = alexaRank
+	alexaRank++
+	reg.Add(fb)
+	sp := &dnsdb.Domain{Name: "spotify.com", AAAA: []ip6.Addr{mega.Prefix.NthAddr(0x5107)}}
+	sp.Ranks[dnsdb.Alexa] = alexaRank
+	alexaRank++
+	reg.Add(sp)
+
+	for i := 0; i < inAliased; i++ {
+		rule := hosting[r.Intn(len(hosting))]
+		if r.Bool(0.25) {
+			rule = mega // the mega-prefix concentration
+		}
+		addr := rule.Prefix.NthAddr(uint64(r.Intn(1 << 30)))
+		// ~17 % of ranked domains resolve into aliased prefixes.
+		addDomain(fmt.Sprintf("site%d.example", i), addr, r.Bool(0.17))
+	}
+	for i := 0; i < onHosts && len(w.webHosts) > 0; i++ {
+		addr := w.webHosts[r.Intn(len(w.webHosts))].Addr
+		addDomain(fmt.Sprintf("host%d.example", i), addr, r.Bool(0.55))
+	}
+
+	// NS/MX infrastructure: 71 % inside Amazon's aliased space.
+	amazonRules := []*netmodel.AliasRule{}
+	for _, rule := range w.Net.AliasRules() {
+		if rule.AS != nil && rule.AS.ASN == ASNAmazon {
+			amazonRules = append(amazonRules, rule)
+		}
+	}
+	nInfra := p.count(520e3)
+	for i := 0; i < nInfra; i++ {
+		var addr ip6.Addr
+		if r.Bool(0.71) && len(amazonRules) > 0 {
+			rule := amazonRules[r.Intn(len(amazonRules))]
+			addr = rule.Prefix.NthAddr(uint64(r.Intn(1 << 26)))
+		} else if len(w.dnsHosts) > 0 && r.Bool(0.5) {
+			addr = w.dnsHosts[r.Intn(len(w.dnsHosts))].Addr
+		} else if len(w.webHosts) > 0 {
+			addr = w.webHosts[r.Intn(len(w.webHosts))].Addr
+		} else {
+			continue
+		}
+		name := fmt.Sprintf("ns%d.infra.example", i)
+		reg.AddHost(name, addr)
+		w.PassiveNSMX.Add(addr)
+	}
+}
+
+// buildNewSources materializes the Section 6 snapshots: CAIDA Ark-style
+// router addresses and the DET dump.
+func (w *World) buildNewSources(p Params) {
+	r := rng.NewStream(p.Seed, "new-sources")
+
+	// Ark: traceroute-derived router interfaces from other vantage
+	// points — mostly overlapping transit/ISP routers plus a slice of
+	// fresh ones and some known hosts.
+	nArk := p.count(900e3)
+	for i := 0; i < nArk; i++ {
+		switch {
+		case r.Bool(0.55) && len(w.icmpHosts) > 0:
+			w.ArkAddrs = append(w.ArkAddrs, w.icmpHosts[r.Intn(len(w.icmpHosts))].Addr)
+		case r.Bool(0.5):
+			// A fresh router interface in a tail AS.
+			as := w.Net.AS.ByASN(300000 + r.Intn(p.TailASes))
+			hi := as.Announced[0].Addr().Hi() | uint64(r.Intn(1<<16))<<8
+			w.ArkAddrs = append(w.ArkAddrs, ip6.AddrFromUint64s(hi, uint64(1+r.Intn(8))))
+		default:
+			w.ArkAddrs = append(w.ArkAddrs, w.randomHostAddr(r))
+		}
+	}
+
+	// DET: a published responsive-address snapshot — heavy overlap with
+	// the hitlist, some aliased addresses, little genuinely new.
+	nDET := p.count(2.1e6)
+	rules := w.Net.AliasRules()
+	for i := 0; i < nDET; i++ {
+		switch {
+		case r.Bool(0.72):
+			w.DETAddrs = append(w.DETAddrs, w.randomHostAddr(r))
+		case r.Bool(0.4) && len(rules) > 0:
+			rule := rules[r.Intn(len(rules))]
+			w.DETAddrs = append(w.DETAddrs, rule.Prefix.NthAddr(uint64(r.Intn(1<<24))))
+		default:
+			// Unresponsive junk candidates.
+			as := w.Net.AS.ByASN(300000 + r.Intn(p.TailASes))
+			hi := as.Announced[0].Addr().Hi() | r.Uint64()%(1<<28)
+			w.DETAddrs = append(w.DETAddrs, ip6.AddrFromUint64s(hi, r.Uint64()))
+		}
+	}
+}
+
+func (w *World) randomHostAddr(r *rng.Stream) ip6.Addr {
+	pools := [][]hostRef{w.webHosts, w.icmpHosts, w.dnsHosts}
+	for _, pool := range []int{r.Intn(3), 0, 1, 2} {
+		if len(pools[pool]) > 0 {
+			return pools[pool][r.Intn(len(pools[pool]))].Addr
+		}
+	}
+	return ip6.Addr{}
+}

@@ -1,0 +1,123 @@
+// Package yarrp simulates Yarrp-style randomized high-speed traceroutes,
+// the topology source the hitlist service runs against all targets.
+//
+// Yarrp's defining property is that it randomizes the (target, TTL) probe
+// order so no path sees a burst; here that becomes a seeded permutation of
+// the target list. The output is the set of responding router interfaces —
+// including the short-lived, rotating-IID addresses that flood the hitlist
+// input and (inside Chinese ASes) later trigger GFW injections.
+package yarrp
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/rng"
+)
+
+// Config parameterizes a trace run.
+type Config struct {
+	Seed    uint64
+	MaxHops int
+	Workers int
+}
+
+// Tracer runs traceroutes against the world.
+type Tracer struct {
+	net *netmodel.Network
+	cfg Config
+}
+
+// New builds a tracer.
+func New(n *netmodel.Network, cfg Config) *Tracer {
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 32
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Tracer{net: n, cfg: cfg}
+}
+
+// Trace runs traceroutes towards every target at the given day and
+// returns the union of responding hop addresses (targets themselves are
+// excluded — the caller already knows them; new addresses are the point).
+func (t *Tracer) Trace(ctx context.Context, targets []ip6.Addr, day int) (ip6.Set, error) {
+	perm := rng.NewStream(t.cfg.Seed, "yarrp-perm").Perm(len(targets))
+
+	type chunk struct{ lo, hi int }
+	nw := t.cfg.Workers
+	chunks := make(chan chunk, nw)
+	results := make([]ip6.Set, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		results[w] = ip6.NewSet(0)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := range chunks {
+				for i := c.lo; i < c.hi; i++ {
+					target := targets[perm[i]]
+					for _, hop := range t.net.Traceroute(target, day, t.cfg.MaxHops) {
+						if hop.Addr != target && hop.Addr.IsGlobalUnicast() {
+							results[w].Add(hop.Addr)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	var err error
+	const step = 256
+feed:
+	for lo := 0; lo < len(targets); lo += step {
+		hi := lo + step
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		select {
+		case chunks <- chunk{lo, hi}:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		}
+	}
+	close(chunks)
+	wg.Wait()
+
+	out := ip6.NewSet(0)
+	for _, s := range results {
+		out.AddAll(s)
+	}
+	return out, err
+}
+
+// LastHops returns, for every target that did not answer itself, the last
+// responding router address on its path — the addresses the paper
+// identifies as the source of the GFW-affected input ("the targeted
+// address is not responsive itself" but the last hop is captured).
+func (t *Tracer) LastHops(ctx context.Context, targets []ip6.Addr, day int) (ip6.Set, error) {
+	out := ip6.NewSet(0)
+	for i, target := range targets {
+		if i%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				return out, ctx.Err()
+			default:
+			}
+		}
+		hops := t.net.Traceroute(target, day, t.cfg.MaxHops)
+		if len(hops) == 0 {
+			continue
+		}
+		last := hops[len(hops)-1]
+		if last.Addr != target && last.Addr.IsGlobalUnicast() {
+			out.Add(last.Addr)
+		}
+	}
+	return out, nil
+}

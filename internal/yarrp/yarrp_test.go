@@ -1,0 +1,158 @@
+package yarrp
+
+import (
+	"context"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+func testWorld(t testing.TB) *netmodel.Network {
+	t.Helper()
+	ases := []*netmodel.AS{
+		{ASN: 3356, Name: "Level3", Country: "US", Category: netmodel.CatTransit,
+			Announced: []ip6.Prefix{ip6.MustParsePrefix("2001:1900::/24")}, AnnouncedFrom: []int{0}},
+		{ASN: 6057, Name: "ANTEL", Country: "UY", Category: netmodel.CatISP, RouterRotationDays: 14,
+			Announced: []ip6.Prefix{ip6.MustParsePrefix("2800:a0::/24")}, AnnouncedFrom: []int{0}},
+		{ASN: 100, Name: "Host", Country: "DE", Category: netmodel.CatCloud,
+			Announced: []ip6.Prefix{ip6.MustParsePrefix("2001:100::/32")}, AnnouncedFrom: []int{0}},
+	}
+	n := netmodel.NewNetwork(11, netmodel.NewASTable(ases))
+	n.AddHost(&netmodel.Host{Addr: ip6.MustParseAddr("2001:100::1"),
+		Protos: netmodel.ProtoSetOf(netmodel.ICMP), BornDay: 0, DeathDay: netmodel.Forever,
+		UptimePermille: 1000, MTU: 1500})
+	return n
+}
+
+func TestTraceDiscoversRouters(t *testing.T) {
+	n := testWorld(t)
+	tr := New(n, Config{Seed: 1})
+	targets := []ip6.Addr{
+		ip6.MustParseAddr("2001:100::1"),  // responsive
+		ip6.MustParseAddr("2800:a0::42"),  // unresponsive in rotating-ISP
+		ip6.MustParseAddr("2001:100::99"), // unresponsive
+	}
+	found, err := tr.Trace(context.Background(), targets, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found.Len() == 0 {
+		t.Fatal("no routers discovered")
+	}
+	// Targets themselves are never in the output.
+	for _, target := range targets {
+		if found.Has(target) {
+			t.Errorf("target %v leaked into discovered set", target)
+		}
+	}
+	// At least one transit router.
+	transit := ip6.MustParsePrefix("2001:1900::/24")
+	some := false
+	for a := range found {
+		if transit.Contains(a) {
+			some = true
+		}
+	}
+	if !some {
+		t.Error("no transit routers discovered")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	n := testWorld(t)
+	tr := New(n, Config{Seed: 1})
+	targets := []ip6.Addr{ip6.MustParseAddr("2800:a0::42"), ip6.MustParseAddr("2001:100::1")}
+	s1, _ := tr.Trace(context.Background(), targets, 10)
+	s2, _ := tr.Trace(context.Background(), targets, 10)
+	if s1.Len() != s2.Len() {
+		t.Fatal("non-deterministic trace")
+	}
+	for a := range s1 {
+		if !s2.Has(a) {
+			t.Fatal("sets differ")
+		}
+	}
+}
+
+func TestRotationGrowsDiscoveredSet(t *testing.T) {
+	n := testWorld(t)
+	tr := New(n, Config{Seed: 1})
+	targets := []ip6.Addr{ip6.MustParseAddr("2800:a0::42")}
+	rot := ip6.MustParsePrefix("2800:a0::/24")
+	all := ip6.NewSet(0)
+	perPeriod := 0
+	for day := 0; day < 70; day += 14 {
+		s, err := tr.Trace(context.Background(), targets, day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt := 0
+		for a := range s {
+			if rot.Contains(a) {
+				all.Add(a)
+				cnt++
+			}
+		}
+		if perPeriod == 0 {
+			perPeriod = cnt
+		}
+	}
+	if perPeriod == 0 {
+		t.Skip("no rotating-AS hops responded on day 0; world too small")
+	}
+	if all.Len() <= perPeriod {
+		t.Errorf("rotation did not accumulate: %d total vs %d per period", all.Len(), perPeriod)
+	}
+}
+
+func TestLastHops(t *testing.T) {
+	n := testWorld(t)
+	tr := New(n, Config{Seed: 1})
+	targets := []ip6.Addr{
+		ip6.MustParseAddr("2001:100::1"),   // responsive: excluded
+		ip6.MustParseAddr("2800:a0::4242"), // unresponsive: last hop recorded
+	}
+	last, err := tr.LastHops(context.Background(), targets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Has(ip6.MustParseAddr("2001:100::1")) {
+		t.Error("responsive target in last-hop set")
+	}
+	// Unresponsive target contributes some router.
+	if last.Len() == 0 {
+		t.Error("no last hops recorded")
+	}
+}
+
+func TestTraceCancel(t *testing.T) {
+	n := testWorld(t)
+	tr := New(n, Config{Seed: 1, Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	targets := make([]ip6.Addr, 100000)
+	p := ip6.MustParsePrefix("2800:a0::/24")
+	for i := range targets {
+		targets[i] = p.NthAddr(uint64(i))
+	}
+	if _, err := tr.Trace(ctx, targets, 1); err == nil {
+		t.Error("cancelled trace returned nil error")
+	}
+}
+
+func BenchmarkTrace1k(b *testing.B) {
+	n := testWorld(b)
+	tr := New(n, Config{Seed: 1})
+	p := ip6.MustParsePrefix("2800:a0::/24")
+	targets := make([]ip6.Addr, 1000)
+	for i := range targets {
+		targets[i] = p.NthAddr(uint64(i) * 331)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Trace(context.Background(), targets, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
