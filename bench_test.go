@@ -12,11 +12,15 @@ import (
 	"bytes"
 	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hitlist6/internal/core"
 	"hitlist6/internal/experiments"
+	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
+	"hitlist6/internal/rng"
+	"hitlist6/internal/scan"
 	"hitlist6/internal/worldgen"
 	"hitlist6/internal/yarrp"
 )
@@ -120,6 +124,40 @@ func BenchmarkServiceScan(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(rec.ProbesSent), "probes/scan")
+	}
+}
+
+// BenchmarkScanEngineStream measures the raw streaming scan engine: a
+// five-protocol sweep over the announced space, consumed batch by batch
+// without ever materializing the cross product.
+func BenchmarkScanEngineStream(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.Params{
+		Seed: 17, Scale: 1.0 / 10000, TailASes: 48, ScanIntervalDays: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.NewStream(17, "bench-stream-targets")
+	prefixes := w.Net.AS.AnnouncedPrefixes()
+	targets := make([]ip6.Addr, 4096)
+	for i := range targets {
+		targets[i] = prefixes[r.Intn(len(prefixes))].RandomAddr(r)
+	}
+	protos := []netmodel.Protocol{netmodel.ICMP, netmodel.TCP443, netmodel.TCP80, netmodel.UDP443, netmodel.UDP53}
+	s := scan.New(w.Net, scan.DefaultConfig(17))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var results atomic.Uint64 // sinks run concurrently across shards
+		stats, err := s.Stream(ctx, targets, protos, 100, func(batch *scan.Batch) error {
+			results.Add(uint64(len(batch.Results)))
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(stats.Batches), "batches")
+		b.ReportMetric(float64(results.Load()), "results")
 	}
 }
 

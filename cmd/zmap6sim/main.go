@@ -4,10 +4,16 @@
 // Targets come from a file (one IPv6 address per line) or, with
 // -sample N, from a random sample of the world's announced space.
 //
+// Results stream through the sharded scan engine and are written as
+// batches complete — like real ZMap, output row order is arrival order,
+// not input order (rows within a batch stay in probe order). Pass
+// -ordered to buffer the full result set and emit input order instead.
+// -batchstats prints one stderr line per completed batch.
+//
 // Usage:
 //
 //	zmap6sim -targets addrs.txt -protocols ICMP,UDP/53 -day 1376 > scan.csv
-//	zmap6sim -sample 10000 > scan.csv
+//	zmap6sim -sample 10000 -batchstats > scan.csv
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
@@ -36,6 +43,10 @@ func main() {
 		loss        = flag.Float64("loss", 0.01, "per-probe loss rate")
 		retries     = flag.Int("retries", 1, "probe retransmissions")
 		qname       = flag.String("qname", "www.google.com", "DNS probe question")
+		workers     = flag.Int("workers", 0, "probe concurrency (0 = GOMAXPROCS)")
+		batchSize   = flag.Int("batch", 0, "streamed batch size (0 = default)")
+		ordered     = flag.Bool("ordered", false, "buffer results and write in input order")
+		batchStats  = flag.Bool("batchstats", false, "print per-batch throughput to stderr")
 	)
 	flag.Parse()
 
@@ -98,28 +109,57 @@ func main() {
 	cfg.LossRate = *loss
 	cfg.Retries = *retries
 	cfg.QName = *qname
+	cfg.Workers = *workers
+	cfg.BatchSize = *batchSize
 	s := scan.New(w.Net, cfg)
 
-	results, stats, err := s.Scan(context.Background(), targets, protos, *day)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "scanning: %v\n", err)
-		os.Exit(1)
-	}
 	out, err := scan.NewWriter(os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
-	for _, r := range results {
-		if err := out.Write(r); err != nil {
-			fmt.Fprintf(os.Stderr, "%v\n", err)
+
+	var stats scan.Stats
+	ctx := context.Background()
+	if *ordered {
+		results, st, err := s.Scan(ctx, targets, protos, *day)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scanning: %v\n", err)
 			os.Exit(1)
 		}
+		stats = st
+		for _, r := range results {
+			if err := out.Write(r); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+		}
+	} else {
+		var mu sync.Mutex // batches complete on many workers at once
+		st, err := s.Stream(ctx, targets, protos, *day, func(b *scan.Batch) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range b.Results {
+				if err := out.Write(r); err != nil {
+					return err
+				}
+			}
+			if *batchStats {
+				fmt.Fprintf(os.Stderr, "batch shard=%d seq=%d results=%d probes=%d responses=%d successes=%d\n",
+					b.Shard, b.Seq, len(b.Results), b.Stats.ProbesSent, b.Stats.Responses, b.Stats.Successes)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scanning: %v\n", err)
+			os.Exit(1)
+		}
+		stats = st
 	}
 	if err := out.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "probes=%d responses=%d successes=%d est-duration=%.1fs\n",
-		stats.ProbesSent, stats.Responses, stats.Successes, stats.EstimatedSeconds)
+	fmt.Fprintf(os.Stderr, "probes=%d responses=%d successes=%d batches=%d est-duration=%.1fs\n",
+		stats.ProbesSent, stats.Responses, stats.Successes, stats.Batches, stats.EstimatedSeconds)
 }

@@ -171,7 +171,10 @@ func (d *Detector) Run(ctx context.Context, candidates []ip6.Prefix, day int) (*
 		}
 	}
 
-	sets, stats, err := d.scanner.ResponsiveSet(ctx, targets, d.cfg.Protocols, day)
+	// Stream the probe run through the sharded engine; slot membership
+	// checks read the sharded sets directly, so the full result cross
+	// product is never materialized and no merged copy is built.
+	resp, stats, err := d.scanner.StreamResponsive(ctx, targets, d.cfg.Protocols, day)
 	if err != nil {
 		return nil, fmt.Errorf("apd: scanning candidates: %w", err)
 	}
@@ -182,7 +185,7 @@ func (d *Detector) Run(ctx context.Context, candidates []ip6.Prefix, day int) (*
 		for v := 0; v < 16; v++ {
 			a := targets[i*16+v]
 			for _, proto := range d.cfg.Protocols {
-				if sets[proto].Has(a) {
+				if resp[proto].Has(a) {
 					bitmap |= 1 << v
 					break
 				}

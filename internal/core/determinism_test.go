@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/scan"
+	"hitlist6/internal/sources"
+	"hitlist6/internal/worldgen"
+	"hitlist6/internal/yarrp"
+)
+
+// generatedWorld builds a miniature generated world plus its feeds; each
+// call is independent so runs can be compared for determinism.
+func generatedWorld(t testing.TB, seed uint64) (*netmodel.Network, []*sources.Feed) {
+	t.Helper()
+	w, err := worldgen.Generate(worldgen.TestParams(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := yarrp.New(w.Net, yarrp.Config{Seed: seed})
+	return w.Net, w.BuildFeeds(tracer)
+}
+
+// TestDigestDeterministicAcrossWorkersAndBatches is the streaming
+// engine's core guarantee: scan records and snapshots are bit-identical
+// no matter how many workers probe the shards or how the batches are cut.
+func TestDigestDeterministicAcrossWorkersAndBatches(t *testing.T) {
+	run := func(workers, batch int) ([]*ScanRecord, map[int]*Snapshot) {
+		n, feeds := tinyWorld(t)
+		cfg := DefaultConfig(1)
+		cfg.GFWFilterFromDay = 150
+		cfg.SnapshotDays = []int{14, 70, 180}
+		cfg.ScanWorkers = workers
+		cfg.ScanBatchSize = batch
+		s := NewService(cfg, n, feeds, nil)
+		runDays(t, s, weekly(0, 196))
+		return s.Records(), s.Snapshots()
+	}
+
+	baseRecs, baseSnaps := run(1, 1)
+	if len(baseRecs) == 0 || len(baseSnaps) != 3 {
+		t.Fatalf("baseline run: %d records, %d snapshots", len(baseRecs), len(baseSnaps))
+	}
+	// The baseline run must exercise the interesting paths, or equality
+	// proves nothing.
+	sawChurn, sawInjected := false, false
+	for _, rec := range baseRecs {
+		if rec.FirstResp+rec.RespAgain+rec.Unresp > 0 {
+			sawChurn = true
+		}
+		if rec.InjectedDNS > 0 {
+			sawInjected = true
+		}
+	}
+	if !sawChurn || !sawInjected {
+		t.Fatalf("baseline run too quiet: churn=%v injected=%v", sawChurn, sawInjected)
+	}
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, batch := range []int{0, 3, 64} {
+			recs, snaps := run(workers, batch)
+			if !reflect.DeepEqual(baseRecs, recs) {
+				t.Errorf("workers=%d batch=%d: records differ from workers=1 batch=1", workers, batch)
+				for i := range baseRecs {
+					if i < len(recs) && !reflect.DeepEqual(baseRecs[i], recs[i]) {
+						t.Errorf("  first divergence at record %d:\n  base: %+v\n  got:  %+v",
+							i, *baseRecs[i], *recs[i])
+						break
+					}
+				}
+			}
+			if !reflect.DeepEqual(baseSnaps, snaps) {
+				t.Errorf("workers=%d batch=%d: snapshots differ", workers, batch)
+			}
+		}
+	}
+}
+
+// TestDigestDeterministicOnGeneratedWorld repeats the check on a
+// generated world — bigger active sets, real feed churn, APD rounds —
+// with a compressed schedule.
+func TestDigestDeterministicOnGeneratedWorld(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated-world determinism in -short mode")
+	}
+	run := func(workers, batch int) []*ScanRecord {
+		w, feeds := generatedWorld(t, 23)
+		cfg := DefaultConfig(23)
+		cfg.ScanWorkers = workers
+		cfg.ScanBatchSize = batch
+		s := NewService(cfg, w, feeds, nil)
+		for d := 0; d <= 140; d += 14 {
+			if _, err := s.RunScan(context.Background(), d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Records()
+	}
+	base := run(1, 2)
+	if last := base[len(base)-1]; last.TotalClean == 0 {
+		t.Fatal("generated world produced no responsive addresses")
+	}
+	got := run(runtime.GOMAXPROCS(0), 128)
+	if !reflect.DeepEqual(base, got) {
+		t.Error("records diverge between serial/tiny-batch and parallel/big-batch runs")
+	}
+}
+
+// TestDigestSinkIsPureAccumulation pins the abort-atomicity contract: the
+// streaming sink folds batches into shard-local digests only, so a scan
+// that errors or is cancelled mid-stream leaves the service — tracker
+// evidence, target liveness — exactly as it was. State changes happen
+// solely in finalizeDigest, which runs only for completed scans.
+func TestDigestSinkIsPureAccumulation(t *testing.T) {
+	n, feeds := tinyWorld(t)
+	s := NewService(DefaultConfig(1), n, feeds, nil)
+	runDays(t, s, []int{0})
+
+	web := ip6.MustParseAddr("2001:100::80")
+	st, ok := s.active[web]
+	if !ok {
+		t.Fatal("web host not active")
+	}
+	dayBefore := st.lastSuccessDay
+	injBefore, _, otherBefore := s.Tracker().Stats()
+
+	// fresh has never responded before, so its tracker evidence is new.
+	fresh := ip6.MustParseAddr("2001:100::99")
+	digests := make([]*shardDigest, ip6.AddrShards)
+	sink := s.digestSink(digests)
+	for _, r := range []scan.Result{
+		{Target: web, Proto: netmodel.ICMP, Day: 7, Success: true},
+		{Target: fresh, Proto: netmodel.ICMP, Day: 7, Success: true},
+	} {
+		if err := sink(&scan.Batch{Shard: ip6.ShardOf(r.Target), Results: []scan.Result{r}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The sink alone must not have touched service state.
+	if st.lastSuccessDay != dayBefore {
+		t.Errorf("sink bumped lastSuccessDay: %d", st.lastSuccessDay)
+	}
+	if inj, _, other := s.Tracker().Stats(); inj != injBefore || other != otherBefore {
+		t.Errorf("sink mutated tracker: injected %d→%d other %d→%d", injBefore, inj, otherBefore, other)
+	}
+
+	// Finalize applies it.
+	s.finalizeDigest(digests, 7, &ScanRecord{})
+	if st.lastSuccessDay != 7 {
+		t.Errorf("finalize did not bump lastSuccessDay: %d", st.lastSuccessDay)
+	}
+	if _, _, other := s.Tracker().Stats(); other != otherBefore+1 {
+		t.Errorf("finalize did not record evidence: other %d→%d", otherBefore, other)
+	}
+}
+
+// TestEverResponsiveMergedViews pins the merged accessors the experiment
+// suite reads after the sharded-accumulator refactor.
+func TestEverResponsiveMergedViews(t *testing.T) {
+	n, feeds := tinyWorld(t)
+	s := NewService(DefaultConfig(1), n, feeds, nil)
+	runDays(t, s, weekly(0, 28))
+
+	any := s.EverResponsiveAny()
+	if any.Len() == 0 {
+		t.Fatal("no cumulative responsive addresses")
+	}
+	perProto := 0
+	for p := 0; p < netmodel.NumProtocols; p++ {
+		set := s.EverResponsive(netmodel.Protocol(p))
+		perProto += set.Len()
+		for a := range set {
+			if !any.Has(a) {
+				t.Errorf("proto %d member %v missing from any-view", p, a)
+			}
+		}
+	}
+	if perProto < any.Len() {
+		t.Errorf("per-proto views (%d) smaller than any-view (%d)", perProto, any.Len())
+	}
+	// Merged views are copies: mutating one must not corrupt the service.
+	before := s.EverResponsiveAny().Len()
+	for a := range any {
+		any.Delete(a)
+	}
+	if s.EverResponsiveAny().Len() != before {
+		t.Error("merged view shares storage with service state")
+	}
+}

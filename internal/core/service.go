@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"hitlist6/internal/apd"
 	"hitlist6/internal/gfw"
@@ -58,6 +59,16 @@ type Config struct {
 	// SnapshotDays requests full responsive-set snapshots at the first
 	// scan at or after each listed day.
 	SnapshotDays []int
+
+	// ScanWorkers overrides the scanner's probe concurrency (0 means
+	// GOMAXPROCS). Scan records and snapshots are bit-identical for any
+	// value — the engine shards deterministically by address hash.
+	ScanWorkers int
+
+	// ScanBatchSize overrides the streamed batch size (0 means the scan
+	// package default). A throughput knob only; outputs do not depend on
+	// it.
+	ScanBatchSize int
 }
 
 // DefaultConfig mirrors the real service.
@@ -157,10 +168,10 @@ type Service struct {
 	pendingAPD64 []ip6.Prefix // newly seen /64s queued for APD
 	seen64       map[ip6.Prefix]struct{}
 	tracker      *gfw.Tracker
-	everResp     [netmodel.NumProtocols]ip6.Set
-	everRespAny  ip6.Set
-	prevRespAny  ip6.Set
-	lastClean    map[netmodel.Protocol]ip6.Set
+	everResp     [netmodel.NumProtocols]*ip6.ShardedSet
+	everRespAny  *ip6.ShardedSet
+	prevRespAny  *ip6.ShardedSet
+	lastClean    map[netmodel.Protocol]*ip6.ShardedSet
 	inputByFeed  map[string]int
 
 	records   []*ScanRecord
@@ -193,6 +204,8 @@ func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blockl
 		blocklist = ip6.NewPrefixSet()
 	}
 	scfg := scan.DefaultConfig(cfg.Seed)
+	scfg.Workers = cfg.ScanWorkers
+	scfg.BatchSize = cfg.ScanBatchSize
 	s := &Service{
 		cfg:          cfg,
 		net:          net,
@@ -207,14 +220,14 @@ func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blockl
 		aliased:      ip6.NewPrefixSet(),
 		seen64:       make(map[ip6.Prefix]struct{}),
 		tracker:      gfw.NewTracker(),
-		everRespAny:  ip6.NewSet(0),
-		prevRespAny:  ip6.NewSet(0),
+		everRespAny:  ip6.NewShardedSet(),
+		prevRespAny:  ip6.NewShardedSet(),
 		inputByFeed:  make(map[string]int),
 		snapshots:    make(map[int]*Snapshot),
 		snapQueue:    append([]int(nil), cfg.SnapshotDays...),
 	}
 	for i := range s.everResp {
-		s.everResp[i] = ip6.NewSet(0)
+		s.everResp[i] = ip6.NewShardedSet()
 	}
 	s.detector = apd.NewDetector(s.scanner, apd.DefaultConfig())
 	return s
@@ -254,11 +267,22 @@ func (s *Service) Network() *netmodel.Network { return s.net }
 func (s *Service) PerASInput() map[int]*ASInput { return s.perASInput }
 
 // EverResponsive returns the cumulative clean responsive set for a
-// protocol.
-func (s *Service) EverResponsive(p netmodel.Protocol) ip6.Set { return s.everResp[p] }
+// protocol, merged from its shards into a fresh flat set. Callers that
+// only need the cardinality should use EverResponsiveLen.
+func (s *Service) EverResponsive(p netmodel.Protocol) ip6.Set { return s.everResp[p].Merge() }
 
-// EverResponsiveAny returns addresses ever responsive to ≥1 protocol.
-func (s *Service) EverResponsiveAny() ip6.Set { return s.everRespAny }
+// EverResponsiveLen returns the size of the cumulative clean responsive
+// set for a protocol without materializing a merged copy.
+func (s *Service) EverResponsiveLen(p netmodel.Protocol) int { return s.everResp[p].Len() }
+
+// EverResponsiveAny returns addresses ever responsive to ≥1 protocol,
+// merged from its shards into a fresh flat set. Callers that only need
+// the cardinality should use EverResponsiveAnyLen.
+func (s *Service) EverResponsiveAny() ip6.Set { return s.everRespAny.Merge() }
+
+// EverResponsiveAnyLen returns the size of the ever-responsive-any set
+// without materializing a merged copy.
+func (s *Service) EverResponsiveAnyLen() int { return s.everRespAny.Len() }
 
 // Funnel summarizes the cumulative pipeline (Figure 1's numbers).
 type Funnel struct {
@@ -318,15 +342,17 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	targets := s.buildScanSet(day, rec)
 	rec.ScannedTargets = len(targets)
 
-	// 5. The scan itself.
-	results, stats, err := s.scanner.Scan(ctx, targets, s.cfg.Protocols, day)
+	// 5+6. The scan, streamed: batches are classified and folded into
+	// per-shard accumulators concurrently as they complete — the full
+	// targets × protocols result slice is never materialized — then the
+	// accumulators merge in canonical shard order.
+	digests := make([]*shardDigest, ip6.AddrShards)
+	stats, err := s.scanner.Stream(ctx, targets, s.cfg.Protocols, day, s.digestSink(digests))
 	if err != nil {
 		return nil, fmt.Errorf("core: scanning: %w", err)
 	}
 	rec.ProbesSent += stats.ProbesSent
-
-	// 6. Classification, state update, series accounting.
-	s.digest(results, day, rec)
+	s.finalizeDigest(digests, day, rec)
 
 	// 7. Snapshots.
 	s.maybeSnapshot(day)
@@ -514,76 +540,147 @@ func (s *Service) buildScanSet(day int, rec *ScanRecord) []ip6.Addr {
 	return targets
 }
 
-// digest folds scan results into series and state.
-func (s *Service) digest(results []scan.Result, day int, rec *ScanRecord) {
-	s.tracker.Observe(results)
+// shardDigest accumulates one shard's slice of a scan. Each instance is
+// only ever touched by the worker currently holding its shard (the scan
+// engine serializes same-shard batches), so no locking is needed; the
+// merge into the ScanRecord walks shards in canonical order, which makes
+// records and snapshots bit-identical for any worker count or batch size.
+type shardDigest struct {
+	raw, clean   [netmodel.NumProtocols]int
+	rawAny       ip6.Set
+	cleanAny     ip6.Set
+	cleanByProto [netmodel.NumProtocols]ip6.Set
+	injectedDNS  ip6.Set
+	injectedRes  int
 
-	rawAny := ip6.NewSet(0)
-	cleanAny := ip6.NewSet(0)
-	for _, r := range results {
-		if !r.Success {
-			continue
-		}
-		injected := r.Proto == netmodel.UDP53 && gfw.ClassifyResult(r).Injected()
-		rec.ResponsiveRaw[r.Proto]++
-		rawAny.Add(r.Target)
-		if injected {
-			rec.InjectedDNS++
-		} else {
-			rec.ResponsiveClean[r.Proto]++
-			cleanAny.Add(r.Target)
-			s.everResp[r.Proto].Add(r.Target)
-		}
-
-		// State update: before the filter deployment, injected success
-		// keeps the target alive (that is the published behaviour); after
-		// deployment, it does not.
-		countsAsSuccess := !injected || !s.gfwDeployed
-		if countsAsSuccess {
-			if st, ok := s.active[r.Target]; ok {
-				st.lastSuccessDay = day
-			}
-		}
-	}
-	rec.TotalRaw = rawAny.Len()
-	rec.TotalClean = cleanAny.Len()
-
-	// Churn (clean view).
-	for a := range cleanAny {
-		if !s.prevRespAny.Has(a) {
-			if s.everRespAny.Has(a) {
-				rec.RespAgain++
-			} else {
-				rec.FirstResp++
-			}
-		}
-	}
-	for a := range s.prevRespAny {
-		if !cleanAny.Has(a) {
-			rec.Unresp++
-		}
-	}
-	s.everRespAny.AddAll(cleanAny)
-	s.prevRespAny = cleanAny
-	s.lastCleanByProto(results)
+	// Churn counters, filled in by finalizeDigest.
+	firstResp, respAgain, unresp int
 }
 
-// lastCleanByProto retains the most recent clean responsive sets so
-// snapshots can capture per-protocol views.
-func (s *Service) lastCleanByProto(results []scan.Result) {
-	s.lastClean = make(map[netmodel.Protocol]ip6.Set, len(s.cfg.Protocols))
+// digestSink returns the scan.Sink that classifies and folds streamed
+// batches into per-shard accumulators. It runs on the engine's worker
+// goroutines and touches only its shard's digest (an address lives in
+// exactly one shard); service state stays untouched until finalizeDigest,
+// so an errored or cancelled scan mutates nothing.
+func (s *Service) digestSink(digests []*shardDigest) scan.Sink {
+	return func(b *scan.Batch) error {
+		d := digests[b.Shard]
+		if d == nil {
+			d = &shardDigest{
+				rawAny:      ip6.NewSet(0),
+				cleanAny:    ip6.NewSet(0),
+				injectedDNS: ip6.NewSet(0),
+			}
+			for i := range d.cleanByProto {
+				d.cleanByProto[i] = ip6.NewSet(0)
+			}
+			digests[b.Shard] = d
+		}
+		for i := range b.Results {
+			r := &b.Results[i]
+			if !r.Success {
+				continue
+			}
+			// Classify exactly once; the evidence sets below feed the
+			// GFW tracker at finalize time (the old path re-parsed the
+			// DNS payload three times per result).
+			injected := r.Proto == netmodel.UDP53 && gfw.ClassifyResult(*r).Injected()
+			d.raw[r.Proto]++
+			d.rawAny.Add(r.Target)
+			if injected {
+				d.injectedRes++
+				d.injectedDNS.Add(r.Target)
+			} else {
+				d.clean[r.Proto]++
+				d.cleanAny.Add(r.Target)
+				d.cleanByProto[r.Proto].Add(r.Target)
+			}
+		}
+		return nil
+	}
+}
+
+// finalizeDigest applies the per-shard accumulators to service state —
+// target liveness, GFW evidence, cumulative responsive sets, churn — in
+// parallel (shards are independent), then merges the counters into the
+// record in canonical shard order. It only runs for a completed scan, so
+// aborted scans leave the service exactly as it was.
+func (s *Service) finalizeDigest(digests []*shardDigest, day int, rec *ScanRecord) {
+	lastClean := make(map[netmodel.Protocol]*ip6.ShardedSet, len(s.cfg.Protocols))
 	for _, p := range s.cfg.Protocols {
-		s.lastClean[p] = ip6.NewSet(0)
+		lastClean[p] = ip6.NewShardedSet()
 	}
-	for _, r := range results {
-		if !r.Success {
-			continue
+
+	var wg sync.WaitGroup
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		d := digests[sh]
+		if d == nil {
+			// A shard with no batches still matters: its previously
+			// responsive addresses all churned to unresponsive. The zero
+			// digest's nil sets are safe to read.
+			d = &shardDigest{}
 		}
-		if r.Proto == netmodel.UDP53 && gfw.ClassifyResult(r).Injected() {
-			continue
-		}
-		s.lastClean[r.Proto].Add(r.Target)
+		digests[sh] = d
+		wg.Add(1)
+		go func(sh int, d *shardDigest) {
+			defer wg.Done()
+			// Target liveness: before the filter deployment, injected
+			// success keeps the target alive (that is the published
+			// behaviour), so any response counts; after deployment only
+			// clean responses do. Addresses of one shard never appear in
+			// another, so the targetState writes are race-free.
+			bump := d.cleanAny
+			if !s.gfwDeployed {
+				bump = d.rawAny
+			}
+			for a := range bump {
+				if st, ok := s.active[a]; ok {
+					st.lastSuccessDay = day
+				}
+			}
+			s.tracker.AddEvidenceShard(sh, d.injectedDNS, &d.cleanByProto)
+
+			prev := s.prevRespAny.Shard(sh)
+			for a := range d.cleanAny {
+				if !prev.Has(a) {
+					if s.everRespAny.HasInShard(sh, a) {
+						d.respAgain++
+					} else {
+						d.firstResp++
+					}
+				}
+			}
+			for a := range prev {
+				if !d.cleanAny.Has(a) {
+					d.unresp++
+				}
+			}
+			s.everRespAny.AddAllToShard(sh, d.cleanAny)
+			for _, p := range s.cfg.Protocols {
+				s.everResp[p].AddAllToShard(sh, d.cleanByProto[p])
+				lastClean[p].SetShard(sh, d.cleanByProto[p])
+			}
+			s.prevRespAny.SetShard(sh, d.cleanAny)
+		}(sh, d)
 	}
+	wg.Wait()
+
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		d := digests[sh]
+		for p := 0; p < netmodel.NumProtocols; p++ {
+			rec.ResponsiveRaw[p] += d.raw[p]
+			rec.ResponsiveClean[p] += d.clean[p]
+		}
+		// Shards partition the address space, so disjoint-set lengths sum
+		// to the union's cardinality.
+		rec.TotalRaw += d.rawAny.Len()
+		rec.TotalClean += d.cleanAny.Len()
+		rec.InjectedDNS += d.injectedRes
+		rec.FirstResp += d.firstResp
+		rec.RespAgain += d.respAgain
+		rec.Unresp += d.unresp
+	}
+	s.lastClean = lastClean
 }
 
 func (s *Service) maybeSnapshot(day int) {
@@ -593,11 +690,11 @@ func (s *Service) maybeSnapshot(day int) {
 		snap := &Snapshot{
 			Day:           day,
 			Responsive:    make(map[netmodel.Protocol]ip6.Set, len(s.lastClean)),
-			ResponsiveAny: s.prevRespAny.Clone(),
+			ResponsiveAny: s.prevRespAny.Merge(),
 			Aliased:       s.aliased.Prefixes(),
 		}
 		for p, set := range s.lastClean {
-			snap.Responsive[p] = set.Clone()
+			snap.Responsive[p] = set.Merge()
 		}
 		s.snapshots[want] = snap
 	}

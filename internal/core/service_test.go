@@ -294,7 +294,7 @@ func TestServiceOnGeneratedWorld(t *testing.T) {
 	if churn == 0 {
 		t.Error("no churn recorded")
 	}
-	if s.EverResponsiveAny().Len() < last.TotalClean {
+	if s.EverResponsiveAnyLen() < last.TotalClean {
 		t.Error("cumulative responsive smaller than current")
 	}
 }

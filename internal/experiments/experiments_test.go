@@ -122,9 +122,9 @@ func TestShapes(t *testing.T) {
 
 	// Shape 5: the cumulative responsive set far exceeds any snapshot.
 	last := s.Svc.Records()[len(s.Svc.Records())-1]
-	if s.Svc.EverResponsiveAny().Len() < 2*last.TotalClean {
+	if s.Svc.EverResponsiveAnyLen() < 2*last.TotalClean {
 		t.Errorf("cumulative %d vs current %d: churn shape missing",
-			s.Svc.EverResponsiveAny().Len(), last.TotalClean)
+			s.Svc.EverResponsiveAnyLen(), last.TotalClean)
 	}
 }
 

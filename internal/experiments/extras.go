@@ -334,7 +334,7 @@ func Ablations(ctx context.Context, s *Suite, w io.Writer) error {
 	fmt.Fprintf(w, "\nAblation D — GFW filter placement\n\n")
 	tracker := s.Svc.Tracker()
 	injOnly := tracker.InjectedOnly().Len()
-	injSeen := tracker.InjectedSeen().Len()
+	injSeen := tracker.InjectedSeenLen()
 	multi := injSeen - injOnly
 	tbD := analysis.NewTable("strategy", "addresses removed", "real multi-protocol hosts lost")
 	tbD.Row("naive input-level (drop on any injection)", analysis.Humanize(injSeen), analysis.Humanize(multi))

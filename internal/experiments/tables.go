@@ -46,9 +46,9 @@ func Table1(ctx context.Context, s *Suite, w io.Writer) error {
 	// Cumulative.
 	row := []interface{}{"Cumulative"}
 	for _, p := range []netmodel.Protocol{netmodel.ICMP, netmodel.TCP443, netmodel.TCP80, netmodel.UDP443, netmodel.UDP53} {
-		row = append(row, analysis.Humanize(s.Svc.EverResponsive(p).Len()), "")
+		row = append(row, analysis.Humanize(s.Svc.EverResponsiveLen(p)), "")
 	}
-	row = append(row, analysis.Humanize(s.Svc.EverResponsiveAny().Len()), "")
+	row = append(row, analysis.Humanize(s.Svc.EverResponsiveAnyLen()), "")
 	tb.Row(row...)
 	fmt.Fprint(w, tb)
 	return nil

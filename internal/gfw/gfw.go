@@ -138,36 +138,61 @@ func FilterRecords(recs []scan.Record) (kept, injected []scan.Record) {
 // derives the cumulative input filter: the analog of the paper's list of
 // 134 M addresses that saw at least one DNS injection but never responded
 // to any other protocol.
+//
+// The evidence sets are sharded by address hash (ip6.ShardedSet) so the
+// streaming scan engine can fold whole batches into the tracker from
+// concurrent workers: every address in a shard-tagged batch lands in that
+// shard, and the engine serializes same-shard batches, so no locking is
+// needed and the accumulated state is identical for any worker count.
 type Tracker struct {
-	injectedSeen ip6.Set // addresses with ≥1 injected DNS response
-	otherProto   ip6.Set // addresses responsive to any non-DNS protocol
-	realDNS      ip6.Set // addresses with ≥1 clean DNS response
+	injectedSeen *ip6.ShardedSet // addresses with ≥1 injected DNS response
+	otherProto   *ip6.ShardedSet // addresses responsive to any non-DNS protocol
+	realDNS      *ip6.ShardedSet // addresses with ≥1 clean DNS response
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
 	return &Tracker{
-		injectedSeen: ip6.NewSet(0),
-		otherProto:   ip6.NewSet(0),
-		realDNS:      ip6.NewSet(0),
+		injectedSeen: ip6.NewShardedSet(),
+		otherProto:   ip6.NewShardedSet(),
+		realDNS:      ip6.NewShardedSet(),
 	}
 }
 
-// Observe folds one scan's results into the cumulative evidence.
+// AddEvidenceShard folds one shard's per-scan evidence into the tracker:
+// the targets that drew an injected DNS answer, plus the clean responsive
+// sets per protocol (UDP/53 feeds the real-DNS evidence, every other
+// protocol the other-protocol evidence). Distinct shards may be folded
+// concurrently; every address must hash to shard i.
+func (t *Tracker) AddEvidenceShard(i int, injectedDNS ip6.Set, cleanByProto *[netmodel.NumProtocols]ip6.Set) {
+	t.injectedSeen.AddAllToShard(i, injectedDNS)
+	for p, set := range cleanByProto {
+		if netmodel.Protocol(p) == netmodel.UDP53 {
+			t.realDNS.AddAllToShard(i, set)
+		} else {
+			t.otherProto.AddAllToShard(i, set)
+		}
+	}
+}
+
+// Observe folds one scan's results into the cumulative evidence, routing
+// each address to its canonical shard — the convenience path for
+// non-streaming consumers (e.g. replaying CSV-parsed results).
+// Single-goroutine use only.
 func (t *Tracker) Observe(results []scan.Result) {
-	for _, r := range results {
+	for i := range results {
+		r := &results[i]
 		if !r.Success {
 			continue
 		}
-		if r.Proto == netmodel.UDP53 {
-			if ClassifyResult(r).Injected() {
-				t.injectedSeen.Add(r.Target)
-			} else {
-				t.realDNS.Add(r.Target)
-			}
-			continue
+		sh := ip6.ShardOf(r.Target)
+		if r.Proto != netmodel.UDP53 {
+			t.otherProto.AddToShard(sh, r.Target)
+		} else if ClassifyResult(*r).Injected() {
+			t.injectedSeen.AddToShard(sh, r.Target)
+		} else {
+			t.realDNS.AddToShard(sh, r.Target)
 		}
-		t.otherProto.Add(r.Target)
 	}
 }
 
@@ -176,9 +201,11 @@ func (t *Tracker) Observe(results []scan.Result) {
 // cumulative input.
 func (t *Tracker) InjectedOnly() ip6.Set {
 	out := ip6.NewSet(0)
-	for a := range t.injectedSeen {
-		if !t.otherProto.Has(a) && !t.realDNS.Has(a) {
-			out.Add(a)
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		for a := range t.injectedSeen.Shard(sh) {
+			if !t.otherProto.HasInShard(sh, a) && !t.realDNS.HasInShard(sh, a) {
+				out.Add(a)
+			}
 		}
 	}
 	return out
@@ -186,8 +213,13 @@ func (t *Tracker) InjectedOnly() ip6.Set {
 
 // InjectedSeen returns every address that ever showed injection evidence,
 // including those that are real hosts on other protocols (which the paper
-// keeps in the hitlist).
-func (t *Tracker) InjectedSeen() ip6.Set { return t.injectedSeen }
+// keeps in the hitlist). The returned set is a merged copy; callers that
+// only need the cardinality should use InjectedSeenLen.
+func (t *Tracker) InjectedSeen() ip6.Set { return t.injectedSeen.Merge() }
+
+// InjectedSeenLen returns the size of the injection-evidence set without
+// materializing a merged copy.
+func (t *Tracker) InjectedSeenLen() int { return t.injectedSeen.Len() }
 
 // Stats summarizes the tracker.
 func (t *Tracker) Stats() (injected, injectedOnly, otherProto int) {

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"hitlist6/internal/dnswire"
 	"hitlist6/internal/ip6"
@@ -50,6 +49,11 @@ type Config struct {
 	// RatePPS models the probes-per-second budget; it only affects the
 	// reported scan duration, not wall-clock time.
 	RatePPS int
+
+	// BatchSize is the number of results per streamed batch; 0 means
+	// DefaultBatchSize. It is a throughput knob only: scan outputs are
+	// bit-identical across batch sizes.
+	BatchSize int
 }
 
 // DefaultConfig mirrors the service's scanning configuration.
@@ -81,13 +85,27 @@ type Result struct {
 	// InjectedTruth is ground truth from the network model (how many DNS
 	// messages were injected); used only to score detection quality.
 	InjectedTruth int
+
+	// Attempts is how many probes a real scanner would have transmitted
+	// for this (target, protocol): k when the k-th attempt drew a
+	// response, and the full 1+Retries when nothing ever came back — a
+	// scanner cannot distinguish genuine silence from probe loss, so it
+	// retransmits every retry at a dark address even though the
+	// deterministic world lets ProbeOne stop probing early. Probe
+	// accounting (Stats.ProbesSent, EstimatedSeconds) sums these instead
+	// of charging 1+Retries unconditionally. uint16 packs into the
+	// struct padding after Success, keeping Result at its pre-Attempts
+	// size.
+	Attempts uint16
 }
 
-// Stats aggregates a scan run.
+// Stats aggregates a scan run (or, on a Batch, one batch of it).
 type Stats struct {
 	ProbesSent uint64
 	Responses  uint64
 	Successes  uint64
+	// Batches is the number of streamed batches delivered.
+	Batches uint64
 	// EstimatedSeconds is the modeled scan duration at Config.RatePPS.
 	EstimatedSeconds float64
 }
@@ -96,6 +114,10 @@ type Stats struct {
 type Scanner struct {
 	net *netmodel.Network
 	cfg Config
+
+	// bufPool recycles batch result buffers across Stream calls; sinks
+	// must not retain batches, which is what makes this reuse sound.
+	bufPool sync.Pool
 }
 
 // New builds a scanner over the given network.
@@ -134,8 +156,8 @@ func (s *Scanner) ProbeOne(target ip6.Addr, proto netmodel.Protocol, day int) Re
 		}
 		resp := s.net.Probe(s.buildProbe(target, proto, day))
 		if resp.Kind == netmodel.RespNone {
-			// Genuine silence: retrying cannot help, the world is
-			// deterministic within a day.
+			// Genuine silence: retrying cannot change the outcome, the
+			// world is deterministic within a day.
 			break
 		}
 		// ZMap classification: an RST means the host is alive but the
@@ -145,7 +167,13 @@ func (s *Scanner) ProbeOne(target ip6.Addr, proto netmodel.Protocol, day int) Re
 		res.FP = resp.FP
 		res.DNS = resp.DNS
 		res.InjectedTruth = resp.InjectedCount
+		res.Attempts = uint16(attempt + 1)
 		break
+	}
+	if res.Kind == netmodel.RespNone {
+		// No packet ever came back; a real scanner retransmits every
+		// retry at a silent target.
+		res.Attempts = uint16(1 + s.cfg.Retries)
 	}
 	return res
 }
@@ -176,71 +204,52 @@ func (s *Scanner) buildProbe(target ip6.Addr, proto netmodel.Protocol, day int) 
 	panic(fmt.Sprintf("scan: unknown protocol %v", proto))
 }
 
-// Scan probes every target with every requested protocol using a worker
-// pool and returns all results. Order follows (target, protocol) input
-// order. The context cancels the scan early; the partial result set and
-// ctx.Err() are returned.
+// Scan probes every target with every requested protocol and returns all
+// results. Order follows (target, protocol) input order. The context
+// cancels the scan early; the partial result set and ctx.Err() are
+// returned. Scan is a thin wrapper over Stream that materializes the full
+// cross product — streaming consumers should use Stream directly and skip
+// this allocation.
 func (s *Scanner) Scan(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int) ([]Result, Stats, error) {
-	type job struct{ ti, pi int }
 	results := make([]Result, len(targets)*len(protos))
-	jobs := make(chan job, 4*s.cfg.Workers)
-	var wg sync.WaitGroup
-	var sent, succ, resp atomic.Uint64
-
-	for w := 0; w < s.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r := s.ProbeOne(targets[j.ti], protos[j.pi], day)
-				sent.Add(uint64(1 + s.cfg.Retries))
-				if r.Kind != netmodel.RespNone {
-					resp.Add(1)
-				}
-				if r.Success {
-					succ.Add(1)
-				}
-				results[j.ti*len(protos)+j.pi] = r
-			}
-		}()
-	}
-
-	var err error
-feed:
-	for ti := range targets {
-		for pi := range protos {
-			select {
-			case jobs <- job{ti, pi}:
-			case <-ctx.Done():
-				err = ctx.Err()
-				break feed
-			}
+	st, err := s.Stream(ctx, targets, protos, day, func(b *Batch) error {
+		// Batches write disjoint index ranges, so no locking is needed.
+		for i := range b.Results {
+			results[b.OrigIndex(i)] = b.Results[i]
 		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	st := Stats{
-		ProbesSent: sent.Load(),
-		Responses:  resp.Load(),
-		Successes:  succ.Load(),
-	}
-	st.EstimatedSeconds = float64(st.ProbesSent) / float64(s.cfg.RatePPS)
+		return nil
+	})
 	return results, st, err
 }
 
-// ResponsiveSet runs a scan and returns, per protocol, the set of targets
-// that answered. It is the aggregation the pipeline consumes.
+// StreamResponsive streams a scan and accumulates, per protocol, the
+// sharded set of targets that answered — the streaming counterpart of
+// ResponsiveSet for consumers (like alias detection) that can query the
+// sharded sets directly and skip the merged copy.
+func (s *Scanner) StreamResponsive(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int) (map[netmodel.Protocol]*ip6.ShardedSet, Stats, error) {
+	acc := make(map[netmodel.Protocol]*ip6.ShardedSet, len(protos))
+	for _, p := range protos {
+		acc[p] = ip6.NewShardedSet()
+	}
+	st, err := s.Stream(ctx, targets, protos, day, func(b *Batch) error {
+		for i := range b.Results {
+			if r := &b.Results[i]; r.Success {
+				acc[r.Proto].AddToShard(b.Shard, r.Target)
+			}
+		}
+		return nil
+	})
+	return acc, st, err
+}
+
+// ResponsiveSet streams a scan and returns, per protocol, the flat set of
+// targets that answered. It is the aggregation the pipeline consumes; the
+// full result cross product is never materialized.
 func (s *Scanner) ResponsiveSet(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int) (map[netmodel.Protocol]ip6.Set, Stats, error) {
-	results, st, err := s.Scan(ctx, targets, protos, day)
+	acc, st, err := s.StreamResponsive(ctx, targets, protos, day)
 	out := make(map[netmodel.Protocol]ip6.Set, len(protos))
 	for _, p := range protos {
-		out[p] = ip6.NewSet(0)
-	}
-	for _, r := range results {
-		if r.Success {
-			out[r.Proto].Add(r.Target)
-		}
+		out[p] = acc[p].Merge()
 	}
 	return out, st, err
 }

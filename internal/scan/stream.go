@@ -1,0 +1,286 @@
+package scan
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+// The streaming engine. Targets are partitioned into ip6.AddrShards
+// deterministic shards by address hash; each shard is probed sequentially
+// by one worker at a time, and results are delivered to the consumer in
+// fixed-size batches as they complete. Because shard membership depends
+// only on the address and per-probe outcomes depend only on
+// (address, protocol, day, seed), the batch sequence of a shard is
+// bit-identical regardless of worker count, and any consumer that
+// accumulates per shard and merges in canonical shard order is
+// deterministic by construction.
+
+// DefaultBatchSize is the streamed batch size when Config.BatchSize is 0.
+const DefaultBatchSize = 256
+
+// Batch is one unit of streamed scan results: a contiguous slice of the
+// (target, protocol) probe sequence of a single shard.
+type Batch struct {
+	// Shard is the ip6.ShardOf shard every target in this batch hashes to.
+	Shard int
+	// Seq is the batch's sequence number within its shard, from 0.
+	Seq int
+	// Results holds the probe outcomes, in (target, protocol) order along
+	// the shard's deterministic target sequence.
+	Results []Result
+	// Stats covers this batch only (per-batch throughput accounting).
+	Stats Stats
+
+	// start is the batch's offset in the shard's flat probe sequence;
+	// orig maps shard-local target positions back to input positions.
+	start   int
+	orig    []int
+	nprotos int
+}
+
+// OrigIndex returns the position of Results[i] in the canonical
+// (target, protocol) cross-product ordering of the originating Stream
+// call — the index Scan uses to place results.
+func (b *Batch) OrigIndex(i int) int {
+	pos := b.start + i
+	return b.orig[pos/b.nprotos]*b.nprotos + pos%b.nprotos
+}
+
+// Sink consumes streamed batches. It may be invoked concurrently from
+// multiple worker goroutines, but calls for the same shard are sequential
+// and in Seq order; per-shard state therefore needs no locking. The batch
+// and its Results must not be retained after return. A non-nil error
+// aborts the stream.
+type Sink func(*Batch) error
+
+// shardPlan is the deterministic probe plan of one shard.
+type shardPlan struct {
+	targets []ip6.Addr
+	orig    []int
+}
+
+// buildPlans partitions targets into per-shard plans, preserving input
+// order within each shard. Two passes: count, then fill two exactly-sized
+// backing arrays shared by all shards (append-growth on 64 slices would
+// roughly double the allocation).
+func buildPlans(targets []ip6.Addr) []shardPlan {
+	var counts [ip6.AddrShards]int
+	for _, t := range targets {
+		counts[ip6.ShardOf(t)]++
+	}
+	tbuf := make([]ip6.Addr, 0, len(targets))
+	obuf := make([]int, 0, len(targets))
+	plans := make([]shardPlan, ip6.AddrShards)
+	off := 0
+	for sh := range plans {
+		end := off + counts[sh]
+		plans[sh].targets = tbuf[off:off:end]
+		plans[sh].orig = obuf[off:off:end]
+		off = end
+	}
+	for i, t := range targets {
+		sh := ip6.ShardOf(t)
+		plans[sh].targets = append(plans[sh].targets, t)
+		plans[sh].orig = append(plans[sh].orig, i)
+	}
+	return plans
+}
+
+// Stream probes every (target, protocol) pair for the given day, routing
+// work through the sharded worker pool and delivering results to sink in
+// batches of Config.BatchSize. It returns aggregate statistics. The
+// context cancels the stream between batches; batches already delivered
+// stand, and ctx.Err() is returned.
+func (s *Scanner) Stream(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int, sink Sink) (Stats, error) {
+	var total streamTotals
+	if len(targets) == 0 || len(protos) == 0 {
+		return total.stats(s.cfg.RatePPS), nil
+	}
+
+	plans := buildPlans(targets)
+	nonEmpty := 0
+	for i := range plans {
+		if len(plans[i].targets) > 0 {
+			nonEmpty++
+		}
+	}
+	workers := s.cfg.Workers
+	if workers > nonEmpty {
+		workers = nonEmpty
+	}
+
+	var (
+		wg       sync.WaitGroup
+		shardCh  = make(chan int)
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range shardCh {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.streamShard(ctx, sh, &plans[sh], protos, day, sink, &total, stop); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for sh := range plans {
+		if len(plans[sh].targets) == 0 {
+			continue
+		}
+		// Check for abort before the blocking dispatch: when stop and an
+		// idle worker are both ready, select would otherwise pick at
+		// random and could hand out whole extra shards after a failure.
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		case <-stop:
+			break feed
+		default:
+		}
+		select {
+		case shardCh <- sh:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		case <-stop:
+			break feed
+		}
+	}
+	close(shardCh)
+	wg.Wait()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return total.stats(s.cfg.RatePPS), err
+}
+
+// streamShard probes one shard's (target, protocol) sequence, flushing a
+// batch to sink every BatchSize results.
+func (s *Scanner) streamShard(ctx context.Context, shard int, plan *shardPlan, protos []netmodel.Protocol, day int, sink Sink, total *streamTotals, stop <-chan struct{}) error {
+	batchSize := s.cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	b := &Batch{Shard: shard, orig: plan.orig, nprotos: len(protos)}
+	// Batch buffers are pooled across shards and Stream calls (sinks must
+	// not retain them); a fresh one is sized to the smaller of the batch
+	// size and the shard's whole probe sequence, so tiny shards never pay
+	// for a full batch.
+	need := len(plan.targets) * len(protos)
+	if need > batchSize {
+		need = batchSize
+	}
+	if buf, ok := s.bufPool.Get().([]Result); ok && cap(buf) >= need {
+		b.Results = buf[:0]
+	} else {
+		b.Results = make([]Result, 0, need)
+	}
+	defer func() {
+		// Clear before pooling so parked buffers don't pin DNS payloads
+		// from the last batches until their slots are overwritten.
+		buf := b.Results[:cap(b.Results)]
+		clear(buf)
+		s.bufPool.Put(buf[:0])
+	}()
+	pos := 0
+
+	flush := func() error {
+		if len(b.Results) == 0 {
+			return nil
+		}
+		b.Stats.EstimatedSeconds = float64(b.Stats.ProbesSent) / float64(s.cfg.RatePPS)
+		b.Stats.Batches = 1
+		total.add(&b.Stats)
+		if err := sink(b); err != nil {
+			return err
+		}
+		b.Seq++
+		b.start = pos
+		b.Results = b.Results[:0]
+		b.Stats = Stats{}
+		return nil
+	}
+
+	for _, t := range plan.targets {
+		for _, p := range protos {
+			r := s.ProbeOne(t, p, day)
+			b.Stats.ProbesSent += uint64(r.Attempts)
+			if r.Kind != netmodel.RespNone {
+				b.Stats.Responses++
+			}
+			if r.Success {
+				b.Stats.Successes++
+			}
+			b.Results = append(b.Results, r)
+			pos++
+			if len(b.Results) == batchSize {
+				if err := flush(); err != nil {
+					return err
+				}
+				// Cancellation is checked at batch granularity: cheap
+				// enough to stay responsive, coarse enough to keep the
+				// hot loop branch-free.
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-stop:
+					return nil
+				default:
+				}
+			}
+		}
+	}
+	return flush()
+}
+
+// streamTotals aggregates batch stats with atomics (batches finish on
+// many workers at once).
+type streamTotals struct {
+	probes, responses, successes, batches atomic.Uint64
+}
+
+func (t *streamTotals) add(b *Stats) {
+	t.probes.Add(b.ProbesSent)
+	t.responses.Add(b.Responses)
+	t.successes.Add(b.Successes)
+	t.batches.Add(1)
+}
+
+func (t *streamTotals) stats(ratePPS int) Stats {
+	st := Stats{
+		ProbesSent: t.probes.Load(),
+		Responses:  t.responses.Load(),
+		Successes:  t.successes.Load(),
+		Batches:    t.batches.Load(),
+	}
+	st.EstimatedSeconds = float64(st.ProbesSent) / float64(ratePPS)
+	return st
+}

@@ -1,0 +1,214 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+func streamTargets(n int) []ip6.Addr {
+	p := ip6.MustParsePrefix("2001:100:a::/64")
+	out := make([]ip6.Addr, n)
+	for i := range out {
+		out[i] = p.NthAddr(uint64(i))
+	}
+	return out
+}
+
+// TestStreamScanEquivalence: Scan is a wrapper over Stream, and a manual
+// Stream consumer reassembling via OrigIndex must reproduce Scan's output
+// exactly, for several worker counts and batch sizes.
+func TestStreamScanEquivalence(t *testing.T) {
+	n := testNet(t)
+	targets := append(streamTargets(150),
+		ip6.MustParseAddr("2001:100::80"),
+		ip6.MustParseAddr("2001:100::53"),
+		ip6.MustParseAddr("240e::1"))
+	protos := allProtos()
+
+	mk := func(workers, batch int) *Scanner {
+		cfg := DefaultConfig(7)
+		cfg.LossRate = 0.1
+		cfg.Retries = 1
+		cfg.Workers = workers
+		cfg.BatchSize = batch
+		return New(n, cfg)
+	}
+
+	base, baseStats, err := mk(1, 4).Scan(context.Background(), targets, protos, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for _, batch := range []int{1, 7, 1024} {
+			s := mk(workers, batch)
+			got := make([]Result, len(targets)*len(protos))
+			var mu sync.Mutex
+			stats, err := s.Stream(context.Background(), targets, protos, 9, func(b *Batch) error {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := range b.Results {
+					got[b.OrigIndex(i)] = b.Results[i]
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d batch=%d: %v", workers, batch, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("workers=%d batch=%d: streamed results differ from Scan", workers, batch)
+			}
+			if stats.ProbesSent != baseStats.ProbesSent ||
+				stats.Responses != baseStats.Responses ||
+				stats.Successes != baseStats.Successes {
+				t.Fatalf("workers=%d batch=%d: stats differ: %+v vs %+v", workers, batch, stats, baseStats)
+			}
+		}
+	}
+}
+
+// TestStreamShardContract checks the delivery guarantees consumers build
+// on: every target in a batch hashes to the batch's shard, same-shard
+// batches arrive in Seq order, and full batches hold exactly BatchSize
+// results.
+func TestStreamShardContract(t *testing.T) {
+	n := testNet(t)
+	cfg := DefaultConfig(5)
+	cfg.Workers = 4
+	cfg.BatchSize = 8
+	s := New(n, cfg)
+	targets := streamTargets(500)
+
+	var mu sync.Mutex
+	nextSeq := make(map[int]int)
+	total := 0
+	_, err := s.Stream(context.Background(), targets, []netmodel.Protocol{netmodel.ICMP, netmodel.TCP80}, 3, func(b *Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if b.Seq != nextSeq[b.Shard] {
+			t.Errorf("shard %d: seq %d, want %d", b.Shard, b.Seq, nextSeq[b.Shard])
+		}
+		nextSeq[b.Shard]++
+		if len(b.Results) == 0 || len(b.Results) > cfg.BatchSize {
+			t.Errorf("batch size %d", len(b.Results))
+		}
+		if b.Stats.Batches != 1 {
+			t.Errorf("batch stats batches: %d", b.Stats.Batches)
+		}
+		for i := range b.Results {
+			if ip6.ShardOf(b.Results[i].Target) != b.Shard {
+				t.Errorf("target %v in shard %d, canonical %d",
+					b.Results[i].Target, b.Shard, ip6.ShardOf(b.Results[i].Target))
+			}
+			total++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(targets) * 2; total != want {
+		t.Errorf("streamed %d results, want %d", total, want)
+	}
+}
+
+// TestStreamSinkError: a sink error aborts the stream and surfaces.
+func TestStreamSinkError(t *testing.T) {
+	n := testNet(t)
+	cfg := DefaultConfig(5)
+	cfg.BatchSize = 4
+	s := New(n, cfg)
+	boom := errors.New("boom")
+	_, err := s.Stream(context.Background(), streamTargets(200), []netmodel.Protocol{netmodel.ICMP}, 3, func(b *Batch) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestStreamCancel: a canceled context stops the stream with ctx.Err().
+func TestStreamCancel(t *testing.T) {
+	n := testNet(t)
+	cfg := DefaultConfig(5)
+	cfg.Workers = 1
+	s := New(n, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Stream(ctx, streamTargets(5000), allProtos(), 3, func(b *Batch) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamEmpty: no targets or protocols is a clean no-op.
+func TestStreamEmpty(t *testing.T) {
+	n := testNet(t)
+	s := New(n, DefaultConfig(5))
+	st, err := s.Stream(context.Background(), nil, allProtos(), 3, func(b *Batch) error {
+		t.Error("sink called for empty stream")
+		return nil
+	})
+	if err != nil || st.ProbesSent != 0 || st.Batches != 0 {
+		t.Errorf("empty stream: %+v, %v", st, err)
+	}
+}
+
+// TestProbeAccountingCountsActualAttempts is the probe-accounting fix: a
+// lossless scan with retries configured must charge exactly one probe per
+// (target, protocol) — retries that never fired are not counted — and a
+// lossy scan must charge strictly between 1× and (1+Retries)× pairs.
+func TestProbeAccountingCountsActualAttempts(t *testing.T) {
+	n := testNet(t)
+	targets := streamTargets(400)
+	pairs := uint64(len(targets))
+
+	cfg := DefaultConfig(11)
+	cfg.LossRate = 0
+	cfg.Retries = 3
+	s := New(n, cfg)
+	_, st, err := s.Scan(context.Background(), targets, []netmodel.Protocol{netmodel.ICMP}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProbesSent != pairs {
+		t.Errorf("lossless probes: %d, want %d (old accounting would say %d)",
+			st.ProbesSent, pairs, pairs*4)
+	}
+	if want := float64(pairs) / float64(cfg.RatePPS); st.EstimatedSeconds != want {
+		t.Errorf("estimated seconds: %v, want %v", st.EstimatedSeconds, want)
+	}
+
+	cfg.LossRate = 0.3
+	s = New(n, cfg)
+	_, st, err = s.Scan(context.Background(), targets, []netmodel.Protocol{netmodel.ICMP}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProbesSent <= pairs || st.ProbesSent >= pairs*uint64(1+cfg.Retries) {
+		t.Errorf("lossy probes: %d, want in (%d, %d)", st.ProbesSent, pairs, pairs*4)
+	}
+}
+
+// TestProbeOneAttempts pins the per-result attempt counter.
+func TestProbeOneAttempts(t *testing.T) {
+	n := testNet(t)
+	cfg := DefaultConfig(1)
+	cfg.LossRate = 0
+	cfg.Retries = 3
+	s := New(n, cfg)
+	if r := s.ProbeOne(ip6.MustParseAddr("2001:100::80"), netmodel.ICMP, 5); r.Attempts != 1 {
+		t.Errorf("responding host attempts: %d", r.Attempts)
+	}
+	// A silent target charges the full retry budget: a real scanner
+	// cannot tell silence from loss and retransmits every retry.
+	if r := s.ProbeOne(ip6.MustParseAddr("2001:100::dead"), netmodel.ICMP, 5); r.Attempts != 4 {
+		t.Errorf("silent host attempts: %d, want %d", r.Attempts, 1+cfg.Retries)
+	}
+}
