@@ -184,22 +184,33 @@ func BenchmarkFullTimeline(b *testing.B) {
 	}
 }
 
-// BenchmarkGFWSpikeDetection measures classification throughput over a
-// scan of a GFW-affected region.
+// BenchmarkGFWSpikeDetection measures classifying the cumulative
+// injection evidence against the 2022 snapshot: how much of the
+// published responsive set at the cleanup date was injection-tainted,
+// and how much of the evidence pointed at addresses real on other
+// protocols (the split the paper's one-time filter is built from).
 func BenchmarkGFWSpikeDetection(b *testing.B) {
 	s := suite(b)
-	snapDay := netmodel.Day2022
-	_ = snapDay
+	snap, ok := s.Svc.Snapshots()[netmodel.Day2022]
+	if !ok {
+		b.Fatal("no 2022 snapshot")
+	}
 	recs := s.Svc.Records()
 	if len(recs) == 0 {
 		b.Fatal("no records")
 	}
+	tracker := s.Svc.Tracker()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		injected := tracker.InjectedSeen()
+		published := injected.IntersectCount(snap.ResponsiveAny)
+		injectedOnly := tracker.InjectedOnly().Len()
 		total := 0
 		for _, rec := range recs {
 			total += rec.InjectedDNS
 		}
 		b.ReportMetric(float64(total), "injected-results")
+		b.ReportMetric(float64(published), "published-injected")
+		b.ReportMetric(float64(injectedOnly), "filter-list")
 	}
 }

@@ -1,0 +1,145 @@
+// Command benchdiff compares two `go test -bench` outputs — a committed
+// baseline and a fresh run — and renders a benchstat-style delta table
+// for ns/op, B/op and allocs/op, so performance regressions surface in
+// CI logs and pull requests.
+//
+// Usage:
+//
+//	benchdiff [-max-regress PCT] baseline.txt current.txt
+//
+// With -max-regress >= 0, the exit status is non-zero when any
+// benchmark's ns/op or B/op regresses by more than PCT percent; the
+// default (-1) reports without failing, which is the right mode for
+// noisy shared CI runners.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type row struct {
+	ns, bytes, allocs float64
+	hasNS, hasB, hasA bool
+}
+
+func parseBench(path string) (map[string]row, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rows := make(map[string]row)
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so runs from different machines
+		// line up.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := rows[name]
+		if _, ok := rows[name]; !ok {
+			order = append(order, name)
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.ns, r.hasNS = v, true
+			case "B/op":
+				r.bytes, r.hasB = v, true
+			case "allocs/op":
+				r.allocs, r.hasA = v, true
+			}
+		}
+		rows[name] = r
+	}
+	return rows, order, sc.Err()
+}
+
+func delta(base, cur float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-base)/base)
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", -1,
+		"fail when ns/op or B/op regresses by more than this percentage (-1 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] baseline.txt current.txt")
+		os.Exit(2)
+	}
+	base, _, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, order, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-34s %26s %26s %26s\n", "benchmark", "ns/op (base→cur Δ)", "B/op (base→cur Δ)", "allocs/op (base→cur Δ)")
+	failed := false
+	for _, name := range order {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %26s\n", strings.TrimPrefix(name, "Benchmark"), "(new benchmark)")
+			continue
+		}
+		cell := func(has bool, bv, cv float64) string {
+			if !has {
+				return "-"
+			}
+			return fmt.Sprintf("%.3g→%.3g %s", bv, cv, delta(bv, cv))
+		}
+		mark := ""
+		if *maxRegress >= 0 && b.hasNS && c.hasNS && b.ns > 0 &&
+			(100*(c.ns-b.ns)/b.ns > *maxRegress || (b.hasB && c.hasB && b.bytes > 0 && 100*(c.bytes-b.bytes)/b.bytes > *maxRegress)) {
+			mark = "  <-- REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-34s %26s %26s %26s%s\n", strings.TrimPrefix(name, "Benchmark"),
+			cell(b.hasNS && c.hasNS, b.ns, c.ns),
+			cell(b.hasB && c.hasB, b.bytes, c.bytes),
+			cell(b.hasA && c.hasA, b.allocs, c.allocs), mark)
+	}
+	var gone []string
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-34s %26s\n", strings.TrimPrefix(name, "Benchmark"), "(missing from current)")
+	}
+	if failed {
+		w.Flush()
+		os.Exit(1)
+	}
+}

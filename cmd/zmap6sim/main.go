@@ -45,6 +45,7 @@ func main() {
 		qname       = flag.String("qname", "www.google.com", "DNS probe question")
 		workers     = flag.Int("workers", 0, "probe concurrency (0 = GOMAXPROCS)")
 		batchSize   = flag.Int("batch", 0, "streamed batch size (0 = default)")
+		sinkQueue   = flag.Int("sinkqueue", 8, "bounded CSV delivery queue depth (0 = write inline on probe workers)")
 		ordered     = flag.Bool("ordered", false, "buffer results and write in input order")
 		batchStats  = flag.Bool("batchstats", false, "print per-batch throughput to stderr")
 	)
@@ -111,6 +112,7 @@ func main() {
 	cfg.QName = *qname
 	cfg.Workers = *workers
 	cfg.BatchSize = *batchSize
+	cfg.SinkQueueDepth = *sinkQueue
 	s := scan.New(w.Net, cfg)
 
 	out, err := scan.NewWriter(os.Stdout)
@@ -135,7 +137,13 @@ func main() {
 			}
 		}
 	} else {
-		var mu sync.Mutex // batches complete on many workers at once
+		// With the default bounded sink queue, one delivery goroutine
+		// writes CSV while probe workers run ahead (and block on the full
+		// queue instead of on stdout — backpressure, not serialization).
+		// -sinkqueue 0 falls back to inline sink calls from many workers
+		// at once. The mutex covers both modes; it is uncontended when
+		// the delivery goroutine is the only caller.
+		var mu sync.Mutex
 		st, err := s.Stream(ctx, targets, protos, *day, func(b *scan.Batch) error {
 			mu.Lock()
 			defer mu.Unlock()

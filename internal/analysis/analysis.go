@@ -22,21 +22,55 @@ type ASCount struct {
 
 // ByAS aggregates an address set per origin AS. Unrouted addresses land
 // under ASN 0.
+//
+// Longest-prefix lookups dominate on large sets, so they are memoized
+// per prefix: two addresses sharing their first K bits — K being the
+// table's longest announced prefix length, floored at /48 — always
+// resolve to the same origin (or both to none), so each K-prefix is
+// looked up once. This is exact, not an aggregation shortcut; tables
+// announcing prefixes longer than /64 fall back to per-address lookups.
 func ByAS(set ip6.Set, table *netmodel.ASTable) []ASCount {
-	counts := make(map[int]int)
-	names := make(map[int]string)
+	type asAgg struct {
+		name  string
+		count int
+	}
+	counts := make(map[int]*asAgg)
+	memoBits := table.MaxAnnouncedBits()
+	if memoBits < 48 {
+		memoBits = 48
+	}
+	var memo map[ip6.Addr]int // masked K-prefix address → ASN (0 = unrouted)
+	names := map[int]string{0: "unrouted"}
+	if memoBits <= 64 {
+		memo = make(map[ip6.Addr]int)
+	}
 	for a := range set {
 		asn := 0
-		name := "unrouted"
-		if as := table.Lookup(a); as != nil {
-			asn, name = as.ASN, as.Name
+		if memo != nil {
+			key := ip6.PrefixFrom(a, memoBits).Addr()
+			cached, ok := memo[key]
+			if !ok {
+				if as := table.Lookup(a); as != nil {
+					cached = as.ASN
+					names[as.ASN] = as.Name
+				}
+				memo[key] = cached
+			}
+			asn = cached
+		} else if as := table.Lookup(a); as != nil {
+			asn = as.ASN
+			names[as.ASN] = as.Name
 		}
-		counts[asn]++
-		names[asn] = name
+		c := counts[asn]
+		if c == nil {
+			c = &asAgg{name: names[asn]}
+			counts[asn] = c
+		}
+		c.count++
 	}
 	out := make([]ASCount, 0, len(counts))
 	for asn, c := range counts {
-		out = append(out, ASCount{ASN: asn, Name: names[asn], Count: c})
+		out = append(out, ASCount{ASN: asn, Name: c.name, Count: c.count})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {

@@ -58,6 +58,87 @@ func TestByASAndCDF(t *testing.T) {
 	}
 }
 
+// TestByASMemoizationExact: the per-prefix lookup memo must not change
+// results when the table carries announcements longer than /48 (memo key
+// widens to the longest announced length) — the CDN-specifics case.
+func TestByASMemoizationExact(t *testing.T) {
+	big := ip6.MustParsePrefix("2001:1::/32")
+	// A /64 specific inside Big's /32, announced by a different AS: the
+	// two origins share every bit down to /48, so a /48-keyed memo would
+	// misattribute one of them.
+	table := netmodel.NewASTable([]*netmodel.AS{
+		{ASN: 1, Name: "Big", Announced: []ip6.Prefix{big}, AnnouncedFrom: []int{0}},
+		{ASN: 3, Name: "CDN", Announced: []ip6.Prefix{ip6.MustParsePrefix("2001:1::/64")}, AnnouncedFrom: []int{0}},
+	})
+	if got := table.MaxAnnouncedBits(); got != 64 {
+		t.Fatalf("MaxAnnouncedBits = %d", got)
+	}
+	set := ip6.NewSet(0)
+	for i := uint64(0); i < 5; i++ {
+		set.Add(ip6.MustParsePrefix("2001:1::/64").NthAddr(i)) // CDN specific
+	}
+	for i := uint64(0); i < 7; i++ {
+		set.Add(ip6.MustParsePrefix("2001:1:0:1::/64").NthAddr(i)) // Big, same /48 as the specific
+	}
+	counts := ByAS(set, table)
+	if len(counts) != 2 {
+		t.Fatalf("counts: %+v", counts)
+	}
+	if counts[0].ASN != 1 || counts[0].Count != 7 || counts[1].ASN != 3 || counts[1].Count != 5 {
+		t.Errorf("attribution: %+v", counts)
+	}
+}
+
+// benchTable builds a BGP-shaped table: announcements spread over many
+// prefix lengths, which is exactly what makes longest-prefix matching
+// expensive (one map probe per populated length, all of them for
+// unrouted addresses).
+func benchTable(b *testing.B) (*netmodel.ASTable, ip6.Set) {
+	b.Helper()
+	var ases []*netmodel.AS
+	lens := []int{20, 24, 28, 32, 36, 40, 44, 48}
+	asn := 1
+	for i, bits := range lens {
+		for j := 0; j < 24; j++ {
+			p := ip6.PrefixFrom(ip6.AddrFromUint64s(0x2001_0000_0000_0000+uint64(i)<<40+uint64(j)<<(uint(128-bits)-64), 0), bits)
+			ases = append(ases, &netmodel.AS{
+				ASN: asn, Name: "AS", Announced: []ip6.Prefix{p}, AnnouncedFrom: []int{0},
+			})
+			asn++
+		}
+	}
+	table := netmodel.NewASTable(ases)
+	set := ip6.NewSet(0)
+	// Dense hitlist-style population: many addresses per routed prefix,
+	// plus an unrouted tail that probes every populated length.
+	n := 0
+	for _, as := range ases {
+		p := as.Announced[0]
+		for i := uint64(0); i < 400; i++ {
+			set.Add(p.NthAddr(i * 131))
+			n++
+		}
+	}
+	for i := uint64(0); i < 20_000; i++ {
+		set.Add(ip6.MustParsePrefix("3fff::/20").NthAddr(i * 77)) // unrouted
+	}
+	return table, set
+}
+
+// BenchmarkByAS measures per-AS aggregation over a BGP-shaped table —
+// the memoization target: one longest-prefix lookup per /48 instead of
+// one per address.
+func BenchmarkByAS(b *testing.B) {
+	table, set := benchTable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := ByAS(set, table)
+		if len(counts) < 100 {
+			b.Fatalf("counts: %d", len(counts))
+		}
+	}
+}
+
 func TestOverlap(t *testing.T) {
 	a := ip6.SetOf(ip6.MustParseAddr("2001::1"), ip6.MustParseAddr("2001::2"))
 	b := ip6.SetOf(ip6.MustParseAddr("2001::2"), ip6.MustParseAddr("2001::3"), ip6.MustParseAddr("2001::4"))

@@ -143,13 +143,19 @@ func NewDetector(s *scan.Scanner, cfg Config) *Detector {
 	return &Detector{scanner: s, cfg: cfg, history: make(map[ip6.Prefix][]uint16)}
 }
 
+// slotSalt hoists the stream label hash out of SlotAddr: seeding with
+// mix^slotSalt draws identically to rng.NewStream(mix, "apd-slot"), and
+// the value-typed stream stays on the stack — SlotAddr runs 16 times per
+// candidate per round, so the per-slot heap stream was a hotspot.
+var slotSalt = rng.HashString("apd-slot")
+
 // SlotAddr returns the pseudo-random probe address for slot v (0–15) of
 // prefix p in the round keyed by day. The draw is deterministic per
 // (prefix, slot, day): stable within a round, fresh across rounds.
 func SlotAddr(p ip6.Prefix, v byte, day int) ip6.Addr {
 	sub := p.SubprefixOfNibble(v)
-	r := rng.NewStream(rng.Mix(p.Addr().Hi(), p.Addr().Lo(), uint64(p.Bits()), uint64(v), uint64(day)), "apd-slot")
-	return sub.RandomAddr(r)
+	r := rng.NewStreamSeed(rng.Mix(p.Addr().Hi(), p.Addr().Lo(), uint64(p.Bits()), uint64(v), uint64(day)) ^ slotSalt)
+	return sub.RandomAddr(&r)
 }
 
 // Run executes one detection round at the given day.

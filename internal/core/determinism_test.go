@@ -2,8 +2,14 @@ package core
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
+	"sort"
 	"testing"
 
 	"hitlist6/internal/ip6"
@@ -122,7 +128,7 @@ func TestDigestSinkIsPureAccumulation(t *testing.T) {
 	runDays(t, s, []int{0})
 
 	web := ip6.MustParseAddr("2001:100::80")
-	st, ok := s.active[web]
+	st, ok := s.active.Get(web)
 	if !ok {
 		t.Fatal("web host not active")
 	}
@@ -157,6 +163,160 @@ func TestDigestSinkIsPureAccumulation(t *testing.T) {
 	}
 	if _, _, other := s.Tracker().Stats(); other != otherBefore+1 {
 		t.Errorf("finalize did not record evidence: other %d→%d", otherBefore, other)
+	}
+}
+
+// updateRef regenerates the committed reference goldens. They were
+// captured from the pre-sharded-store implementation (the serial
+// map[Addr]*targetState bookkeeping loop) and pin the refactor to
+// bit-identical records and snapshots; only regenerate them for a change
+// that intentionally alters service outputs.
+var updateRef = flag.Bool("update-ref", false, "regenerate testdata reference goldens")
+
+// refSnapshot is the JSON shape of one snapshot in the golden file:
+// every set rendered as sorted address strings so encoding is canonical.
+type refSnapshot struct {
+	Day           int                 `json:"day"`
+	ResponsiveAny []string            `json:"responsiveAny"`
+	Responsive    map[string][]string `json:"responsive"`
+	Aliased       []string            `json:"aliased"`
+}
+
+type refGolden struct {
+	Records   []*ScanRecord           `json:"records"`
+	Snapshots map[string]*refSnapshot `json:"snapshots,omitempty"`
+}
+
+func setStrings(s ip6.Set) []string {
+	out := make([]string, 0, s.Len())
+	for _, a := range s.Sorted() {
+		out = append(out, a.String())
+	}
+	return out
+}
+
+func goldenFrom(recs []*ScanRecord, snaps map[int]*Snapshot) *refGolden {
+	g := &refGolden{Records: recs}
+	if len(snaps) > 0 {
+		g.Snapshots = make(map[string]*refSnapshot, len(snaps))
+		for day, snap := range snaps {
+			rs := &refSnapshot{
+				Day:           snap.Day,
+				ResponsiveAny: setStrings(snap.ResponsiveAny),
+				Responsive:    make(map[string][]string, len(snap.Responsive)),
+			}
+			for p, set := range snap.Responsive {
+				rs.Responsive[fmt.Sprint(int(p))] = setStrings(set)
+			}
+			for _, p := range snap.Aliased {
+				rs.Aliased = append(rs.Aliased, p.String())
+			}
+			sort.Strings(rs.Aliased)
+			g.Snapshots[fmt.Sprint(day)] = rs
+		}
+	}
+	return g
+}
+
+// refTinyRun executes the hand-built-world reference scenario.
+func refTinyRun(t testing.TB, workers, batch int) ([]*ScanRecord, map[int]*Snapshot) {
+	t.Helper()
+	n, feeds := tinyWorld(t)
+	cfg := DefaultConfig(1)
+	cfg.GFWFilterFromDay = 150
+	cfg.SnapshotDays = []int{14, 70, 180}
+	cfg.ScanWorkers = workers
+	cfg.ScanBatchSize = batch
+	s := NewService(cfg, n, feeds, nil)
+	runDays(t, s, weekly(0, 196))
+	return s.Records(), s.Snapshots()
+}
+
+// refGeneratedRun executes the generated-world reference scenario.
+func refGeneratedRun(t testing.TB, workers, batch int) []*ScanRecord {
+	t.Helper()
+	w, feeds := generatedWorld(t, 23)
+	cfg := DefaultConfig(23)
+	cfg.ScanWorkers = workers
+	cfg.ScanBatchSize = batch
+	s := NewService(cfg, w, feeds, nil)
+	for d := 0; d <= 140; d += 14 {
+		if _, err := s.RunScan(context.Background(), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.Records()
+}
+
+func refPath(name string) string { return filepath.Join("testdata", name) }
+
+func writeGolden(t *testing.T, name string, g *refGolden) {
+	t.Helper()
+	data, err := json.MarshalIndent(g, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(refPath(name), append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func compareGolden(t *testing.T, name string, g *refGolden, label string) {
+	t.Helper()
+	want, err := os.ReadFile(refPath(name))
+	if err != nil {
+		t.Fatalf("reference golden missing (run with -update-ref to capture): %v", err)
+	}
+	got, err := json.MarshalIndent(g, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if string(got) == string(want) {
+		return
+	}
+	// Locate the first diverging record for a readable failure.
+	var ref refGolden
+	if err := json.Unmarshal(want, &ref); err != nil {
+		t.Fatalf("%s: golden %s unreadable: %v", label, name, err)
+	}
+	for i := range ref.Records {
+		if i >= len(g.Records) {
+			t.Fatalf("%s: %s: only %d of %d reference records produced", label, name, len(g.Records), len(ref.Records))
+		}
+		if !reflect.DeepEqual(ref.Records[i], g.Records[i]) {
+			t.Fatalf("%s: %s: first divergence at record %d:\n ref: %+v\n got: %+v",
+				label, name, i, *ref.Records[i], *g.Records[i])
+		}
+	}
+	t.Fatalf("%s: %s: snapshots diverge from pre-refactor reference", label, name)
+}
+
+// TestShardedStoreMatchesReference proves the sharded target store is an
+// exact refactor: records and snapshots stay bit-identical to goldens
+// captured from the pre-refactor serial implementation, across several
+// worker-count settings (and a non-default batch size for good measure).
+func TestShardedStoreMatchesReference(t *testing.T) {
+	if *updateRef {
+		recs, snaps := refTinyRun(t, 1, 1)
+		writeGolden(t, "reference_tiny.json", goldenFrom(recs, snaps))
+		writeGolden(t, "reference_generated.json", goldenFrom(refGeneratedRun(t, 1, 1), nil))
+		t.Log("reference goldens regenerated")
+		return
+	}
+	for _, workers := range []int{1, 2, 5, 8} {
+		recs, snaps := refTinyRun(t, workers, 0)
+		compareGolden(t, "reference_tiny.json", goldenFrom(recs, snaps), fmt.Sprintf("tiny workers=%d", workers))
+	}
+	if testing.Short() {
+		t.Skip("generated-world reference comparison in -short mode")
+	}
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0) + 2} {
+		g := goldenFrom(refGeneratedRun(t, workers, 64), nil)
+		compareGolden(t, "reference_generated.json", g, fmt.Sprintf("generated workers=%d", workers))
 	}
 }
 

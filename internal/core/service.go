@@ -17,8 +17,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
 
 	"hitlist6/internal/apd"
 	"hitlist6/internal/gfw"
@@ -152,8 +152,13 @@ type Service struct {
 
 	scanIndex int
 
+	// workers is the resolved sweep concurrency (ScanWorkers, or
+	// GOMAXPROCS when unset): every per-shard pass over the target store
+	// runs on up to this many goroutines. Outputs never depend on it.
+	workers int
+
 	// Cumulative input accounting.
-	inputSeen    ip6.Set
+	inputSeen    *ip6.ShardedSet
 	perASInput   map[int]*ASInput
 	inputTotal   int
 	blockedTotal int
@@ -161,9 +166,17 @@ type Service struct {
 	aliasedTotal int
 	evictedTotal int
 	gfwDeployed  bool
-	gfwInputDrop ip6.Set // the cumulative "134 M" filter once deployed
-	unresponsive ip6.Set // evicted addresses (if retained)
-	active       map[ip6.Addr]*targetState
+	gfwInputDrop *ip6.ShardedSet // the cumulative "134 M" filter once deployed
+	unresponsive ip6.Set         // evicted addresses (if retained)
+
+	// active is the sharded target store: per-address scan-window state,
+	// partitioned exactly like the scan engine's batch delivery. Ingest,
+	// eviction, alias purges, the GFW cleanup and digest finalization all
+	// run as per-shard sweeps over it and merge their counters in
+	// canonical shard order, so records stay bit-identical for any
+	// worker count.
+	active *ip6.ShardedMap[*targetState]
+
 	aliased      *ip6.PrefixSet
 	pendingAPD64 []ip6.Prefix // newly seen /64s queued for APD
 	seen64       map[ip6.Prefix]struct{}
@@ -174,9 +187,35 @@ type Service struct {
 	lastClean    map[netmodel.Protocol]*ip6.ShardedSet
 	inputByFeed  map[string]int
 
+	// scanShards holds the per-shard scan-set buffers, rebuilt by the
+	// 30-day filter each scan and fed straight into StreamSharded; the
+	// backing arrays are reused across scans, so steady-state scans
+	// allocate no scan-set memory at all.
+	scanShards [][]ip6.Addr
+	// routeBuf is the reusable per-shard routing scratch of ingest.
+	routeBuf [][]routedInput
+	// evictBuf is the reusable per-shard eviction scratch of buildScanSet.
+	evictBuf []evictRes
+
 	records   []*ScanRecord
 	snapshots map[int]*Snapshot
 	snapQueue []int
+}
+
+// routedInput is one ingest candidate routed to its shard: the address,
+// the feed it came from, and its position in the deterministic
+// (feed-name-sorted) input sequence of the scan, which fixes cross-shard
+// ordering wherever it matters.
+type routedInput struct {
+	addr ip6.Addr
+	feed int32
+	seq  int32
+}
+
+// evictRes is one shard's slice of an eviction sweep.
+type evictRes struct {
+	count   int
+	evicted []ip6.Addr // retained for the unresponsive pool only
 }
 
 // ASInput aggregates cumulative input per AS (Figure 2's ingredients).
@@ -206,23 +245,30 @@ func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blockl
 	scfg := scan.DefaultConfig(cfg.Seed)
 	scfg.Workers = cfg.ScanWorkers
 	scfg.BatchSize = cfg.ScanBatchSize
+	workers := cfg.ScanWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Service{
 		cfg:          cfg,
 		net:          net,
 		scanner:      scan.New(net, scfg),
 		feeds:        feeds,
 		block:        blocklist,
-		inputSeen:    ip6.NewSet(0),
+		workers:      workers,
+		inputSeen:    ip6.NewShardedSet(),
 		perASInput:   make(map[int]*ASInput),
-		gfwInputDrop: ip6.NewSet(0),
+		gfwInputDrop: ip6.NewShardedSet(),
 		unresponsive: ip6.NewSet(0),
-		active:       make(map[ip6.Addr]*targetState),
+		active:       ip6.NewShardedMap[*targetState](),
 		aliased:      ip6.NewPrefixSet(),
 		seen64:       make(map[ip6.Prefix]struct{}),
 		tracker:      gfw.NewTracker(),
 		everRespAny:  ip6.NewShardedSet(),
 		prevRespAny:  ip6.NewShardedSet(),
 		inputByFeed:  make(map[string]int),
+		scanShards:   make([][]ip6.Addr, ip6.AddrShards),
+		routeBuf:     make([][]routedInput, ip6.AddrShards),
 		snapshots:    make(map[int]*Snapshot),
 		snapQueue:    append([]int(nil), cfg.SnapshotDays...),
 	}
@@ -257,8 +303,9 @@ func (s *Service) UnresponsivePool() ip6.Set { return s.unresponsive }
 func (s *Service) InputByFeed() map[string]int { return s.inputByFeed }
 
 // InputSeen returns every address ever accumulated as input (the
-// cumulative hitlist input, before filters). Treat as read-only.
-func (s *Service) InputSeen() ip6.Set { return s.inputSeen }
+// cumulative hitlist input, before filters), merged from its shards into
+// a fresh flat set.
+func (s *Service) InputSeen() ip6.Set { return s.inputSeen.Merge() }
 
 // Network returns the world the service operates on.
 func (s *Service) Network() *netmodel.Network { return s.net }
@@ -307,7 +354,7 @@ func (s *Service) Funnel() Funnel {
 		GFWFiltered:  s.gfwTotal,
 		AliasedInput: s.aliasedTotal,
 		Evicted:      s.evictedTotal,
-		ActiveScan:   len(s.active),
+		ActiveScan:   s.active.Len(),
 		Responsive:   resp,
 	}
 }
@@ -338,16 +385,17 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	}
 	rec.AliasedPrefixes = s.aliased.Len()
 
-	// 4. 30-day filter: build the scan set, evicting stale targets.
-	targets := s.buildScanSet(day, rec)
-	rec.ScannedTargets = len(targets)
+	// 4. 30-day filter: eviction runs as a per-shard sweep over the
+	// target store, refilling the reusable per-shard scan-set buffers.
+	rec.ScannedTargets = s.buildScanSet(day, rec)
 
-	// 5+6. The scan, streamed: batches are classified and folded into
-	// per-shard accumulators concurrently as they complete — the full
-	// targets × protocols result slice is never materialized — then the
-	// accumulators merge in canonical shard order.
+	// 5+6. The scan, streamed: the per-shard scan sets feed the engine
+	// directly (no concatenated global target slice), batches are
+	// classified and folded into per-shard accumulators concurrently as
+	// they complete — the full targets × protocols result slice is never
+	// materialized — then the accumulators merge in canonical shard order.
 	digests := make([]*shardDigest, ip6.AddrShards)
-	stats, err := s.scanner.Stream(ctx, targets, s.cfg.Protocols, day, s.digestSink(digests))
+	stats, err := s.scanner.StreamSharded(ctx, s.scanShards, s.cfg.Protocols, day, s.digestSink(digests))
 	if err != nil {
 		return nil, fmt.Errorf("core: scanning: %w", err)
 	}
@@ -362,83 +410,270 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	return rec, nil
 }
 
-// ingest dedups, filters and admits new input.
+// ingestCounters accumulates the outcome counters of an admission sweep;
+// applyIngest folds them into the record and cumulative totals.
+type ingestCounters struct {
+	newInput, blocked, gfwDrop, aliasedDrop int
+	perAS                                   map[int]*ASInput
+}
+
+// shardIngest accumulates one shard's slice of an ingest pass; counters
+// merge into the record in canonical shard order.
+type shardIngest struct {
+	ingestCounters
+	perFeed  []int
+	admitted []routedInput // newly active, in seq order
+}
+
+// admitOutcome is what the shared admission chain did with one candidate.
+type admitOutcome int
+
+const (
+	admitDup      admitOutcome = iota // already known: nothing counted
+	admitFiltered                     // counted as input, removed by a filter
+	admitAdmitted                     // counted and inserted into the store
+)
+
+// admitOne runs the admission chain — dedup, AS attribution, blocklist /
+// GFW / aliased filters, store insert — for one candidate in shard sh,
+// recording outcomes in c. It is the single copy both the serial and the
+// per-shard parallel ingest paths execute; only shard-owned and
+// counter state is written, so distinct shards may run it concurrently.
+func (s *Service) admitOne(sh int, a ip6.Addr, day int, c *ingestCounters) admitOutcome {
+	if !s.inputSeen.AddToShard(sh, a) {
+		return admitDup // already known (or already evicted once)
+	}
+	c.newInput++
+
+	asn := 0
+	if as := s.net.AS.Lookup(a); as != nil {
+		asn = as.ASN
+	}
+	ai := c.perAS[asn]
+	if ai == nil {
+		ai = &ASInput{}
+		c.perAS[asn] = ai
+	}
+	ai.Total++
+
+	// Blocklist filter.
+	if s.block.Contains(a) {
+		c.blocked++
+		return admitFiltered
+	}
+	// GFW input filter (active only once deployed).
+	if s.gfwDeployed && s.gfwInputDrop.HasInShard(sh, a) {
+		c.gfwDrop++
+		ai.GFW++
+		return admitFiltered
+	}
+	// Aliased prefix filter.
+	if s.aliased.Contains(a) {
+		c.aliasedDrop++
+		ai.Aliased++
+		return admitFiltered
+	}
+	s.active.PutInShard(sh, a, &targetState{firstDay: day, lastSuccessDay: -1})
+	return admitAdmitted
+}
+
+// applyIngest merges one admission sweep's counters into the record and
+// the cumulative accounting.
+func (s *Service) applyIngest(rec *ScanRecord, c *ingestCounters) {
+	rec.NewInput += c.newInput
+	s.inputTotal += c.newInput
+	rec.BlockedInput += c.blocked
+	s.blockedTotal += c.blocked
+	rec.GFWFilteredInput += c.gfwDrop
+	s.gfwTotal += c.gfwDrop
+	rec.AliasedInput += c.aliasedDrop
+	s.aliasedTotal += c.aliasedDrop
+	for asn, d := range c.perAS {
+		ai := s.perASInput[asn]
+		if ai == nil {
+			ai = &ASInput{}
+			s.perASInput[asn] = ai
+		}
+		ai.Total += d.Total
+		ai.GFW += d.GFW
+		ai.Aliased += d.Aliased
+	}
+}
+
+// ingest dedups, filters and admits new input. Candidates are routed to
+// their canonical shards in one cheap pass, then every shard runs the
+// lookup-heavy part (dedup, AS attribution, blocklist / GFW / alias
+// filters, store insert) independently on the worker pool — an address
+// only ever touches its own shard, so the sweep is lock-free. The merge
+// walks shards in canonical order, and anything order-sensitive (the APD
+// /64 queue, per-feed attribution of same-day duplicates) is resolved by
+// the deterministic input sequence number, so results are bit-identical
+// to a serial pass for any worker count.
 func (s *Service) ingest(collected map[string][]ip6.Addr, day int, rec *ScanRecord) error {
-	for feed, addrs := range collected {
-		for _, a := range addrs {
+	feedNames := make([]string, 0, len(collected))
+	for feed := range collected {
+		feedNames = append(feedNames, feed)
+	}
+	sort.Strings(feedNames)
+
+	// A single worker skips the routing pass and per-shard scratch
+	// entirely: the serial sweep below visits the same deterministic
+	// sequence the parallel merge reconstructs, so both paths are
+	// bit-identical (the reference goldens cross-check them).
+	if s.workers <= 1 {
+		s.ingestSerial(feedNames, collected, day, rec)
+		return nil
+	}
+
+	// Route phase: partition the day's candidates by shard, preserving
+	// the deterministic sequence order within each shard.
+	seq := int32(0)
+	for fi, feed := range feedNames {
+		for _, a := range collected[feed] {
 			if !a.IsGlobalUnicast() {
 				continue
 			}
-			if !s.inputSeen.Add(a) {
-				continue // already known (or already evicted once)
-			}
-			rec.NewInput++
-			s.inputTotal++
-			s.inputByFeed[feed]++
-
-			asn := 0
-			if as := s.net.AS.Lookup(a); as != nil {
-				asn = as.ASN
-			}
-			ai := s.perASInput[asn]
-			if ai == nil {
-				ai = &ASInput{}
-				s.perASInput[asn] = ai
-			}
-			ai.Total++
-
-			// Blocklist filter.
-			if s.block.Contains(a) {
-				rec.BlockedInput++
-				s.blockedTotal++
-				continue
-			}
-			// GFW input filter (active only once deployed).
-			if s.gfwDeployed && s.gfwInputDrop.Has(a) {
-				rec.GFWFilteredInput++
-				s.gfwTotal++
-				ai.GFW++
-				continue
-			}
-			// Aliased prefix filter.
-			if s.aliased.Contains(a) {
-				rec.AliasedInput++
-				s.aliasedTotal++
-				ai.Aliased++
-				continue
-			}
-			// Track the /64 for alias detection.
-			p64 := ip6.Slash64(a)
-			if _, ok := s.seen64[p64]; !ok {
-				s.seen64[p64] = struct{}{}
-				s.pendingAPD64 = append(s.pendingAPD64, p64)
-			}
-			s.active[a] = &targetState{firstDay: day, lastSuccessDay: -1}
+			sh := ip6.ShardOf(a)
+			s.routeBuf[sh] = append(s.routeBuf[sh], routedInput{addr: a, feed: int32(fi), seq: seq})
+			seq++
 		}
+	}
+
+	// Shard phase: per-shard filtering and admission. Shared reads
+	// (blocklist, AS table, aliased prefixes) are lookup-only here; all
+	// writes go to shard-owned state.
+	results := make([]*shardIngest, ip6.AddrShards)
+	ip6.ParallelShards(s.workers, func(sh int) {
+		entries := s.routeBuf[sh]
+		if len(entries) == 0 {
+			return
+		}
+		r := &shardIngest{
+			ingestCounters: ingestCounters{perAS: make(map[int]*ASInput)},
+			perFeed:        make([]int, len(feedNames)),
+		}
+		for _, e := range entries {
+			outcome := s.admitOne(sh, e.addr, day, &r.ingestCounters)
+			if outcome == admitDup {
+				continue
+			}
+			r.perFeed[e.feed]++
+			if outcome == admitAdmitted {
+				r.admitted = append(r.admitted, e)
+			}
+		}
+		results[sh] = r
+	})
+
+	// Merge phase, canonical shard order.
+	var admitted []routedInput
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		s.routeBuf[sh] = s.routeBuf[sh][:0]
+		r := results[sh]
+		if r == nil {
+			continue
+		}
+		s.applyIngest(rec, &r.ingestCounters)
+		for fi, n := range r.perFeed {
+			if n > 0 {
+				s.inputByFeed[feedNames[fi]] += n
+			}
+		}
+		admitted = append(admitted, r.admitted...)
+	}
+
+	// Track newly admitted /64s for alias detection in input order, as a
+	// serial pass would have: the APD candidate queue is order-sensitive
+	// (its cap decides which /64s are tested this round vs queued).
+	sort.Slice(admitted, func(i, j int) bool { return admitted[i].seq < admitted[j].seq })
+	for _, e := range admitted {
+		s.trackSlash64(e.addr)
 	}
 	return nil
 }
 
-// deployGFWFilter materializes the cumulative injected-only list and
-// removes it from the active window — the paper's one-time cleanup of
-// 134 M addresses in February 2022.
-func (s *Service) deployGFWFilter(rec *ScanRecord) {
-	s.gfwDeployed = true
-	s.gfwInputDrop = s.tracker.InjectedOnly()
-	for a := range s.gfwInputDrop {
-		if _, ok := s.active[a]; ok {
-			delete(s.active, a)
-			rec.GFWFilteredInput++
-			s.gfwTotal++
-			asn := 0
-			if as := s.net.AS.Lookup(a); as != nil {
-				asn = as.ASN
+// ingestSerial is the one-goroutine ingest sweep: one pass over the
+// deterministic (feed-name-sorted) input sequence, running the same
+// admission chain (admitOne) inline with /64 tracking in input order.
+func (s *Service) ingestSerial(feedNames []string, collected map[string][]ip6.Addr, day int, rec *ScanRecord) {
+	c := ingestCounters{perAS: make(map[int]*ASInput)}
+	for _, feed := range feedNames {
+		for _, a := range collected[feed] {
+			if !a.IsGlobalUnicast() {
+				continue
 			}
-			if ai := s.perASInput[asn]; ai != nil {
-				ai.GFW++
+			outcome := s.admitOne(ip6.ShardOf(a), a, day, &c)
+			if outcome == admitDup {
+				continue
+			}
+			s.inputByFeed[feed]++
+			if outcome == admitAdmitted {
+				s.trackSlash64(a)
 			}
 		}
 	}
+	s.applyIngest(rec, &c)
+}
+
+// trackSlash64 queues a newly admitted address's /64 for alias detection
+// the first time it is seen.
+func (s *Service) trackSlash64(a ip6.Addr) {
+	p64 := ip6.Slash64(a)
+	if _, ok := s.seen64[p64]; !ok {
+		s.seen64[p64] = struct{}{}
+		s.pendingAPD64 = append(s.pendingAPD64, p64)
+	}
+}
+
+// deployGFWFilter materializes the cumulative injected-only list and
+// removes it from the active window — the paper's one-time cleanup of
+// 134 M addresses in February 2022. The drop list arrives sharded from
+// the tracker, so the purge is a per-shard sweep: each shard deletes its
+// own slice of the list from the target store, and the per-AS counter
+// deltas merge in canonical shard order.
+func (s *Service) deployGFWFilter(rec *ScanRecord) {
+	s.gfwDeployed = true
+	s.gfwInputDrop = s.tracker.InjectedOnlySharded()
+	dropped := make([]shardPurge, ip6.AddrShards)
+	ip6.ParallelShards(s.workers, func(sh int) {
+		d := &dropped[sh]
+		for a := range s.gfwInputDrop.Shard(sh) {
+			if s.active.DeleteInShard(sh, a) {
+				d.count++
+				asn := 0
+				if as := s.net.AS.Lookup(a); as != nil {
+					asn = as.ASN
+				}
+				d.addAS(asn)
+			}
+		}
+	})
+	for sh := range dropped {
+		d := &dropped[sh]
+		rec.GFWFilteredInput += d.count
+		s.gfwTotal += d.count
+		for asn, n := range d.perAS {
+			// Only ASes already holding input accounting are updated, as
+			// in the pre-sharded cleanup.
+			if ai := s.perASInput[asn]; ai != nil {
+				ai.GFW += n
+			}
+		}
+	}
+}
+
+// shardPurge counts one shard's removals in a purge sweep, with per-AS
+// attribution deltas to merge after the sweep.
+type shardPurge struct {
+	count int
+	perAS map[int]int
+}
+
+func (d *shardPurge) addAS(asn int) {
+	if d.perAS == nil {
+		d.perAS = make(map[int]int)
+	}
+	d.perAS[asn]++
 }
 
 // runAPD tests BGP prefixes plus the queued new /64s and applies the
@@ -483,28 +718,54 @@ func (s *Service) runAPD(ctx context.Context, day int, rec *ScanRecord) error {
 	// same round.
 	detected := res.Aliased.Prefixes()
 	sort.Slice(detected, func(i, j int) bool { return detected[i].Bits() < detected[j].Bits() })
+	var fresh *ip6.PrefixSet
 	for _, p := range detected {
 		if !s.coveredByAliased(p) {
 			s.aliased.Add(p)
+			if fresh == nil {
+				fresh = ip6.NewPrefixSet()
+			}
+			fresh.Add(p)
 		}
 	}
 
-	// Newly aliased prefixes purge matching active targets.
-	for a := range s.active {
-		if s.aliased.Contains(a) {
-			delete(s.active, a)
-			rec.AliasedInput++
-			s.aliasedTotal++
-			asn := 0
-			if as := s.net.AS.Lookup(a); as != nil {
-				asn = as.ASN
+	// Newly aliased prefixes purge matching active targets. Targets are
+	// only matched against this round's fresh prefixes: admission filters
+	// against the aliased set at ingest time and every earlier round
+	// purged its own detections, so no active target can be covered by an
+	// older prefix — rounds that detect nothing new skip the sweep
+	// entirely, and rounds that do only pay lookups against the small
+	// fresh set.
+	if fresh == nil {
+		return nil
+	}
+	purged := make([]shardPurge, ip6.AddrShards)
+	ip6.ParallelShards(s.workers, func(sh int) {
+		d := &purged[sh]
+		s.active.WalkShard(sh, func(a ip6.Addr, _ *targetState) bool {
+			if fresh.Contains(a) {
+				s.active.DeleteInShard(sh, a)
+				d.count++
+				asn := 0
+				if as := s.net.AS.Lookup(a); as != nil {
+					asn = as.ASN
+				}
+				d.addAS(asn)
 			}
+			return true
+		})
+	})
+	for sh := range purged {
+		d := &purged[sh]
+		rec.AliasedInput += d.count
+		s.aliasedTotal += d.count
+		for asn, n := range d.perAS {
 			ai := s.perASInput[asn]
 			if ai == nil {
 				ai = &ASInput{}
 				s.perASInput[asn] = ai
 			}
-			ai.Aliased++
+			ai.Aliased += n
 		}
 	}
 	return nil
@@ -517,27 +778,50 @@ func (s *Service) coveredByAliased(p ip6.Prefix) bool {
 	return ok && m.Bits() <= p.Bits()
 }
 
-// buildScanSet applies the 30-day filter and returns the scan targets.
-func (s *Service) buildScanSet(day int, rec *ScanRecord) []ip6.Addr {
-	targets := make([]ip6.Addr, 0, len(s.active))
-	for a, st := range s.active {
-		ref := st.lastSuccessDay
-		if ref < 0 {
-			ref = st.firstDay
-		}
-		if day-ref > s.cfg.UnresponsiveDays {
-			delete(s.active, a)
-			rec.Evicted++
-			s.evictedTotal++
-			if s.cfg.RetainUnresponsive {
-				s.unresponsive.Add(a)
-			}
-			continue
-		}
-		targets = append(targets, a)
+// buildScanSet applies the 30-day filter and rebuilds the per-shard scan
+// sets in s.scanShards, returning the total target count. Every shard
+// evicts its stale targets and sorts its survivors independently on the
+// worker pool; the global concatenated-and-sorted target slice of the
+// serial implementation is gone — the scanner consumes the shard slices
+// directly. Per-shard sorting keeps the engine's batch sequences
+// deterministic for order-sensitive sinks (records themselves are
+// order-independent), and costs less than one global sort.
+func (s *Service) buildScanSet(day int, rec *ScanRecord) int {
+	if s.evictBuf == nil {
+		s.evictBuf = make([]evictRes, ip6.AddrShards)
 	}
-	ip6.SortAddrs(targets)
-	return targets
+	evs := s.evictBuf
+	ip6.ParallelShards(s.workers, func(sh int) {
+		evs[sh] = evictRes{evicted: evs[sh].evicted[:0]}
+		ev := &evs[sh]
+		targets := s.scanShards[sh][:0]
+		s.active.WalkShard(sh, func(a ip6.Addr, st *targetState) bool {
+			ref := st.lastSuccessDay
+			if ref < 0 {
+				ref = st.firstDay
+			}
+			if day-ref > s.cfg.UnresponsiveDays {
+				s.active.DeleteInShard(sh, a)
+				ev.count++
+				if s.cfg.RetainUnresponsive {
+					ev.evicted = append(ev.evicted, a)
+				}
+				return true
+			}
+			targets = append(targets, a)
+			return true
+		})
+		ip6.SortAddrs(targets)
+		s.scanShards[sh] = targets
+	})
+	total := 0
+	for sh := range evs {
+		total += len(s.scanShards[sh])
+		rec.Evicted += evs[sh].count
+		s.evictedTotal += evs[sh].count
+		s.unresponsive.AddSlice(evs[sh].evicted)
+	}
+	return total
 }
 
 // shardDigest accumulates one shard's slice of a scan. Each instance is
@@ -601,69 +885,66 @@ func (s *Service) digestSink(digests []*shardDigest) scan.Sink {
 }
 
 // finalizeDigest applies the per-shard accumulators to service state —
-// target liveness, GFW evidence, cumulative responsive sets, churn — in
-// parallel (shards are independent), then merges the counters into the
-// record in canonical shard order. It only runs for a completed scan, so
-// aborted scans leave the service exactly as it was.
+// target liveness, GFW evidence, cumulative responsive sets, churn — as a
+// per-shard sweep on the worker pool (shards are independent, and with
+// the sharded target store the liveness bumps are shard-local too: no
+// cross-shard locking anywhere), then merges the counters into the record
+// in canonical shard order. It only runs for a completed scan, so aborted
+// scans leave the service exactly as it was.
 func (s *Service) finalizeDigest(digests []*shardDigest, day int, rec *ScanRecord) {
 	lastClean := make(map[netmodel.Protocol]*ip6.ShardedSet, len(s.cfg.Protocols))
 	for _, p := range s.cfg.Protocols {
 		lastClean[p] = ip6.NewShardedSet()
 	}
 
-	var wg sync.WaitGroup
 	for sh := 0; sh < ip6.AddrShards; sh++ {
-		d := digests[sh]
-		if d == nil {
+		if digests[sh] == nil {
 			// A shard with no batches still matters: its previously
 			// responsive addresses all churned to unresponsive. The zero
 			// digest's nil sets are safe to read.
-			d = &shardDigest{}
+			digests[sh] = &shardDigest{}
 		}
-		digests[sh] = d
-		wg.Add(1)
-		go func(sh int, d *shardDigest) {
-			defer wg.Done()
-			// Target liveness: before the filter deployment, injected
-			// success keeps the target alive (that is the published
-			// behaviour), so any response counts; after deployment only
-			// clean responses do. Addresses of one shard never appear in
-			// another, so the targetState writes are race-free.
-			bump := d.cleanAny
-			if !s.gfwDeployed {
-				bump = d.rawAny
-			}
-			for a := range bump {
-				if st, ok := s.active[a]; ok {
-					st.lastSuccessDay = day
-				}
-			}
-			s.tracker.AddEvidenceShard(sh, d.injectedDNS, &d.cleanByProto)
-
-			prev := s.prevRespAny.Shard(sh)
-			for a := range d.cleanAny {
-				if !prev.Has(a) {
-					if s.everRespAny.HasInShard(sh, a) {
-						d.respAgain++
-					} else {
-						d.firstResp++
-					}
-				}
-			}
-			for a := range prev {
-				if !d.cleanAny.Has(a) {
-					d.unresp++
-				}
-			}
-			s.everRespAny.AddAllToShard(sh, d.cleanAny)
-			for _, p := range s.cfg.Protocols {
-				s.everResp[p].AddAllToShard(sh, d.cleanByProto[p])
-				lastClean[p].SetShard(sh, d.cleanByProto[p])
-			}
-			s.prevRespAny.SetShard(sh, d.cleanAny)
-		}(sh, d)
 	}
-	wg.Wait()
+	ip6.ParallelShards(s.workers, func(sh int) {
+		d := digests[sh]
+		// Target liveness: before the filter deployment, injected
+		// success keeps the target alive (that is the published
+		// behaviour), so any response counts; after deployment only
+		// clean responses do. Addresses of one shard never appear in
+		// another, so the targetState writes are race-free.
+		bump := d.cleanAny
+		if !s.gfwDeployed {
+			bump = d.rawAny
+		}
+		for a := range bump {
+			if st, ok := s.active.GetInShard(sh, a); ok {
+				st.lastSuccessDay = day
+			}
+		}
+		s.tracker.AddEvidenceShard(sh, d.injectedDNS, &d.cleanByProto)
+
+		prev := s.prevRespAny.Shard(sh)
+		for a := range d.cleanAny {
+			if !prev.Has(a) {
+				if s.everRespAny.HasInShard(sh, a) {
+					d.respAgain++
+				} else {
+					d.firstResp++
+				}
+			}
+		}
+		for a := range prev {
+			if !d.cleanAny.Has(a) {
+				d.unresp++
+			}
+		}
+		s.everRespAny.AddAllToShard(sh, d.cleanAny)
+		for _, p := range s.cfg.Protocols {
+			s.everResp[p].AddAllToShard(sh, d.cleanByProto[p])
+			lastClean[p].SetShard(sh, d.cleanByProto[p])
+		}
+		s.prevRespAny.SetShard(sh, d.cleanAny)
+	})
 
 	for sh := 0; sh < ip6.AddrShards; sh++ {
 		d := digests[sh]

@@ -196,18 +196,35 @@ func (t *Tracker) Observe(results []scan.Result) {
 	}
 }
 
+// walkInjectedOnly visits every address that ever triggered an injection
+// and never answered anything else — the one copy of the filter-list
+// predicate both materializations below share.
+func (t *Tracker) walkInjectedOnly(fn func(sh int, a ip6.Addr)) {
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		for a := range t.injectedSeen.Shard(sh) {
+			if !t.otherProto.HasInShard(sh, a) && !t.realDNS.HasInShard(sh, a) {
+				fn(sh, a)
+			}
+		}
+	}
+}
+
 // InjectedOnly returns the addresses that ever triggered an injection and
 // never answered anything else — the set the paper removes from the
 // cumulative input.
 func (t *Tracker) InjectedOnly() ip6.Set {
 	out := ip6.NewSet(0)
-	for sh := 0; sh < ip6.AddrShards; sh++ {
-		for a := range t.injectedSeen.Shard(sh) {
-			if !t.otherProto.HasInShard(sh, a) && !t.realDNS.HasInShard(sh, a) {
-				out.Add(a)
-			}
-		}
-	}
+	t.walkInjectedOnly(func(_ int, a ip6.Addr) { out.Add(a) })
+	return out
+}
+
+// InjectedOnlySharded is InjectedOnly preserving the shard partitioning:
+// consumers that sweep the list shard by shard (the service's cumulative
+// input filter) keep shard-local membership checks and never pay for a
+// flat merged copy.
+func (t *Tracker) InjectedOnlySharded() *ip6.ShardedSet {
+	out := ip6.NewShardedSet()
+	t.walkInjectedOnly(func(sh int, a ip6.Addr) { out.AddToShard(sh, a) })
 	return out
 }
 

@@ -142,15 +142,30 @@ func (p Prefix) NumAddressesLog2() int { return 128 - int(p.bits) }
 func (p Prefix) RandomAddr(r *rng.Stream) Addr {
 	a := p.addr
 	hostBits := 128 - int(p.bits)
-	// Fill host bits from the stream, most significant first.
+	// Fill host bits from the stream, most significant first. Each
+	// 64-bit draw's top n bits land contiguously at the current offset;
+	// they are deposited a byte at a time (bit-identical to a per-bit
+	// loop, ~8× fewer operations — alias detection generates 16 of
+	// these per candidate per round).
 	for i := 0; i < hostBits; i += 64 {
 		chunk := r.Uint64()
 		n := hostBits - i
 		if n > 64 {
 			n = 64
 		}
-		for b := 0; b < n; b++ {
-			a = a.SetBit(int(p.bits)+i+b, byte(chunk>>uint(63-b))&1)
+		pos := int(p.bits) + i
+		for n > 0 {
+			take := 8 - pos&7
+			if take > n {
+				take = n
+			}
+			bits := byte(chunk >> (64 - take)) // top `take` bits, MSB-first
+			chunk <<= take
+			shift := 8 - pos&7 - take
+			mask := byte(1<<take-1) << shift
+			a[pos>>3] = a[pos>>3]&^mask | bits<<shift
+			pos += take
+			n -= take
 		}
 	}
 	return a

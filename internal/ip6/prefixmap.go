@@ -22,6 +22,16 @@ func NewPrefixMap[T any]() *PrefixMap[T] { return &PrefixMap[T]{} }
 // Len returns the number of entries.
 func (m *PrefixMap[T]) Len() int { return m.entries }
 
+// MaxBits returns the longest populated prefix length, or -1 when the
+// map is empty. Lookup memoization keys off it: two addresses sharing
+// their first MaxBits bits always yield the same longest-prefix match.
+func (m *PrefixMap[T]) MaxBits() int {
+	if len(m.lens) == 0 {
+		return -1
+	}
+	return m.lens[0] // lens is kept sorted descending
+}
+
 // Insert adds or replaces the value for prefix p.
 func (m *PrefixMap[T]) Insert(p Prefix, v T) {
 	b := p.Bits()

@@ -1,6 +1,9 @@
 package ip6
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Set is an unordered set of IPv6 addresses.
 type Set map[Addr]struct{}
@@ -122,7 +125,9 @@ func (s Set) Sorted() []Addr {
 	return out
 }
 
-// SortAddrs sorts a slice of addresses in place, ascending.
+// SortAddrs sorts a slice of addresses in place, ascending. The generic
+// sort avoids the reflection and closure allocations of sort.Slice —
+// per-shard scan-set sorting calls this once per shard per scan.
 func SortAddrs(addrs []Addr) {
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	slices.SortFunc(addrs, func(a, b Addr) int { return a.Compare(b) })
 }

@@ -144,6 +144,11 @@ func (t *ASTable) NumASes() int { return len(t.byASN) }
 // NumPrefixes returns the number of announced prefixes.
 func (t *ASTable) NumPrefixes() int { return t.m.Len() }
 
+// MaxAnnouncedBits returns the longest announced prefix length (-1 when
+// the table is empty) — the granularity at which per-prefix lookup
+// memoization stays exact.
+func (t *ASTable) MaxAnnouncedBits() int { return t.m.MaxBits() }
+
 // AnnouncedPrefixes returns every announced prefix in stable order.
 func (t *ASTable) AnnouncedPrefixes() []ip6.Prefix { return t.m.Prefixes() }
 

@@ -81,8 +81,19 @@ type Stream struct {
 // NewStream returns a Stream seeded from seed and a purpose label.
 // Distinct purposes yield statistically independent streams.
 func NewStream(seed uint64, purpose string) *Stream {
-	sm := seed ^ HashString(purpose)
+	st := NewStreamSeed(seed ^ HashString(purpose))
+	return &st
+}
+
+// NewStreamSeed returns a Stream seeded directly:
+// NewStream(seed, purpose) draws identically to
+// NewStreamSeed(seed ^ HashString(purpose)). It returns a value, so hot
+// paths that derive one short-lived stream per entity (the alias
+// detector's per-slot draws) can hoist the label hash and keep the
+// generator on the stack.
+func NewStreamSeed(seed uint64) Stream {
 	var st Stream
+	sm := seed
 	for i := range st.s {
 		st.s[i] = SplitMix64(&sm)
 	}
@@ -90,7 +101,7 @@ func NewStream(seed uint64, purpose string) *Stream {
 	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
 		st.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &st
+	return st
 }
 
 // Derive returns a new independent Stream keyed by additional values,

@@ -54,6 +54,16 @@ type Config struct {
 	// DefaultBatchSize. It is a throughput knob only: scan outputs are
 	// bit-identical across batch sizes.
 	BatchSize int
+
+	// SinkQueueDepth, when > 0, decouples probe workers from the sink
+	// through a bounded delivery queue of this many batches: one delivery
+	// goroutine drains the queue in FIFO order (preserving the per-shard
+	// Seq ordering of the Sink contract), probe workers run ahead until
+	// the queue fills, and a slow consumer then applies backpressure
+	// instead of stalling every worker inside each sink call. 0 invokes
+	// the sink inline on the probe workers. A throughput knob only:
+	// outputs are bit-identical either way.
+	SinkQueueDepth int
 }
 
 // DefaultConfig mirrors the service's scanning configuration.

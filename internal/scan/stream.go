@@ -2,6 +2,7 @@ package scan
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -96,12 +97,41 @@ func buildPlans(targets []ip6.Addr) []shardPlan {
 // context cancels the stream between batches; batches already delivered
 // stand, and ctx.Err() is returned.
 func (s *Scanner) Stream(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int, sink Sink) (Stats, error) {
-	var total streamTotals
 	if len(targets) == 0 || len(protos) == 0 {
+		var total streamTotals
 		return total.stats(s.cfg.RatePPS), nil
 	}
+	return s.streamPlans(ctx, buildPlans(targets), protos, day, sink)
+}
 
-	plans := buildPlans(targets)
+// StreamSharded probes targets the caller has already partitioned into
+// canonical shards: shards[i] holds shard i's targets (every address must
+// satisfy ShardOf == i) and len(shards) must be ip6.AddrShards. It is the
+// zero-materialization entry point for sharded producers — per-shard
+// target slices feed the engine directly, no concatenated global slice is
+// ever built. Batches from StreamSharded carry no original-position
+// mapping, so Batch.OrigIndex must not be called on them; accumulate
+// per shard instead.
+func (s *Scanner) StreamSharded(ctx context.Context, shards [][]ip6.Addr, protos []netmodel.Protocol, day int, sink Sink) (Stats, error) {
+	if len(shards) != ip6.AddrShards {
+		return Stats{}, fmt.Errorf("scan: StreamSharded wants %d shards, got %d", ip6.AddrShards, len(shards))
+	}
+	plans := make([]shardPlan, ip6.AddrShards)
+	n := 0
+	for i := range shards {
+		plans[i].targets = shards[i]
+		n += len(shards[i])
+	}
+	if n == 0 || len(protos) == 0 {
+		var total streamTotals
+		return total.stats(s.cfg.RatePPS), nil
+	}
+	return s.streamPlans(ctx, plans, protos, day, sink)
+}
+
+// streamPlans runs the worker pool over prepared per-shard plans.
+func (s *Scanner) streamPlans(ctx context.Context, plans []shardPlan, protos []netmodel.Protocol, day int, sink Sink) (Stats, error) {
+	var total streamTotals
 	nonEmpty := 0
 	for i := range plans {
 		if len(plans[i].targets) > 0 {
@@ -130,6 +160,15 @@ func (s *Scanner) Stream(ctx context.Context, targets []ip6.Addr, protos []netmo
 		stopOnce.Do(func() { close(stop) })
 	}
 
+	// With a bounded sink queue configured, batches are handed to one
+	// delivery goroutine instead of being processed inline on the probe
+	// workers: a slow sink then applies backpressure (producers block once
+	// the queue fills) rather than stalling every worker mid-batch.
+	var queue *sinkQueue
+	if s.cfg.SinkQueueDepth > 0 {
+		queue = newSinkQueue(s, sink, s.cfg.SinkQueueDepth, fail)
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -140,7 +179,7 @@ func (s *Scanner) Stream(ctx context.Context, targets []ip6.Addr, protos []netmo
 					return
 				default:
 				}
-				if err := s.streamShard(ctx, sh, &plans[sh], protos, day, sink, &total, stop); err != nil {
+				if err := s.streamShard(ctx, sh, &plans[sh], protos, day, sink, queue, &total, stop); err != nil {
 					fail(err)
 					return
 				}
@@ -175,6 +214,9 @@ feed:
 	}
 	close(shardCh)
 	wg.Wait()
+	if queue != nil {
+		queue.close() // drains and waits; a sink error surfaces via fail
+	}
 
 	errMu.Lock()
 	err := firstErr
@@ -182,9 +224,70 @@ feed:
 	return total.stats(s.cfg.RatePPS), err
 }
 
+// sinkQueue is the bounded delivery queue between probe workers and the
+// sink (Config.SinkQueueDepth). A single delivery goroutine preserves the
+// Sink contract: batches arrive FIFO, and a shard's batches are enqueued
+// in Seq order by the one worker holding that shard, so same-shard calls
+// stay sequential and ordered. On a sink error the queue keeps draining
+// (returning buffers to the pool) so producers can never block forever on
+// a full channel.
+type sinkQueue struct {
+	scanner *Scanner
+	ch      chan *Batch
+	done    chan struct{}
+}
+
+func newSinkQueue(s *Scanner, sink Sink, depth int, fail func(error)) *sinkQueue {
+	q := &sinkQueue{scanner: s, ch: make(chan *Batch, depth), done: make(chan struct{})}
+	go func() {
+		defer close(q.done)
+		failed := false
+		for b := range q.ch {
+			if !failed {
+				if err := sink(b); err != nil {
+					fail(err)
+					failed = true
+				}
+			}
+			s.putBuf(b.Results)
+		}
+	}()
+	return q
+}
+
+// enqueue hands a filled batch to the delivery goroutine, blocking while
+// the queue is full — that block is the backpressure. The batch's buffer
+// is owned by the queue from here on.
+func (q *sinkQueue) enqueue(b *Batch) { q.ch <- b }
+
+// close signals end of stream and waits for the last delivery.
+func (q *sinkQueue) close() {
+	close(q.ch)
+	<-q.done
+}
+
+// getBuf returns a pooled result buffer with at least the given
+// capacity, empty.
+func (s *Scanner) getBuf(need int) []Result {
+	if buf, ok := s.bufPool.Get().([]Result); ok && cap(buf) >= need {
+		return buf[:0]
+	}
+	return make([]Result, 0, need)
+}
+
+// putBuf clears a buffer and parks it in the pool. Clearing before
+// pooling keeps parked buffers from pinning DNS payloads from the last
+// batches until their slots are overwritten.
+func (s *Scanner) putBuf(buf []Result) {
+	buf = buf[:cap(buf)]
+	clear(buf)
+	s.bufPool.Put(buf[:0])
+}
+
 // streamShard probes one shard's (target, protocol) sequence, flushing a
-// batch to sink every BatchSize results.
-func (s *Scanner) streamShard(ctx context.Context, shard int, plan *shardPlan, protos []netmodel.Protocol, day int, sink Sink, total *streamTotals, stop <-chan struct{}) error {
+// batch every BatchSize results — inline to the sink, or through the
+// bounded delivery queue when one is configured.
+func (s *Scanner) streamShard(ctx context.Context, shard int, plan *shardPlan, protos []netmodel.Protocol, day int, sink Sink, queue *sinkQueue, total *streamTotals, stop <-chan struct{}) error {
 	batchSize := s.cfg.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
@@ -198,18 +301,8 @@ func (s *Scanner) streamShard(ctx context.Context, shard int, plan *shardPlan, p
 	if need > batchSize {
 		need = batchSize
 	}
-	if buf, ok := s.bufPool.Get().([]Result); ok && cap(buf) >= need {
-		b.Results = buf[:0]
-	} else {
-		b.Results = make([]Result, 0, need)
-	}
-	defer func() {
-		// Clear before pooling so parked buffers don't pin DNS payloads
-		// from the last batches until their slots are overwritten.
-		buf := b.Results[:cap(b.Results)]
-		clear(buf)
-		s.bufPool.Put(buf[:0])
-	}()
+	b.Results = s.getBuf(need)
+	defer func() { s.putBuf(b.Results) }()
 	pos := 0
 
 	flush := func() error {
@@ -219,6 +312,16 @@ func (s *Scanner) streamShard(ctx context.Context, shard int, plan *shardPlan, p
 		b.Stats.EstimatedSeconds = float64(b.Stats.ProbesSent) / float64(s.cfg.RatePPS)
 		b.Stats.Batches = 1
 		total.add(&b.Stats)
+		if queue != nil {
+			// Ownership of the filled batch moves to the delivery
+			// goroutine (which pools its buffer after the sink call);
+			// probing continues immediately into a fresh buffer.
+			full := b
+			b = &Batch{Shard: shard, Seq: full.Seq + 1, start: pos, orig: plan.orig, nprotos: len(protos)}
+			b.Results = s.getBuf(need)
+			queue.enqueue(full)
+			return nil
+		}
 		if err := sink(b); err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
@@ -157,6 +158,143 @@ func TestStreamEmpty(t *testing.T) {
 	})
 	if err != nil || st.ProbesSent != 0 || st.Batches != 0 {
 		t.Errorf("empty stream: %+v, %v", st, err)
+	}
+}
+
+// collectResponsive accumulates per-target success counts from a stream —
+// an order-insensitive digest two runs can be compared by.
+func collectResponsive(t *testing.T, stream func(Sink) (Stats, error)) (map[ip6.Addr]int, Stats) {
+	t.Helper()
+	var mu sync.Mutex
+	succ := make(map[ip6.Addr]int)
+	st, err := stream(func(b *Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range b.Results {
+			if b.Results[i].Success {
+				succ[b.Results[i].Target]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return succ, st
+}
+
+// TestStreamShardedEquivalence: feeding the engine pre-sharded target
+// slices must reproduce a flat Stream over the same targets exactly — no
+// global concatenation required.
+func TestStreamShardedEquivalence(t *testing.T) {
+	n := testNet(t)
+	targets := append(streamTargets(300),
+		ip6.MustParseAddr("2001:100::80"),
+		ip6.MustParseAddr("2001:100::53"),
+		ip6.MustParseAddr("240e::1"))
+	protos := allProtos()
+	cfg := DefaultConfig(7)
+	cfg.Workers = 4
+	cfg.BatchSize = 16
+	s := New(n, cfg)
+
+	flat, flatStats := collectResponsive(t, func(sink Sink) (Stats, error) {
+		return s.Stream(context.Background(), targets, protos, 9, sink)
+	})
+
+	shards := make([][]ip6.Addr, ip6.AddrShards)
+	for _, a := range targets {
+		sh := ip6.ShardOf(a)
+		shards[sh] = append(shards[sh], a)
+	}
+	sharded, shardedStats := collectResponsive(t, func(sink Sink) (Stats, error) {
+		return s.StreamSharded(context.Background(), shards, protos, 9, sink)
+	})
+
+	if !reflect.DeepEqual(flat, sharded) {
+		t.Error("sharded stream responsive sets differ from flat stream")
+	}
+	if flatStats.ProbesSent != shardedStats.ProbesSent || flatStats.Successes != shardedStats.Successes {
+		t.Errorf("stats differ: %+v vs %+v", flatStats, shardedStats)
+	}
+
+	if _, err := s.StreamSharded(context.Background(), make([][]ip6.Addr, 3), protos, 9, func(*Batch) error { return nil }); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+}
+
+// TestSinkQueueBackpressure: with SinkQueueDepth set, a deliberately slow
+// sink must still receive every batch exactly once, in per-shard Seq
+// order, with outputs identical to the inline path — the queue is a
+// throughput knob, not a semantics change.
+func TestSinkQueueBackpressure(t *testing.T) {
+	n := testNet(t)
+	targets := streamTargets(400)
+	protos := []netmodel.Protocol{netmodel.ICMP, netmodel.TCP80}
+
+	mk := func(depth int) *Scanner {
+		cfg := DefaultConfig(5)
+		cfg.Workers = 4
+		cfg.BatchSize = 8
+		cfg.SinkQueueDepth = depth
+		return New(n, cfg)
+	}
+
+	inline, inlineStats := collectResponsive(t, func(sink Sink) (Stats, error) {
+		return mk(0).Stream(context.Background(), targets, protos, 3, sink)
+	})
+
+	s := mk(2)
+	nextSeq := make(map[int]int)
+	succ := make(map[ip6.Addr]int)
+	st, err := s.Stream(context.Background(), targets, protos, 3, func(b *Batch) error {
+		// The delivery goroutine is single-threaded — no locking needed,
+		// which is itself part of what the queue buys a slow consumer.
+		if b.Seq != nextSeq[b.Shard] {
+			t.Errorf("shard %d: seq %d, want %d", b.Shard, b.Seq, nextSeq[b.Shard])
+		}
+		nextSeq[b.Shard]++
+		for i := range b.Results {
+			if b.Results[i].Success {
+				succ[b.Results[i].Target]++
+			}
+		}
+		time.Sleep(100 * time.Microsecond) // deliberately slow consumer
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inline, succ) {
+		t.Error("queued delivery changed the responsive sets")
+	}
+	if st.ProbesSent != inlineStats.ProbesSent || st.Batches != inlineStats.Batches {
+		t.Errorf("queued stats differ: %+v vs %+v", st, inlineStats)
+	}
+}
+
+// TestSinkQueueError: a sink error behind the queue still aborts the
+// stream and surfaces from Stream.
+func TestSinkQueueError(t *testing.T) {
+	n := testNet(t)
+	cfg := DefaultConfig(5)
+	cfg.BatchSize = 4
+	cfg.SinkQueueDepth = 3
+	s := New(n, cfg)
+	boom := errors.New("boom")
+	seen := 0
+	_, err := s.Stream(context.Background(), streamTargets(200), []netmodel.Protocol{netmodel.ICMP}, 3, func(b *Batch) error {
+		seen++
+		if seen == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if seen != 2 {
+		t.Errorf("sink called %d times after error, want 2", seen)
 	}
 }
 
