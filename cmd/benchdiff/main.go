@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	benchdiff [-max-regress PCT] baseline.txt current.txt
+//	benchdiff [-threshold PCT] baseline.txt current.txt
 //
-// With -max-regress >= 0, the exit status is non-zero when any
-// benchmark's ns/op or B/op regresses by more than PCT percent; the
-// default (-1) reports without failing, which is the right mode for
-// noisy shared CI runners.
+// With -threshold >= 0, the exit status is non-zero when any benchmark's
+// ns/op or B/op regresses by more than PCT percent — the CI gate mode,
+// where the bench artifact diff fails loudly instead of only reporting.
+// The default (-1) reports without failing. -max-regress is the
+// deprecated alias of -threshold.
 package main
 
 import (
@@ -82,12 +83,17 @@ func delta(base, cur float64) string {
 }
 
 func main() {
-	maxRegress := flag.Float64("max-regress", -1,
+	threshold := flag.Float64("threshold", -1,
 		"fail when ns/op or B/op regresses by more than this percentage (-1 = report only)")
+	maxRegress := flag.Float64("max-regress", -1,
+		"deprecated alias of -threshold")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress PCT] baseline.txt current.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] baseline.txt current.txt")
 		os.Exit(2)
+	}
+	if *threshold < 0 {
+		threshold = maxRegress
 	}
 	base, _, err := parseBench(flag.Arg(0))
 	if err != nil {
@@ -118,8 +124,8 @@ func main() {
 			return fmt.Sprintf("%.3g→%.3g %s", bv, cv, delta(bv, cv))
 		}
 		mark := ""
-		if *maxRegress >= 0 && b.hasNS && c.hasNS && b.ns > 0 &&
-			(100*(c.ns-b.ns)/b.ns > *maxRegress || (b.hasB && c.hasB && b.bytes > 0 && 100*(c.bytes-b.bytes)/b.bytes > *maxRegress)) {
+		if *threshold >= 0 && b.hasNS && c.hasNS && b.ns > 0 &&
+			(100*(c.ns-b.ns)/b.ns > *threshold || (b.hasB && c.hasB && b.bytes > 0 && 100*(c.bytes-b.bytes)/b.bytes > *threshold)) {
 			mark = "  <-- REGRESSION"
 			failed = true
 		}

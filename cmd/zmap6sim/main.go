@@ -2,13 +2,18 @@
 // ZMapv6-style scanner and writes result CSV to stdout.
 //
 // Targets come from a file (one IPv6 address per line) or, with
-// -sample N, from a random sample of the world's announced space.
+// -sample N, from a random sample of the world's announced space. Either
+// way they reach the probe workers through a pull-based scan.TargetSource
+// — the file streams line by line and the sampler draws on demand, so no
+// global target slice is ever built (pass -ordered, which must buffer
+// the full result set anyway, to opt out).
 //
 // Results stream through the sharded scan engine and are written as
 // batches complete — like real ZMap, output row order is arrival order,
 // not input order (rows within a batch stay in probe order). Pass
 // -ordered to buffer the full result set and emit input order instead.
-// -batchstats prints one stderr line per completed batch.
+// -batchstats prints one stderr line per completed batch; -shardstats
+// prints the full per-shard throughput table after the scan.
 //
 // Usage:
 //
@@ -21,7 +26,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 
@@ -31,6 +38,68 @@ import (
 	"hitlist6/internal/scan"
 	"hitlist6/internal/worldgen"
 )
+
+// lineSource streams a target file line by line as a scan.TargetSource:
+// the file is parsed at pull pace and never held in memory.
+type lineSource struct {
+	f  *os.File
+	sc *bufio.Scanner
+}
+
+func openLineSource(path string) (*lineSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &lineSource{f: f, sc: bufio.NewScanner(f)}, nil
+}
+
+func (s *lineSource) Next(buf []ip6.Addr) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				return n, fmt.Errorf("reading targets: %w", err)
+			}
+			return n, io.EOF
+		}
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := ip6.ParseAddr(line)
+		if err != nil {
+			return n, err
+		}
+		buf[n] = a
+		n++
+	}
+	return n, nil
+}
+
+func (s *lineSource) Close() error { return s.f.Close() }
+
+// sampleSource draws N random addresses from the announced space on
+// demand — the deterministic stream equals the former materialized
+// sample exactly (same rng stream, same draw order).
+type sampleSource struct {
+	r        *rng.Stream
+	prefixes []ip6.Prefix
+	left     int
+}
+
+func (s *sampleSource) Next(buf []ip6.Addr) (int, error) {
+	n := 0
+	for n < len(buf) && s.left > 0 {
+		buf[n] = s.prefixes[s.r.Intn(len(s.prefixes))].RandomAddr(s.r)
+		n++
+		s.left--
+	}
+	if s.left == 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
 
 func main() {
 	var (
@@ -45,9 +114,11 @@ func main() {
 		qname       = flag.String("qname", "www.google.com", "DNS probe question")
 		workers     = flag.Int("workers", 0, "probe concurrency (0 = GOMAXPROCS)")
 		batchSize   = flag.Int("batch", 0, "streamed batch size (0 = default)")
+		chunk       = flag.Int("chunk", 0, "target-source pull chunk size (0 = default)")
 		sinkQueue   = flag.Int("sinkqueue", 8, "bounded CSV delivery queue depth (0 = write inline on probe workers)")
 		ordered     = flag.Bool("ordered", false, "buffer results and write in input order")
 		batchStats  = flag.Bool("batchstats", false, "print per-batch throughput to stderr")
+		shardStats  = flag.Bool("shardstats", false, "print the full per-shard throughput table to stderr")
 	)
 	flag.Parse()
 
@@ -69,37 +140,20 @@ func main() {
 		protos = append(protos, p)
 	}
 
-	var targets []ip6.Addr
+	var src scan.TargetSource
 	switch {
 	case *targetsFile != "":
-		f, err := os.Open(*targetsFile)
+		ls, err := openLineSource(*targetsFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "opening targets: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			a, err := ip6.ParseAddr(line)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%v\n", err)
-				os.Exit(2)
-			}
-			targets = append(targets, a)
-		}
-		if err := sc.Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "reading targets: %v\n", err)
-			os.Exit(1)
-		}
+		src = ls
 	case *sample > 0:
-		r := rng.NewStream(*seed, "zmap6sim-sample")
-		prefixes := w.Net.AS.AnnouncedPrefixes()
-		for i := 0; i < *sample; i++ {
-			targets = append(targets, prefixes[r.Intn(len(prefixes))].RandomAddr(r))
+		src = &sampleSource{
+			r:        rng.NewStream(*seed, "zmap6sim-sample"),
+			prefixes: w.Net.AS.AnnouncedPrefixes(),
+			left:     *sample,
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "need -targets or -sample")
@@ -112,6 +166,7 @@ func main() {
 	cfg.QName = *qname
 	cfg.Workers = *workers
 	cfg.BatchSize = *batchSize
+	cfg.SourceChunk = *chunk
 	cfg.SinkQueueDepth = *sinkQueue
 	s := scan.New(w.Net, cfg)
 
@@ -124,6 +179,13 @@ func main() {
 	var stats scan.Stats
 	ctx := context.Background()
 	if *ordered {
+		// Input-order output requires the full result cross product, and
+		// therefore the materialized target list.
+		targets, err := scan.Collect(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "collecting targets: %v\n", err)
+			os.Exit(1)
+		}
 		results, st, err := s.Scan(ctx, targets, protos, *day)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scanning: %v\n", err)
@@ -137,14 +199,15 @@ func main() {
 			}
 		}
 	} else {
-		// With the default bounded sink queue, one delivery goroutine
-		// writes CSV while probe workers run ahead (and block on the full
-		// queue instead of on stdout — backpressure, not serialization).
-		// -sinkqueue 0 falls back to inline sink calls from many workers
-		// at once. The mutex covers both modes; it is uncontended when
-		// the delivery goroutine is the only caller.
+		// Targets flow source → router → probe workers → CSV, all
+		// streaming. With the default bounded sink queue, one delivery
+		// goroutine writes CSV while probe workers run ahead (and block
+		// on the full queue instead of on stdout — backpressure, not
+		// serialization). -sinkqueue 0 falls back to inline sink calls
+		// from many workers at once. The mutex covers both modes; it is
+		// uncontended when the delivery goroutine is the only caller.
 		var mu sync.Mutex
-		st, err := s.Stream(ctx, targets, protos, *day, func(b *scan.Batch) error {
+		st, err := s.StreamFrom(ctx, src, protos, *day, func(b *scan.Batch) error {
 			mu.Lock()
 			defer mu.Unlock()
 			for _, r := range b.Results {
@@ -170,4 +233,48 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "probes=%d responses=%d successes=%d batches=%d est-duration=%.1fs\n",
 		stats.ProbesSent, stats.Responses, stats.Successes, stats.Batches, stats.EstimatedSeconds)
+	printShardSummary(os.Stderr, stats.PerShard, *shardStats)
+}
+
+// printShardSummary renders the engine's per-shard throughput: always a
+// one-line spread summary (the raw signal for adaptive rate control),
+// and with full=true the whole table for active shards.
+func printShardSummary(w io.Writer, shards []scan.ShardStats, full bool) {
+	if len(shards) == 0 {
+		return
+	}
+	type row struct {
+		shard int
+		s     scan.ShardStats
+	}
+	var active []row
+	for i, s := range shards {
+		if s.ProbesSent > 0 {
+			active = append(active, row{i, s})
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].s.ProbesSent > active[j].s.ProbesSent })
+	var probes uint64
+	var nanos int64
+	for _, r := range active {
+		probes += r.s.ProbesSent
+		nanos += r.s.Nanos
+	}
+	busiest, laziest := active[0], active[len(active)-1]
+	fmt.Fprintf(w, "shards: active=%d/%d probes avg=%d max=%d (shard %d) min=%d (shard %d) probe-time=%.1fms\n",
+		len(active), len(shards), probes/uint64(len(active)),
+		busiest.s.ProbesSent, busiest.shard, laziest.s.ProbesSent, laziest.shard,
+		float64(nanos)/1e6)
+	if !full {
+		return
+	}
+	fmt.Fprintf(w, "%6s %10s %10s %10s %8s %10s\n", "shard", "probes", "responses", "successes", "batches", "ms")
+	sort.Slice(active, func(i, j int) bool { return active[i].shard < active[j].shard })
+	for _, r := range active {
+		fmt.Fprintf(w, "%6d %10d %10d %10d %8d %10.2f\n",
+			r.shard, r.s.ProbesSent, r.s.Responses, r.s.Successes, r.s.Batches, float64(r.s.Nanos)/1e6)
+	}
 }

@@ -15,6 +15,7 @@ package apd
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/bits"
 	"sort"
 
@@ -127,6 +128,9 @@ type Detector struct {
 	scanner *scan.Scanner
 	cfg     Config
 	history map[ip6.Prefix][]uint16
+	// queue is the sharded slot queue, reused across rounds so
+	// steady-state detection allocates no per-round slot storage.
+	queue slotQueue
 }
 
 // NewDetector builds a detector using the given scanner.
@@ -158,6 +162,90 @@ func SlotAddr(p ip6.Prefix, v byte, day int) ip6.Addr {
 	return sub.RandomAddr(&r)
 }
 
+// slotRef ties one routed probe address back to its (candidate, slot)
+// pair for bitmap assembly after the scan.
+type slotRef struct {
+	cand int32
+	v    byte
+}
+
+// slotQueue is the sharded candidate queue feeding APD probe rounds into
+// the scan engine: every candidate's 16 slot addresses are drawn exactly
+// once and routed to their canonical shard alongside a back-reference,
+// so the flat candidates×16 target slice of the pre-redesign detector
+// never exists. It implements scan.ShardedSource — probe workers pull
+// their shard's address slice directly (zero-copy spans) — and the
+// detection loop walks the same shards to OR responsive slots into
+// per-candidate bitmaps with shard-local set lookups.
+type slotQueue struct {
+	addrs [ip6.AddrShards][]ip6.Addr
+	refs  [ip6.AddrShards][]slotRef
+	// generic pull cursor (canonical shard order)
+	sh, off int
+}
+
+// fill routes a round's slot addresses into the queue, reusing the
+// previous round's backing arrays.
+func (q *slotQueue) fill(candidates []ip6.Prefix, day int) error {
+	for sh := range q.addrs {
+		q.addrs[sh] = q.addrs[sh][:0]
+		q.refs[sh] = q.refs[sh][:0]
+	}
+	q.sh, q.off = 0, 0
+	for i, p := range candidates {
+		if p.Bits()+4 > 128 {
+			return fmt.Errorf("apd: candidate %v too long to subdivide", p)
+		}
+		for v := byte(0); v < 16; v++ {
+			a := SlotAddr(p, v, day)
+			sh := ip6.ShardOf(a)
+			q.addrs[sh] = append(q.addrs[sh], a)
+			q.refs[sh] = append(q.refs[sh], slotRef{cand: int32(i), v: v})
+		}
+	}
+	return nil
+}
+
+func (q *slotQueue) Next(buf []ip6.Addr) (int, error) {
+	for q.sh < ip6.AddrShards && q.off >= len(q.addrs[q.sh]) {
+		q.sh++
+		q.off = 0
+	}
+	if q.sh >= ip6.AddrShards {
+		return 0, io.EOF
+	}
+	n := copy(buf, q.addrs[q.sh][q.off:])
+	q.off += n
+	return n, nil
+}
+
+func (q *slotQueue) ShardSource(sh int) scan.TargetSource {
+	if len(q.addrs[sh]) == 0 {
+		return nil
+	}
+	return scan.SliceSource(q.addrs[sh])
+}
+
+func (q *slotQueue) ShardLen(sh int) int { return len(q.addrs[sh]) }
+
+// bitmaps assembles the per-candidate responsive-slot bitmaps from the
+// streamed responsive sets, walking shard-locally (no address hashing).
+func (q *slotQueue) bitmaps(nCands int, resp map[netmodel.Protocol]*ip6.ShardedSet, protos []netmodel.Protocol) []uint16 {
+	out := make([]uint16, nCands)
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		for i, a := range q.addrs[sh] {
+			for _, proto := range protos {
+				if resp[proto].HasInShard(sh, a) {
+					ref := q.refs[sh][i]
+					out[ref.cand] |= 1 << ref.v
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Run executes one detection round at the given day.
 func (d *Detector) Run(ctx context.Context, candidates []ip6.Prefix, day int) (*Result, error) {
 	res := &Result{
@@ -166,37 +254,25 @@ func (d *Detector) Run(ctx context.Context, candidates []ip6.Prefix, day int) (*
 		Detections: make(map[ip6.Prefix]Detection, len(candidates)),
 	}
 
-	// Build the probe list: 16 slots per candidate.
-	targets := make([]ip6.Addr, 0, len(candidates)*16)
-	for _, p := range candidates {
-		if p.Bits()+4 > 128 {
-			return nil, fmt.Errorf("apd: candidate %v too long to subdivide", p)
-		}
-		for v := byte(0); v < 16; v++ {
-			targets = append(targets, SlotAddr(p, v, day))
-		}
+	// Route the 16 slots per candidate into the sharded queue (reused
+	// across rounds), then stream the probe round through the engine:
+	// probe workers pull slot addresses shard by shard, and slot
+	// membership checks read the sharded responsive sets directly —
+	// neither the flat slot-address list nor the result cross product is
+	// ever materialized.
+	queue := &d.queue
+	if err := queue.fill(candidates, day); err != nil {
+		return nil, err
 	}
-
-	// Stream the probe run through the sharded engine; slot membership
-	// checks read the sharded sets directly, so the full result cross
-	// product is never materialized and no merged copy is built.
-	resp, stats, err := d.scanner.StreamResponsive(ctx, targets, d.cfg.Protocols, day)
+	resp, stats, err := d.scanner.StreamResponsiveFrom(ctx, queue, d.cfg.Protocols, day)
 	if err != nil {
 		return nil, fmt.Errorf("apd: scanning candidates: %w", err)
 	}
 	res.Probes = int(stats.ProbesSent)
 
+	bitmaps := queue.bitmaps(len(candidates), resp, d.cfg.Protocols)
 	for i, p := range candidates {
-		var bitmap uint16
-		for v := 0; v < 16; v++ {
-			a := targets[i*16+v]
-			for _, proto := range d.cfg.Protocols {
-				if resp[proto].Has(a) {
-					bitmap |= 1 << v
-					break
-				}
-			}
-		}
+		bitmap := bitmaps[i]
 		merged := bitmap
 		hist := d.history[p]
 		n := d.cfg.MergeScans

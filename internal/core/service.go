@@ -17,6 +17,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 
@@ -69,6 +70,27 @@ type Config struct {
 	// package default). A throughput knob only; outputs do not depend on
 	// it.
 	ScanBatchSize int
+
+	// TGAFeed, when set, closes the paper's Section 6 loop inside the
+	// pipeline: after each scan the feed streams candidate addresses
+	// generated from the cumulative clean responsive set, the service
+	// probes them through the streaming engine (deduplicated on the fly
+	// against every address ever seen as input — no candidate list is
+	// materialized), and the responders are ingested as next-scan input
+	// under the feed's name. Nil reproduces the plain service.
+	TGAFeed CandidateFeed
+}
+
+// CandidateFeed generates streaming scan candidates from the service's
+// cumulative responsive seed set; tga.CandidateFeed adapts any streaming
+// generator into one.
+type CandidateFeed interface {
+	// Name labels the feed in input accounting.
+	Name() string
+	// Candidates returns the candidate stream for one scan day given the
+	// current responsive seeds (sorted). The service closes closable
+	// sources when the round ends.
+	Candidates(day int, seeds []ip6.Addr) scan.TargetSource
 }
 
 // DefaultConfig mirrors the real service.
@@ -129,8 +151,23 @@ type ScanRecord struct {
 	// AliasedPrefixes is the current aliased-prefix count.
 	AliasedPrefixes int
 
-	// ProbesSent counts scanner probes (scan + APD).
+	// ProbesSent counts scanner probes (scan + APD + TGA round).
 	ProbesSent uint64
+
+	// ShardStats is the main scan's per-shard engine throughput (probes,
+	// responses, wall nanos per canonical shard) — the raw signal for
+	// adaptive rate control. ShardStats.Nanos is wall-clock and therefore
+	// nondeterministic; the whole block is excluded from golden
+	// encodings, which predate it.
+	ShardStats []scan.ShardStats `json:"-"`
+
+	// TGACandidates / TGAResponsive count the streamed TGA candidate
+	// round: candidates probed after input dedup, and distinct addresses
+	// among them that answered at least one protocol. Zero unless
+	// Config.TGAFeed is set; excluded from goldens, which predate the
+	// loop.
+	TGACandidates int `json:"-"`
+	TGAResponsive int `json:"-"`
 }
 
 // Snapshot is a full state capture at one scan.
@@ -363,13 +400,11 @@ func (s *Service) Funnel() Funnel {
 func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	rec := &ScanRecord{Index: s.scanIndex, Day: day}
 
-	// 1. Input accumulation.
-	collected, err := sources.Drain(ctx, s.feeds, day)
-	if err != nil {
+	// 1. Input accumulation: each active feed drains into a lazy
+	// per-feed source and the admission sweep pulls them chunk-wise — no
+	// global collected map is built.
+	if err := s.ingest(sources.Open(ctx, s.feeds, day), day, rec); err != nil {
 		return nil, fmt.Errorf("core: draining feeds: %w", err)
-	}
-	if err := s.ingest(collected, day, rec); err != nil {
-		return nil, err
 	}
 
 	// 2. GFW cumulative filter deployment (one-time event).
@@ -389,18 +424,28 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	// target store, refilling the reusable per-shard scan-set buffers.
 	rec.ScannedTargets = s.buildScanSet(day, rec)
 
-	// 5+6. The scan, streamed: the per-shard scan sets feed the engine
-	// directly (no concatenated global target slice), batches are
-	// classified and folded into per-shard accumulators concurrently as
-	// they complete — the full targets × protocols result slice is never
-	// materialized — then the accumulators merge in canonical shard order.
+	// 5+6. The scan, streamed: the per-shard scan sets wrap into a
+	// sharded TargetSource the engine's probe workers pull directly (no
+	// concatenated global target slice), batches are classified and
+	// folded into per-shard accumulators concurrently as they complete —
+	// the full targets × protocols result slice is never materialized —
+	// then the accumulators merge in canonical shard order.
 	digests := make([]*shardDigest, ip6.AddrShards)
-	stats, err := s.scanner.StreamSharded(ctx, s.scanShards, s.cfg.Protocols, day, s.digestSink(digests))
+	stats, err := s.scanner.StreamFrom(ctx, scan.ShardSlices(s.scanShards), s.cfg.Protocols, day, s.digestSink(digests))
 	if err != nil {
 		return nil, fmt.Errorf("core: scanning: %w", err)
 	}
 	rec.ProbesSent += stats.ProbesSent
+	rec.ShardStats = stats.PerShard
 	s.finalizeDigest(digests, day, rec)
+
+	// 6b. TGA candidate round: generate → probe → feed back, streamed
+	// end to end.
+	if s.cfg.TGAFeed != nil {
+		if err := s.runTGA(ctx, day, rec); err != nil {
+			return nil, err
+		}
+	}
 
 	// 7. Snapshots.
 	s.maybeSnapshot(day)
@@ -500,7 +545,42 @@ func (s *Service) applyIngest(rec *ScanRecord, c *ingestCounters) {
 	}
 }
 
-// ingest dedups, filters and admits new input. Candidates are routed to
+// ingestChunk is the pull granularity of the admission sweep over
+// per-feed sources.
+const ingestChunk = 512
+
+// drainSource pulls src to exhaustion, handing each non-empty chunk to
+// fn. buf backs pulls from sources without a span fast path.
+func drainSource(src scan.TargetSource, buf []ip6.Addr, fn func([]ip6.Addr)) error {
+	spanner, _ := src.(scan.SpanSource)
+	for {
+		var seg []ip6.Addr
+		var err error
+		if spanner != nil {
+			seg, err = spanner.Span(len(buf))
+		} else {
+			var n int
+			n, err = src.Next(buf)
+			seg = buf[:n]
+		}
+		if len(seg) > 0 {
+			fn(seg)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if len(seg) == 0 {
+			return fmt.Errorf("core: input source made no progress")
+		}
+	}
+}
+
+// ingest dedups, filters and admits new input, pulling each feed's
+// source chunk-wise in feed-name-sorted order (the same deterministic
+// sequence the old collected-map path walked). Candidates are routed to
 // their canonical shards in one cheap pass, then every shard runs the
 // lookup-heavy part (dedup, AS attribution, blocklist / GFW / alias
 // filters, store insert) independently on the worker pool — an address
@@ -508,34 +588,41 @@ func (s *Service) applyIngest(rec *ScanRecord, c *ingestCounters) {
 // walks shards in canonical order, and anything order-sensitive (the APD
 // /64 queue, per-feed attribution of same-day duplicates) is resolved by
 // the deterministic input sequence number, so results are bit-identical
-// to a serial pass for any worker count.
-func (s *Service) ingest(collected map[string][]ip6.Addr, day int, rec *ScanRecord) error {
-	feedNames := make([]string, 0, len(collected))
-	for feed := range collected {
-		feedNames = append(feedNames, feed)
-	}
-	sort.Strings(feedNames)
+// to a serial pass for any worker count. Both paths pull every source to
+// exhaustion before admitting anything, so a source error aborts the
+// sweep with no state mutated — all-or-nothing for any worker count,
+// exactly like the old collect-then-admit pipeline.
+func (s *Service) ingest(srcs []sources.NamedSource, day int, rec *ScanRecord) error {
+	sort.SliceStable(srcs, func(i, j int) bool { return srcs[i].Name < srcs[j].Name })
 
 	// A single worker skips the routing pass and per-shard scratch
 	// entirely: the serial sweep below visits the same deterministic
 	// sequence the parallel merge reconstructs, so both paths are
 	// bit-identical (the reference goldens cross-check them).
 	if s.workers <= 1 {
-		s.ingestSerial(feedNames, collected, day, rec)
-		return nil
+		return s.ingestSerial(srcs, day, rec)
 	}
 
 	// Route phase: partition the day's candidates by shard, preserving
 	// the deterministic sequence order within each shard.
 	seq := int32(0)
-	for fi, feed := range feedNames {
-		for _, a := range collected[feed] {
-			if !a.IsGlobalUnicast() {
-				continue
+	buf := make([]ip6.Addr, ingestChunk)
+	for fi, fs := range srcs {
+		err := drainSource(fs.Src, buf, func(seg []ip6.Addr) {
+			for _, a := range seg {
+				if !a.IsGlobalUnicast() {
+					continue
+				}
+				sh := ip6.ShardOf(a)
+				s.routeBuf[sh] = append(s.routeBuf[sh], routedInput{addr: a, feed: int32(fi), seq: seq})
+				seq++
 			}
-			sh := ip6.ShardOf(a)
-			s.routeBuf[sh] = append(s.routeBuf[sh], routedInput{addr: a, feed: int32(fi), seq: seq})
-			seq++
+		})
+		if err != nil {
+			for sh := range s.routeBuf {
+				s.routeBuf[sh] = s.routeBuf[sh][:0]
+			}
+			return err
 		}
 	}
 
@@ -550,7 +637,7 @@ func (s *Service) ingest(collected map[string][]ip6.Addr, day int, rec *ScanReco
 		}
 		r := &shardIngest{
 			ingestCounters: ingestCounters{perAS: make(map[int]*ASInput)},
-			perFeed:        make([]int, len(feedNames)),
+			perFeed:        make([]int, len(srcs)),
 		}
 		for _, e := range entries {
 			outcome := s.admitOne(sh, e.addr, day, &r.ingestCounters)
@@ -576,7 +663,7 @@ func (s *Service) ingest(collected map[string][]ip6.Addr, day int, rec *ScanReco
 		s.applyIngest(rec, &r.ingestCounters)
 		for fi, n := range r.perFeed {
 			if n > 0 {
-				s.inputByFeed[feedNames[fi]] += n
+				s.inputByFeed[srcs[fi].Name] += n
 			}
 		}
 		admitted = append(admitted, r.admitted...)
@@ -595,10 +682,27 @@ func (s *Service) ingest(collected map[string][]ip6.Addr, day int, rec *ScanReco
 // ingestSerial is the one-goroutine ingest sweep: one pass over the
 // deterministic (feed-name-sorted) input sequence, running the same
 // admission chain (admitOne) inline with /64 tracking in input order.
-func (s *Service) ingestSerial(feedNames []string, collected map[string][]ip6.Addr, day int, rec *ScanRecord) {
+// Sources are pulled to exhaustion before any admission, so an erroring
+// feed mutates nothing — matching the parallel path's all-or-nothing
+// behavior (admitOne writes cannot be rolled back once made).
+func (s *Service) ingestSerial(srcs []sources.NamedSource, day int, rec *ScanRecord) error {
+	buf := make([]ip6.Addr, ingestChunk)
+	collected := make([][]ip6.Addr, len(srcs))
+	for fi, fs := range srcs {
+		var addrs []ip6.Addr
+		err := drainSource(fs.Src, buf, func(seg []ip6.Addr) {
+			addrs = append(addrs, seg...)
+		})
+		if err != nil {
+			return err
+		}
+		collected[fi] = addrs
+	}
+
 	c := ingestCounters{perAS: make(map[int]*ASInput)}
-	for _, feed := range feedNames {
-		for _, a := range collected[feed] {
+	for fi, fs := range srcs {
+		feed := fs.Name
+		for _, a := range collected[fi] {
 			if !a.IsGlobalUnicast() {
 				continue
 			}
@@ -613,6 +717,7 @@ func (s *Service) ingestSerial(feedNames []string, collected map[string][]ip6.Ad
 		}
 	}
 	s.applyIngest(rec, &c)
+	return nil
 }
 
 // trackSlash64 queues a newly admitted address's /64 for alias detection
@@ -962,6 +1067,63 @@ func (s *Service) finalizeDigest(digests []*shardDigest, day int, rec *ScanRecor
 		rec.Unresp += d.unresp
 	}
 	s.lastClean = lastClean
+}
+
+// countSource interposes on a target stream to count pulled addresses.
+type countSource struct {
+	src scan.TargetSource
+	n   int
+}
+
+func (c *countSource) Next(buf []ip6.Addr) (int, error) {
+	n, err := c.src.Next(buf)
+	c.n += n
+	return n, err
+}
+
+func (c *countSource) Close() error {
+	if cl, ok := c.src.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// runTGA runs one streamed generate → probe → feed back round: the
+// configured feed emits candidates derived from the cumulative clean
+// responsive set (including this scan's responders), the engine pulls
+// and probes them with streaming dedup against every address ever seen
+// as input, and distinct responders are ingested as input under the
+// feed's name — so they join the active window and the next scan's
+// target set. No candidate list is ever materialized; only the (much
+// smaller) responder set is.
+func (s *Service) runTGA(ctx context.Context, day int, rec *ScanRecord) error {
+	seeds := s.everRespAny.Merge().Sorted()
+	if len(seeds) == 0 {
+		return nil
+	}
+	counted := &countSource{src: scan.Dedup(s.cfg.TGAFeed.Candidates(day, seeds), s.inputSeen.Has)}
+	resp, stats, err := s.scanner.StreamResponsiveFrom(ctx, counted, s.cfg.Protocols, day)
+	if err != nil {
+		return fmt.Errorf("core: TGA candidate scan: %w", err)
+	}
+	rec.ProbesSent += stats.ProbesSent
+	rec.TGACandidates = counted.n
+
+	union := ip6.NewSet(0)
+	for _, p := range s.cfg.Protocols {
+		set := resp[p]
+		for sh := 0; sh < ip6.AddrShards; sh++ {
+			for a := range set.Shard(sh) {
+				union.Add(a)
+			}
+		}
+	}
+	rec.TGAResponsive = union.Len()
+	if union.Len() == 0 {
+		return nil
+	}
+	feedback := []sources.NamedSource{{Name: s.cfg.TGAFeed.Name(), Src: scan.SliceSource(union.Sorted())}}
+	return s.ingest(feedback, day, rec)
 }
 
 func (s *Service) maybeSnapshot(day int) {

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/scan"
+	"hitlist6/internal/tga"
+	"hitlist6/internal/tga/sixtree"
+)
+
+// aliasNeighborFeed is a minimal CandidateFeed: it proposes addresses
+// inside the tiny world's aliased /64 — which the alias rule answers for
+// — plus a dark one, exercising the full generate → probe → feed back
+// loop deterministically. (The region's own seed is purged by APD before
+// it ever responds, so these candidates are genuinely new input.)
+type aliasNeighborFeed struct{}
+
+func (aliasNeighborFeed) Name() string { return "tga-test" }
+
+func (aliasNeighborFeed) Candidates(day int, seeds []ip6.Addr) scan.TargetSource {
+	if len(seeds) == 0 {
+		return scan.SliceSource(nil)
+	}
+	alias := ip6.MustParsePrefix("2001:100:a::/64")
+	var cands []ip6.Addr
+	for i := uint64(0); i < 8; i++ {
+		cands = append(cands, alias.NthAddr(100+i))
+	}
+	cands = append(cands, ip6.MustParseAddr("2001:100::ddd")) // dark
+	return scan.SliceSource(cands)
+}
+
+// TestTGAFeedLoop drives the closed TGA loop on the tiny world: the
+// candidate round must probe deduplicated candidates, feed responders
+// back as input under the feed's name, keep everything deterministic
+// across worker counts, and leave the no-feed pipeline byte-identical
+// (which TestShardedStoreMatchesReference separately pins to goldens).
+func TestTGAFeedLoop(t *testing.T) {
+	run := func(workers int) *Service {
+		n, feeds := tinyWorld(t)
+		cfg := DefaultConfig(1)
+		cfg.ScanWorkers = workers
+		cfg.TGAFeed = aliasNeighborFeed{}
+		s := NewService(cfg, n, feeds, nil)
+		runDays(t, s, weekly(0, 28))
+		return s
+	}
+
+	s := run(1)
+	recs := s.Records()
+	sawCands, sawResp := false, false
+	for _, rec := range recs {
+		if rec.TGACandidates > 0 {
+			sawCands = true
+		}
+		if rec.TGAResponsive > 0 {
+			sawResp = true
+		}
+	}
+	if !sawCands || !sawResp {
+		t.Fatalf("TGA loop too quiet: candidates=%v responders=%v", sawCands, sawResp)
+	}
+	if s.InputByFeed()["tga-test"] == 0 {
+		t.Error("no TGA responders ingested under the feed name")
+	}
+	// The responders joined the active window: the aliased /64 is in the
+	// alias filter, so they are admitted only until APD detects the
+	// prefix — but input accounting must have seen them.
+	if s.Funnel().Input <= 5 {
+		t.Errorf("input funnel did not grow with TGA feedback: %+v", s.Funnel())
+	}
+
+	// Candidates are deduplicated against input before probing: a second
+	// scan must not re-probe previously ingested responders, so per-scan
+	// candidate counts shrink once responders are absorbed.
+	first, last := recs[0], recs[len(recs)-1]
+	if first.TGACandidates == 0 || last.TGACandidates >= first.TGACandidates {
+		t.Errorf("dedup did not shrink candidate rounds: first=%d last=%d",
+			first.TGACandidates, last.TGACandidates)
+	}
+
+	// Bit-identical across worker counts, like every other output.
+	base := stripShardTiming(recs)
+	for _, workers := range []int{2, 8} {
+		got := stripShardTiming(run(workers).Records())
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: TGA-fed records diverge from serial run", workers)
+		}
+	}
+}
+
+// TestTGAStreamerFeedAdapter wires a real streaming generator through
+// tga.CandidateFeed into the service, proving the adapter satisfies
+// core.CandidateFeed and the loop runs (6Tree expands the web /64's two
+// seeds into neighbor candidates).
+func TestTGAStreamerFeedAdapter(t *testing.T) {
+	n, feeds := tinyWorld(t)
+	cfg := DefaultConfig(1)
+	cfg.TGAFeed = tga.CandidateFeed{Gen: sixtree.New(sixtree.DefaultConfig()), Budget: 512}
+	s := NewService(cfg, n, feeds, nil)
+	runDays(t, s, weekly(0, 28))
+
+	cands := 0
+	for _, rec := range s.Records() {
+		cands += rec.TGACandidates
+	}
+	if cands == 0 {
+		t.Fatal("6Tree candidate feed generated nothing")
+	}
+}

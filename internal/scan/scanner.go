@@ -55,6 +55,12 @@ type Config struct {
 	// bit-identical across batch sizes.
 	BatchSize int
 
+	// SourceChunk is the number of targets StreamFrom pulls from a
+	// TargetSource per Next/Span call; 0 means DefaultSourceChunk. A
+	// throughput knob only: outputs are bit-identical across chunk
+	// sizes.
+	SourceChunk int
+
 	// SinkQueueDepth, when > 0, decouples probe workers from the sink
 	// through a bounded delivery queue of this many batches: one delivery
 	// goroutine drains the queue in FIFO order (preserving the per-shard
@@ -118,6 +124,11 @@ type Stats struct {
 	Batches uint64
 	// EstimatedSeconds is the modeled scan duration at Config.RatePPS.
 	EstimatedSeconds float64
+	// PerShard breaks the stream's throughput down by canonical shard
+	// (ip6.AddrShards entries). It is filled on the aggregate Stats a
+	// stream call returns, nil on per-batch Stats. All fields but
+	// ShardStats.Nanos are deterministic.
+	PerShard []ShardStats
 }
 
 // Scanner probes targets in a network.
@@ -237,11 +248,19 @@ func (s *Scanner) Scan(ctx context.Context, targets []ip6.Addr, protos []netmode
 // ResponsiveSet for consumers (like alias detection) that can query the
 // sharded sets directly and skip the merged copy.
 func (s *Scanner) StreamResponsive(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int) (map[netmodel.Protocol]*ip6.ShardedSet, Stats, error) {
+	return s.StreamResponsiveFrom(ctx, SliceSource(targets), protos, day)
+}
+
+// StreamResponsiveFrom is StreamResponsive over a pull-based source: it
+// probes everything src yields and accumulates, per protocol, the
+// sharded set of targets that answered, never materializing the target
+// list or the result cross product.
+func (s *Scanner) StreamResponsiveFrom(ctx context.Context, src TargetSource, protos []netmodel.Protocol, day int) (map[netmodel.Protocol]*ip6.ShardedSet, Stats, error) {
 	acc := make(map[netmodel.Protocol]*ip6.ShardedSet, len(protos))
 	for _, p := range protos {
 		acc[p] = ip6.NewShardedSet()
 	}
-	st, err := s.Stream(ctx, targets, protos, day, func(b *Batch) error {
+	st, err := s.StreamFrom(ctx, src, protos, day, func(b *Batch) error {
 		for i := range b.Results {
 			if r := &b.Results[i]; r.Success {
 				acc[r.Proto].AddToShard(b.Shard, r.Target)

@@ -2,9 +2,12 @@ package scan
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
@@ -19,9 +22,20 @@ import (
 // bit-identical regardless of worker count, and any consumer that
 // accumulates per shard and merges in canonical shard order is
 // deterministic by construction.
+//
+// Every entry point is a veneer over StreamFrom, which pulls targets
+// from a TargetSource (see source.go). Sources that are already
+// partitioned (ShardedSource) feed probe workers directly with no
+// routing pass; everything else flows through a router that shards
+// pulled chunks into bounded per-shard queues — either way, no full
+// target set is ever materialized inside the engine.
 
 // DefaultBatchSize is the streamed batch size when Config.BatchSize is 0.
 const DefaultBatchSize = 256
+
+// DefaultSourceChunk is the per-pull target count when Config.SourceChunk
+// is 0.
+const DefaultSourceChunk = 1024
 
 // Batch is one unit of streamed scan results: a contiguous slice of the
 // (target, protocol) probe sequence of a single shard.
@@ -45,7 +59,9 @@ type Batch struct {
 
 // OrigIndex returns the position of Results[i] in the canonical
 // (target, protocol) cross-product ordering of the originating Stream
-// call — the index Scan uses to place results.
+// call — the index Scan uses to place results. Batches from sources
+// without position mappings (StreamSharded, StreamFrom over non-slice
+// sources) carry none; OrigIndex must not be called on them.
 func (b *Batch) OrigIndex(i int) int {
 	pos := b.start + i
 	return b.orig[pos/b.nprotos]*b.nprotos + pos%b.nprotos
@@ -95,20 +111,23 @@ func buildPlans(targets []ip6.Addr) []shardPlan {
 // work through the sharded worker pool and delivering results to sink in
 // batches of Config.BatchSize. It returns aggregate statistics. The
 // context cancels the stream between batches; batches already delivered
-// stand, and ctx.Err() is returned.
+// stand, and ctx.Err() is returned. Stream is a thin wrapper over
+// StreamFrom with a slice-backed source (which keeps the plan-based fast
+// path and the Batch.OrigIndex position mapping).
 func (s *Scanner) Stream(ctx context.Context, targets []ip6.Addr, protos []netmodel.Protocol, day int, sink Sink) (Stats, error) {
 	if len(targets) == 0 || len(protos) == 0 {
 		var total streamTotals
 		return total.stats(s.cfg.RatePPS), nil
 	}
-	return s.streamPlans(ctx, buildPlans(targets), protos, day, sink)
+	return s.StreamFrom(ctx, SliceSource(targets), protos, day, sink)
 }
 
 // StreamSharded probes targets the caller has already partitioned into
 // canonical shards: shards[i] holds shard i's targets (every address must
 // satisfy ShardOf == i) and len(shards) must be ip6.AddrShards. It is the
-// zero-materialization entry point for sharded producers — per-shard
-// target slices feed the engine directly, no concatenated global slice is
+// zero-materialization entry point for sharded slice producers — a thin
+// wrapper over StreamFrom with a ShardSlices source, so per-shard target
+// slices feed the engine directly and no concatenated global slice is
 // ever built. Batches from StreamSharded carry no original-position
 // mapping, so Batch.OrigIndex must not be called on them; accumulate
 // per shard instead.
@@ -116,71 +135,272 @@ func (s *Scanner) StreamSharded(ctx context.Context, shards [][]ip6.Addr, protos
 	if len(shards) != ip6.AddrShards {
 		return Stats{}, fmt.Errorf("scan: StreamSharded wants %d shards, got %d", ip6.AddrShards, len(shards))
 	}
-	plans := make([]shardPlan, ip6.AddrShards)
-	n := 0
-	for i := range shards {
-		plans[i].targets = shards[i]
-		n += len(shards[i])
-	}
-	if n == 0 || len(protos) == 0 {
-		var total streamTotals
-		return total.stats(s.cfg.RatePPS), nil
-	}
-	return s.streamPlans(ctx, plans, protos, day, sink)
+	return s.StreamFrom(ctx, ShardSlices(shards), protos, day, sink)
 }
 
-// streamPlans runs the worker pool over prepared per-shard plans.
-func (s *Scanner) streamPlans(ctx context.Context, plans []shardPlan, protos []netmodel.Protocol, day int, sink Sink) (Stats, error) {
+// StreamFrom pulls targets from src, shards them, probes every
+// (target, protocol) pair for the given day on the worker pool, and
+// delivers results to sink in batches of Config.BatchSize — without ever
+// holding the full target set. Sources implementing ShardedSource are
+// pulled per shard directly by the probe workers; any other source is
+// pulled in Config.SourceChunk-sized chunks and routed into bounded
+// per-shard queues, with the puller blocking (backpressure) once too many
+// routed targets are waiting to be probed. Outputs are bit-identical for
+// any worker count, batch size or chunk size; the per-shard batch
+// sequence equals that of a Stream call over the materialized source. If
+// src implements io.Closer it is closed when the stream ends, on every
+// path.
+func (s *Scanner) StreamFrom(ctx context.Context, src TargetSource, protos []netmodel.Protocol, day int, sink Sink) (Stats, error) {
 	var total streamTotals
+	if src == nil {
+		return total.stats(s.cfg.RatePPS), nil
+	}
+	defer closeSource(src)
+	if len(protos) == 0 {
+		return total.stats(s.cfg.RatePPS), nil
+	}
+
+	run := &streamRun{
+		s:      s,
+		ctx:    ctx,
+		protos: protos,
+		day:    day,
+		sink:   sink,
+		total:  &total,
+		stop:   make(chan struct{}),
+	}
+	run.batchSize = s.cfg.BatchSize
+	if run.batchSize <= 0 {
+		run.batchSize = DefaultBatchSize
+	}
+	run.chunk = s.cfg.SourceChunk
+	if run.chunk <= 0 {
+		run.chunk = DefaultSourceChunk
+	}
+	if s.cfg.SinkQueueDepth > 0 {
+		run.queue = newSinkQueue(s, sink, s.cfg.SinkQueueDepth, run.fail)
+	}
+
+	if sharded, ok := src.(ShardedSource); ok {
+		run.runSharded(sharded)
+	} else {
+		run.runRouted(src)
+	}
+
+	if run.queue != nil {
+		run.queue.close() // drains and waits; a sink error surfaces via fail
+	}
+	return total.stats(s.cfg.RatePPS), run.err()
+}
+
+// errStreamStopped is the internal signal that another worker already
+// failed the stream: unwind without flushing, without overwriting the
+// original error.
+var errStreamStopped = errors.New("scan: stream stopped")
+
+// streamRun is the shared state of one StreamFrom call.
+type streamRun struct {
+	s      *Scanner
+	ctx    context.Context
+	protos []netmodel.Protocol
+	day    int
+	sink   Sink
+	queue  *sinkQueue
+	total  *streamTotals
+
+	batchSize int
+	chunk     int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	onStop   func() // set before workers start; wakes path-specific waiters
+	errMu    sync.Mutex
+	firstErr error
+}
+
+func (r *streamRun) fail(err error) {
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		if r.onStop != nil {
+			r.onStop()
+		}
+	})
+}
+
+func (r *streamRun) err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr
+}
+
+// shardProbe is the persistent probe/flush state of one shard within a
+// stream. Segments of the shard's target sequence arrive via probe() —
+// possibly many, pulled or routed incrementally — and batches flush at
+// exact BatchSize boundaries regardless of how the sequence was
+// segmented, so the delivered batch sequence is identical to probing the
+// whole shard at once. Only the goroutine currently owning the shard
+// touches it.
+type shardProbe struct {
+	run      *streamRun
+	shard    int
+	b        *Batch
+	pos      int
+	need     int
+	released bool
+}
+
+// newShardProbe starts a shard's probe state. orig is the optional
+// original-position mapping (slice-backed streams); size is the shard's
+// total target count when known, -1 otherwise — it only tunes the first
+// buffer's capacity.
+func (r *streamRun) newShardProbe(shard int, orig []int, size int) *shardProbe {
+	need := r.batchSize
+	if size >= 0 {
+		if n := size * len(r.protos); n < need {
+			need = n
+		}
+	}
+	b := &Batch{Shard: shard, orig: orig, nprotos: len(r.protos)}
+	b.Results = r.s.getBuf(need)
+	return &shardProbe{run: r, shard: shard, b: b, need: need}
+}
+
+// flush delivers the current batch — inline to the sink, or through the
+// bounded delivery queue when one is configured.
+func (p *shardProbe) flush() error {
+	if len(p.b.Results) == 0 {
+		return nil
+	}
+	r := p.run
+	p.b.Stats.EstimatedSeconds = float64(p.b.Stats.ProbesSent) / float64(r.s.cfg.RatePPS)
+	p.b.Stats.Batches = 1
+	r.total.add(p.shard, &p.b.Stats)
+	if r.queue != nil {
+		// Ownership of the filled batch moves to the delivery goroutine
+		// (which pools its buffer after the sink call); probing continues
+		// immediately into a fresh buffer.
+		full := p.b
+		p.b = &Batch{Shard: p.shard, Seq: full.Seq + 1, start: p.pos, orig: full.orig, nprotos: full.nprotos}
+		p.b.Results = r.s.getBuf(p.need)
+		r.queue.enqueue(full)
+		return nil
+	}
+	if err := r.sink(p.b); err != nil {
+		return err
+	}
+	p.b.Seq++
+	p.b.start = p.pos
+	p.b.Results = p.b.Results[:0]
+	p.b.Stats = Stats{}
+	return nil
+}
+
+// probe runs one segment of the shard's target sequence, flushing full
+// batches as they complete. It returns ctx.Err() on cancellation,
+// errStreamStopped when another worker failed the stream, or a sink
+// error.
+func (p *shardProbe) probe(targets []ip6.Addr) error {
+	r := p.run
+	t0 := time.Now()
+	defer func() { r.total.addNanos(p.shard, time.Since(t0)) }()
+	for _, t := range targets {
+		for _, proto := range r.protos {
+			res := r.s.ProbeOne(t, proto, r.day)
+			p.b.Stats.ProbesSent += uint64(res.Attempts)
+			if res.Kind != netmodel.RespNone {
+				p.b.Stats.Responses++
+			}
+			if res.Success {
+				p.b.Stats.Successes++
+			}
+			p.b.Results = append(p.b.Results, res)
+			p.pos++
+			if len(p.b.Results) == r.batchSize {
+				if err := p.flush(); err != nil {
+					return err
+				}
+				// Cancellation is checked at batch granularity: cheap
+				// enough to stay responsive, coarse enough to keep the
+				// hot loop branch-free.
+				select {
+				case <-r.ctx.Done():
+					return r.ctx.Err()
+				case <-r.stop:
+					return errStreamStopped
+				default:
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// finish flushes the trailing partial batch and releases the buffer.
+func (p *shardProbe) finish() error {
+	err := p.flush()
+	p.release()
+	return err
+}
+
+// release returns the probe's buffer to the pool; idempotent.
+func (p *shardProbe) release() {
+	if !p.released {
+		p.released = true
+		p.run.s.putBuf(p.b.Results)
+		p.b.Results = nil
+	}
+}
+
+// runSharded streams a pre-partitioned source: the worker pool hands out
+// whole shards, and each worker pulls its shard's sub-source directly
+// into probing — no routing, no cross-shard buffering.
+func (r *streamRun) runSharded(src ShardedSource) {
+	var feeds [ip6.AddrShards]TargetSource
 	nonEmpty := 0
-	for i := range plans {
-		if len(plans[i].targets) > 0 {
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		if f := src.ShardSource(sh); f != nil {
+			feeds[sh] = f
 			nonEmpty++
 		}
 	}
-	workers := s.cfg.Workers
+	if nonEmpty == 0 {
+		return
+	}
+	origs, _ := src.(origSource)
+	sizes, _ := src.(ShardSizer)
+	workers := r.s.cfg.Workers
 	if workers > nonEmpty {
 		workers = nonEmpty
 	}
 
-	var (
-		wg       sync.WaitGroup
-		shardCh  = make(chan int)
-		stop     = make(chan struct{})
-		stopOnce sync.Once
-		errMu    sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		stopOnce.Do(func() { close(stop) })
-	}
-
-	// With a bounded sink queue configured, batches are handed to one
-	// delivery goroutine instead of being processed inline on the probe
-	// workers: a slow sink then applies backpressure (producers block once
-	// the queue fills) rather than stalling every worker mid-batch.
-	var queue *sinkQueue
-	if s.cfg.SinkQueueDepth > 0 {
-		queue = newSinkQueue(s, sink, s.cfg.SinkQueueDepth, fail)
-	}
-
+	var wg sync.WaitGroup
+	shardCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var buf []ip6.Addr // lazy pull buffer for non-span sources
 			for sh := range shardCh {
 				select {
-				case <-stop:
+				case <-r.stop:
 					return
 				default:
 				}
-				if err := s.streamShard(ctx, sh, &plans[sh], protos, day, sink, queue, &total, stop); err != nil {
-					fail(err)
+				var orig []int
+				if origs != nil {
+					orig = origs.shardOrig(sh)
+				}
+				size := -1
+				if sizes != nil {
+					size = sizes.ShardLen(sh)
+				}
+				if err := r.pullShard(sh, feeds[sh], orig, size, &buf); err != nil {
+					r.fail(err)
 					return
 				}
 			}
@@ -188,40 +408,260 @@ func (s *Scanner) streamPlans(ctx context.Context, plans []shardPlan, protos []n
 	}
 
 feed:
-	for sh := range plans {
-		if len(plans[sh].targets) == 0 {
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		if feeds[sh] == nil {
 			continue
 		}
 		// Check for abort before the blocking dispatch: when stop and an
 		// idle worker are both ready, select would otherwise pick at
 		// random and could hand out whole extra shards after a failure.
 		select {
-		case <-ctx.Done():
-			fail(ctx.Err())
+		case <-r.ctx.Done():
+			r.fail(r.ctx.Err())
 			break feed
-		case <-stop:
+		case <-r.stop:
 			break feed
 		default:
 		}
 		select {
 		case shardCh <- sh:
-		case <-ctx.Done():
-			fail(ctx.Err())
+		case <-r.ctx.Done():
+			r.fail(r.ctx.Err())
 			break feed
-		case <-stop:
+		case <-r.stop:
 			break feed
 		}
 	}
 	close(shardCh)
 	wg.Wait()
-	if queue != nil {
-		queue.close() // drains and waits; a sink error surfaces via fail
+}
+
+// pullShard probes one shard's whole target sequence by pulling its
+// source to exhaustion. A nil return covers both success and an orderly
+// stop (the stream's first error is already recorded elsewhere).
+func (r *streamRun) pullShard(sh int, src TargetSource, orig []int, size int, buf *[]ip6.Addr) error {
+	sp := r.newShardProbe(sh, orig, size)
+	spanner, _ := src.(SpanSource)
+	for {
+		var seg []ip6.Addr
+		var err error
+		if spanner != nil {
+			seg, err = spanner.Span(r.chunk)
+		} else {
+			if *buf == nil {
+				*buf = make([]ip6.Addr, r.chunk)
+			}
+			var n int
+			n, err = src.Next(*buf)
+			seg = (*buf)[:n]
+		}
+		if len(seg) > 0 {
+			if perr := sp.probe(seg); perr != nil {
+				sp.release()
+				if perr == errStreamStopped {
+					return nil
+				}
+				return perr
+			}
+		} else if err == nil {
+			sp.release()
+			return fmt.Errorf("scan: shard %d source made no progress", sh)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sp.release()
+			return err
+		}
+	}
+	return sp.finish()
+}
+
+// routedShard is one shard's routing queue in the routed path.
+type routedShard struct {
+	pending   []ip6.Addr // routed, not yet probed (FIFO)
+	spare     []ip6.Addr // recycled backing array for pending
+	scheduled bool       // a token for this shard is in workCh / owned by a worker
+	done      bool       // the source is exhausted; no more input will arrive
+	finished  bool       // final flush has run
+	sp        *shardProbe
+}
+
+// runRouted streams an unpartitioned source: the calling goroutine pulls
+// chunks and routes each address to its canonical shard's queue, probe
+// workers drain the queues (one worker per shard at a time, FIFO), and a
+// window cap on routed-but-unprobed targets applies backpressure to the
+// puller. Per-shard probe state persists across segments, so batch
+// boundaries — and therefore every output — are exactly those of a
+// single-pass stream.
+func (r *streamRun) runRouted(src TargetSource) {
+	workers := r.s.cfg.Workers
+	if workers > ip6.AddrShards {
+		workers = ip6.AddrShards
+	}
+	// The window bounds engine-held targets: large enough to keep every
+	// worker busy between pulls, small enough that a huge source never
+	// accumulates in memory.
+	window := r.chunk * (workers + 2)
+
+	shards := make([]routedShard, ip6.AddrShards)
+	var (
+		mu          sync.Mutex
+		cond        = sync.NewCond(&mu)
+		outstanding int
+		stopped     bool
+	)
+	r.onStop = func() {
+		mu.Lock()
+		stopped = true
+		cond.Broadcast()
+		mu.Unlock()
 	}
 
-	errMu.Lock()
-	err := firstErr
-	errMu.Unlock()
-	return total.stats(s.cfg.RatePPS), err
+	// Buffered to AddrShards: the scheduled flag guarantees at most one
+	// token per shard, so sends never block.
+	workCh := make(chan int, ip6.AddrShards)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range workCh {
+				rs := &shards[sh]
+				for {
+					mu.Lock()
+					seg := rs.pending
+					rs.pending = nil
+					if len(seg) == 0 {
+						final := rs.done && rs.sp != nil && !rs.finished
+						if final {
+							rs.finished = true
+						} else {
+							rs.scheduled = false
+						}
+						mu.Unlock()
+						if final {
+							if err := rs.sp.finish(); err != nil {
+								r.fail(err)
+								return
+							}
+						}
+						break
+					}
+					if rs.sp == nil {
+						rs.sp = r.newShardProbe(sh, nil, -1)
+					}
+					sp := rs.sp
+					mu.Unlock()
+
+					err := sp.probe(seg)
+
+					mu.Lock()
+					if rs.spare == nil {
+						rs.spare = seg[:0]
+					}
+					outstanding -= len(seg)
+					cond.Broadcast()
+					mu.Unlock()
+					if err != nil {
+						sp.release()
+						if err != errStreamStopped {
+							r.fail(err)
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	hint := -1
+	if h, ok := src.(ShardHinter); ok {
+		hint = h.ShardHint()
+	}
+	buf := make([]ip6.Addr, r.chunk)
+pull:
+	for {
+		select {
+		case <-r.ctx.Done():
+			r.fail(r.ctx.Err())
+			break pull
+		case <-r.stop:
+			break pull
+		default:
+		}
+		n, err := src.Next(buf)
+		if n > 0 {
+			mu.Lock()
+			for outstanding+n > window && !stopped {
+				cond.Wait()
+			}
+			if stopped {
+				mu.Unlock()
+				break pull
+			}
+			outstanding += n
+			for _, a := range buf[:n] {
+				sh := hint
+				if sh < 0 {
+					sh = ip6.ShardOf(a)
+				}
+				rs := &shards[sh]
+				if rs.pending == nil && rs.spare != nil {
+					rs.pending = rs.spare
+					rs.spare = nil
+				}
+				rs.pending = append(rs.pending, a)
+				if !rs.scheduled {
+					rs.scheduled = true
+					workCh <- sh
+				}
+			}
+			mu.Unlock()
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.fail(err)
+			break
+		}
+		if n == 0 {
+			r.fail(fmt.Errorf("scan: source made no progress"))
+			break
+		}
+	}
+
+	// End of input: schedule the final flush of every shard with a live
+	// partial batch or unprobed remainder — unless the stream already
+	// failed, in which case workers are unwinding and partial batches are
+	// dropped (the Sink contract: delivered batches stand, nothing else).
+	aborted := false
+	select {
+	case <-r.stop:
+		aborted = true
+	default:
+	}
+	mu.Lock()
+	for sh := range shards {
+		rs := &shards[sh]
+		rs.done = true
+		if !aborted && (len(rs.pending) > 0 || rs.sp != nil) && !rs.scheduled {
+			rs.scheduled = true
+			workCh <- sh
+		}
+	}
+	mu.Unlock()
+	close(workCh)
+	wg.Wait()
+
+	// Release any probe buffers stranded by an abort.
+	for sh := range shards {
+		if sp := shards[sh].sp; sp != nil {
+			sp.release()
+		}
+	}
 }
 
 // sinkQueue is the bounded delivery queue between probe workers and the
@@ -284,97 +724,46 @@ func (s *Scanner) putBuf(buf []Result) {
 	s.bufPool.Put(buf[:0])
 }
 
-// streamShard probes one shard's (target, protocol) sequence, flushing a
-// batch every BatchSize results — inline to the sink, or through the
-// bounded delivery queue when one is configured.
-func (s *Scanner) streamShard(ctx context.Context, shard int, plan *shardPlan, protos []netmodel.Protocol, day int, sink Sink, queue *sinkQueue, total *streamTotals, stop <-chan struct{}) error {
-	batchSize := s.cfg.BatchSize
-	if batchSize <= 0 {
-		batchSize = DefaultBatchSize
-	}
-	b := &Batch{Shard: shard, orig: plan.orig, nprotos: len(protos)}
-	// Batch buffers are pooled across shards and Stream calls (sinks must
-	// not retain them); a fresh one is sized to the smaller of the batch
-	// size and the shard's whole probe sequence, so tiny shards never pay
-	// for a full batch.
-	need := len(plan.targets) * len(protos)
-	if need > batchSize {
-		need = batchSize
-	}
-	b.Results = s.getBuf(need)
-	defer func() { s.putBuf(b.Results) }()
-	pos := 0
-
-	flush := func() error {
-		if len(b.Results) == 0 {
-			return nil
-		}
-		b.Stats.EstimatedSeconds = float64(b.Stats.ProbesSent) / float64(s.cfg.RatePPS)
-		b.Stats.Batches = 1
-		total.add(&b.Stats)
-		if queue != nil {
-			// Ownership of the filled batch moves to the delivery
-			// goroutine (which pools its buffer after the sink call);
-			// probing continues immediately into a fresh buffer.
-			full := b
-			b = &Batch{Shard: shard, Seq: full.Seq + 1, start: pos, orig: plan.orig, nprotos: len(protos)}
-			b.Results = s.getBuf(need)
-			queue.enqueue(full)
-			return nil
-		}
-		if err := sink(b); err != nil {
-			return err
-		}
-		b.Seq++
-		b.start = pos
-		b.Results = b.Results[:0]
-		b.Stats = Stats{}
-		return nil
-	}
-
-	for _, t := range plan.targets {
-		for _, p := range protos {
-			r := s.ProbeOne(t, p, day)
-			b.Stats.ProbesSent += uint64(r.Attempts)
-			if r.Kind != netmodel.RespNone {
-				b.Stats.Responses++
-			}
-			if r.Success {
-				b.Stats.Successes++
-			}
-			b.Results = append(b.Results, r)
-			pos++
-			if len(b.Results) == batchSize {
-				if err := flush(); err != nil {
-					return err
-				}
-				// Cancellation is checked at batch granularity: cheap
-				// enough to stay responsive, coarse enough to keep the
-				// hot loop branch-free.
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				case <-stop:
-					return nil
-				default:
-				}
-			}
-		}
-	}
-	return flush()
+// ShardStats is one canonical shard's slice of a stream's throughput
+// accounting — the raw signal for scheduler-style adaptive rate control.
+type ShardStats struct {
+	ProbesSent uint64
+	Responses  uint64
+	Successes  uint64
+	Batches    uint64
+	// Nanos is the cumulative wall-clock time probe workers spent inside
+	// this shard. Unlike every other stream output it is nondeterministic
+	// (it measures the machine, not the simulation), so consumers pinning
+	// deterministic outputs must ignore it.
+	Nanos int64
 }
 
 // streamTotals aggregates batch stats with atomics (batches finish on
-// many workers at once).
+// many workers at once), overall and per shard.
 type streamTotals struct {
 	probes, responses, successes, batches atomic.Uint64
+	shards                                [ip6.AddrShards]shardTotals
 }
 
-func (t *streamTotals) add(b *Stats) {
+type shardTotals struct {
+	probes, responses, successes, batches atomic.Uint64
+	nanos                                 atomic.Int64
+}
+
+func (t *streamTotals) add(shard int, b *Stats) {
 	t.probes.Add(b.ProbesSent)
 	t.responses.Add(b.Responses)
 	t.successes.Add(b.Successes)
 	t.batches.Add(1)
+	sh := &t.shards[shard]
+	sh.probes.Add(b.ProbesSent)
+	sh.responses.Add(b.Responses)
+	sh.successes.Add(b.Successes)
+	sh.batches.Add(1)
+}
+
+func (t *streamTotals) addNanos(shard int, d time.Duration) {
+	t.shards[shard].nanos.Add(int64(d))
 }
 
 func (t *streamTotals) stats(ratePPS int) Stats {
@@ -385,5 +774,16 @@ func (t *streamTotals) stats(ratePPS int) Stats {
 		Batches:    t.batches.Load(),
 	}
 	st.EstimatedSeconds = float64(st.ProbesSent) / float64(ratePPS)
+	st.PerShard = make([]ShardStats, ip6.AddrShards)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		st.PerShard[i] = ShardStats{
+			ProbesSent: sh.probes.Load(),
+			Responses:  sh.responses.Load(),
+			Successes:  sh.successes.Load(),
+			Batches:    sh.batches.Load(),
+			Nanos:      sh.nanos.Load(),
+		}
+	}
 	return st
 }

@@ -11,11 +11,13 @@ package sources
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/rng"
+	"hitlist6/internal/scan"
 	"hitlist6/internal/yarrp"
 )
 
@@ -37,20 +39,112 @@ type Feed struct {
 func (f *Feed) ActiveAt(day int) bool { return day >= f.FromDay && day < f.ToDay }
 
 // Drain collects from every active feed and returns candidates per feed
-// name, preserving feed order.
+// name, preserving feed order. Cancellation is honored between feeds: on
+// a cancelled context (or a feed error) the feeds already collected are
+// returned alongside the error, so callers can account for partial
+// progress.
 func Drain(ctx context.Context, feeds []*Feed, day int) (map[string][]ip6.Addr, error) {
 	out := make(map[string][]ip6.Addr, len(feeds))
 	for _, f := range feeds {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		if !f.ActiveAt(day) {
 			continue
 		}
 		addrs, err := f.Collect(ctx, day)
 		if err != nil {
-			return nil, fmt.Errorf("sources: feed %s at day %d: %w", f.Name, day, err)
+			return out, fmt.Errorf("sources: feed %s at day %d: %w", f.Name, day, err)
 		}
 		out[f.Name] = addrs
 	}
 	return out, nil
+}
+
+// NamedSource pairs a feed's name with its streaming candidate source
+// for one day.
+type NamedSource struct {
+	Name string
+	Src  scan.TargetSource
+}
+
+// Open returns one lazy pull source per feed active at day, preserving
+// feed order. Collection runs on a source's first pull, so a consumer
+// that stops early never pays for later feeds' Collect, and cancellation
+// between feeds falls out of the pull loop.
+func Open(ctx context.Context, feeds []*Feed, day int) []NamedSource {
+	var out []NamedSource
+	for _, f := range feeds {
+		if !f.ActiveAt(day) {
+			continue
+		}
+		out = append(out, NamedSource{Name: f.Name, Src: f.Source(ctx, day)})
+	}
+	return out
+}
+
+// Source returns a pull-based source over the feed's collection for one
+// day: Collect runs lazily on the first pull (with its error surfacing
+// from Next), and the collected list then streams out in order. An
+// inactive feed yields an immediately exhausted source.
+func (f *Feed) Source(ctx context.Context, day int) scan.TargetSource {
+	return &feedSource{ctx: ctx, f: f, day: day}
+}
+
+type feedSource struct {
+	ctx     context.Context
+	f       *Feed
+	day     int
+	started bool
+	rest    []ip6.Addr
+}
+
+func (s *feedSource) collect() error {
+	if s.started {
+		return nil
+	}
+	s.started = true
+	if !s.f.ActiveAt(s.day) {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	addrs, err := s.f.Collect(s.ctx, s.day)
+	if err != nil {
+		return fmt.Errorf("sources: feed %s at day %d: %w", s.f.Name, s.day, err)
+	}
+	s.rest = addrs
+	return nil
+}
+
+func (s *feedSource) Next(buf []ip6.Addr) (int, error) {
+	if err := s.collect(); err != nil {
+		return 0, err
+	}
+	n := copy(buf, s.rest)
+	s.rest = s.rest[n:]
+	if len(s.rest) == 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Span implements scan.SpanSource: consumers read the collected list in
+// place.
+func (s *feedSource) Span(max int) ([]ip6.Addr, error) {
+	if err := s.collect(); err != nil {
+		return nil, err
+	}
+	if max > len(s.rest) {
+		max = len(s.rest)
+	}
+	seg := s.rest[:max]
+	s.rest = s.rest[max:]
+	if len(s.rest) == 0 {
+		return seg, io.EOF
+	}
+	return seg, nil
 }
 
 // Snapshot builds a one-shot feed that delivers a fixed address list (DET

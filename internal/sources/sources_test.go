@@ -2,10 +2,13 @@ package sources
 
 import (
 	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
+	"hitlist6/internal/scan"
 	"hitlist6/internal/yarrp"
 )
 
@@ -149,5 +152,98 @@ func TestTracerouteFeed(t *testing.T) {
 		if a == ip6.MustParseAddr("2003::42") {
 			t.Error("feed leaked the target")
 		}
+	}
+}
+
+// TestDrainHonorsContext: cancellation between feeds stops the drain and
+// returns the feeds already collected alongside ctx's error.
+func TestDrainHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	a1 := []ip6.Addr{ip6.MustParseAddr("2001:db9::1")}
+	collected := []string{}
+	mk := func(name string, cancelAfter bool) *Feed {
+		return &Feed{Name: name, FromDay: 0, ToDay: 100,
+			Collect: func(context.Context, int) ([]ip6.Addr, error) {
+				collected = append(collected, name)
+				if cancelAfter {
+					cancel()
+				}
+				return a1, nil
+			}}
+	}
+	out, err := Drain(ctx, []*Feed{mk("a", false), mk("b", true), mk("c", false)}, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 2 || out["a"] == nil || out["b"] == nil {
+		t.Errorf("partial results missing: %v", out)
+	}
+	if len(collected) != 2 {
+		t.Errorf("feeds collected after cancellation: %v", collected)
+	}
+
+	// An erroring feed likewise surfaces with earlier feeds intact.
+	boom := errors.New("collector offline")
+	bad := &Feed{Name: "bad", FromDay: 0, ToDay: 100,
+		Collect: func(context.Context, int) ([]ip6.Addr, error) { return nil, boom }}
+	out, err = Drain(context.Background(), []*Feed{mk("a", false), bad}, 5)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(out) != 1 {
+		t.Errorf("partial results missing: %v", out)
+	}
+}
+
+// TestFeedSource pins the per-feed streaming source: lazy single
+// collection, full in-order delivery, inactive feeds exhausted
+// immediately, and Collect errors surfacing from the pull.
+func TestFeedSource(t *testing.T) {
+	addrs := []ip6.Addr{
+		ip6.MustParseAddr("2001:db9::1"),
+		ip6.MustParseAddr("2001:db9::2"),
+		ip6.MustParseAddr("2001:db9::3"),
+	}
+	calls := 0
+	f := &Feed{Name: "dns", FromDay: 0, ToDay: 100,
+		Collect: func(context.Context, int) ([]ip6.Addr, error) {
+			calls++
+			return addrs, nil
+		}}
+
+	src := f.Source(context.Background(), 5)
+	if calls != 0 {
+		t.Fatal("Collect ran before the first pull")
+	}
+	got, err := scan.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, addrs) || calls != 1 {
+		t.Errorf("pulled %v (collect calls %d)", got, calls)
+	}
+
+	// Inactive day: exhausted without collecting.
+	src = f.Source(context.Background(), 200)
+	if got, err := scan.Collect(src); err != nil || len(got) != 0 {
+		t.Errorf("inactive feed: %v, %v", got, err)
+	}
+	if calls != 1 {
+		t.Error("inactive feed ran Collect")
+	}
+
+	// Collect error surfaces from Next.
+	boom := errors.New("collector offline")
+	bad := &Feed{Name: "bad", FromDay: 0, ToDay: 100,
+		Collect: func(context.Context, int) ([]ip6.Addr, error) { return nil, boom }}
+	if _, err := scan.Collect(bad.Source(context.Background(), 5)); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+
+	// Open returns only active feeds, in feed order.
+	late := &Feed{Name: "late", FromDay: 50, ToDay: 60, Collect: bad.Collect}
+	srcs := Open(context.Background(), []*Feed{f, late}, 5)
+	if len(srcs) != 1 || srcs[0].Name != "dns" {
+		t.Errorf("Open: %v", srcs)
 	}
 }

@@ -100,14 +100,24 @@ func Fill(c Cluster, have ip6.Set, max int) []ip6.Addr {
 	return out
 }
 
-// Generate implements tga.Generator.
+// Generate implements tga.Generator: the materializing shim over Emit.
 func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	return tga.Collect(g, seeds, budget)
+}
+
+// Emit implements tga.Streamer: walk the clusters in order and yield the
+// missing addresses inside each span as the walk reaches them. Cluster
+// spans never overlap (clusters are disjoint runs of a sorted per-/64
+// group), so the inline seen-set only mirrors the defensive dedup the
+// former materialize-then-dedup pipeline ran, keeping the emission
+// byte-identical to it.
+func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
 	if len(seeds) == 0 || budget <= 0 {
-		return nil
+		return
 	}
 	have := ip6.NewSet(len(seeds))
 	have.AddSlice(seeds)
-	var out []ip6.Addr
+	seen := ip6.NewSet(0)
 	for _, c := range FindClusters(seeds, g.cfg) {
 		if budget <= 0 {
 			break
@@ -116,9 +126,23 @@ func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
 		if max > budget {
 			max = budget
 		}
-		gen := Fill(c, have, max)
-		out = append(out, gen...)
-		budget -= len(gen)
+		count := 0
+		hi := c.First.Hi()
+		for lo := c.First.Lo(); lo <= c.Last.Lo() && count < max; lo++ {
+			a := ip6.AddrFromUint64s(hi, lo)
+			if have.Has(a) {
+				continue
+			}
+			count++
+			if seen.Add(a) {
+				if !yield(a) {
+					return
+				}
+			}
+		}
+		budget -= count
 	}
-	return tga.DedupAgainstSeeds(out, seeds)
 }
+
+// The generator is a full streaming TGA.
+var _ tga.Streamer = (*Generator)(nil)

@@ -115,11 +115,20 @@ func buildModel(class Class, seeds []ip6.Addr, temperature float64) *classModel 
 	return m
 }
 
-// Generate implements tga.Generator: classify seeds, build one model per
-// class, and sample candidates proportionally to class support.
+// Generate implements tga.Generator: the materializing shim over Emit.
 func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	return tga.Collect(g, seeds, budget)
+}
+
+// Emit implements tga.Streamer: classify seeds, build one model per
+// class, sample candidates proportionally to class support, and yield
+// the novel non-seed ones as they are drawn. The budget counts raw
+// global-unicast samples (duplicates included), exactly as Generate
+// always charged it before its final dedup, so the emission is
+// byte-identical to the former materialize-then-dedup pipeline.
+func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
 	if len(seeds) == 0 || budget <= 0 {
-		return nil
+		return
 	}
 	byClass := make(map[Class][]ip6.Addr)
 	for _, a := range seeds {
@@ -140,23 +149,33 @@ func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
 		total += m.support
 	}
 
-	var out []ip6.Addr
+	seedSet := ip6.NewSet(len(seeds))
+	seedSet.AddSlice(seeds)
+	seen := ip6.NewSet(0)
+	raw := 0
 	r := rng.NewStream(g.cfg.Seed, "6gan-sample")
 	for _, m := range models {
 		share := budget * m.support / total
 		if share == 0 {
 			share = 1
 		}
-		for i := 0; i < share && len(out) < budget; i++ {
+		for i := 0; i < share && raw < budget; i++ {
 			var nib [32]byte
 			for pos := 0; pos < 32; pos++ {
 				nib[pos] = byte(m.dist[pos].Sample(r))
 			}
 			a := ip6.AddrFromNibbles(nib)
 			if a.IsGlobalUnicast() {
-				out = append(out, a)
+				raw++
+				if !seedSet.Has(a) && seen.Add(a) {
+					if !yield(a) {
+						return
+					}
+				}
 			}
 		}
 	}
-	return tga.DedupAgainstSeeds(out, seeds)
 }
+
+// The generator is a full streaming TGA.
+var _ tga.Streamer = (*Generator)(nil)

@@ -118,37 +118,73 @@ func Mine(seeds []ip6.Addr, cfg Config) []Pattern {
 // Enumerate expands a pattern into concrete addresses, up to budget.
 func Enumerate(p Pattern, budget int) []ip6.Addr {
 	var out []ip6.Addr
+	EnumerateEach(p, budget, func(a ip6.Addr) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// EnumerateEach walks a pattern's expansion in canonical wildcard order,
+// yielding up to budget addresses (pre-dedup) until yield returns false.
+// It returns how many addresses were walked.
+func EnumerateEach(p Pattern, budget int, yield func(ip6.Addr) bool) int {
+	n := 0
+	stopped := false
 	var rec func(addr ip6.Addr, d int)
 	rec = func(addr ip6.Addr, d int) {
-		if len(out) >= budget {
+		if stopped || n >= budget {
 			return
 		}
 		if d == len(p.Wildcards) {
-			out = append(out, addr)
+			n++
+			if !yield(addr) {
+				stopped = true
+			}
 			return
 		}
 		for v := byte(0); v < 16; v++ {
 			rec(addr.SetNibble(p.Wildcards[d], v), d+1)
-			if len(out) >= budget {
+			if stopped || n >= budget {
 				return
 			}
 		}
 	}
 	rec(p.Base, 0)
-	return out
+	return n
 }
 
-// Generate implements tga.Generator.
+// Generate implements tga.Generator: the materializing shim over Emit.
 func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	return tga.Collect(g, seeds, budget)
+}
+
+// Emit implements tga.Streamer: mine patterns, then enumerate them in
+// support order, yielding novel non-seed addresses as the expansions
+// walk them. The budget counts enumerated (pre-dedup) addresses, exactly
+// as Generate always charged it, so the emission is byte-identical to
+// the former materialize-then-dedup pipeline.
+func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
 	patterns := Mine(seeds, g.cfg)
-	var out []ip6.Addr
+	seedSet := ip6.NewSet(len(seeds))
+	seedSet.AddSlice(seeds)
+	seen := ip6.NewSet(0)
+	stopped := false
 	for _, p := range patterns {
-		if budget <= 0 {
+		if budget <= 0 || stopped {
 			break
 		}
-		gen := Enumerate(p, budget)
-		out = append(out, gen...)
-		budget -= len(gen)
+		budget -= EnumerateEach(p, budget, func(a ip6.Addr) bool {
+			if !seedSet.Has(a) && seen.Add(a) {
+				if !yield(a) {
+					stopped = true
+					return false
+				}
+			}
+			return true
+		})
 	}
-	return tga.DedupAgainstSeeds(out, seeds)
 }
+
+// The generator is a full streaming TGA.
+var _ tga.Streamer = (*Generator)(nil)

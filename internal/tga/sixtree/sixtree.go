@@ -111,12 +111,18 @@ func (t *Tree) split(n *node) {
 // Leaves returns the number of leaf regions.
 func (t *Tree) Leaves() int { return len(t.leaves) }
 
-// Generate implements tga.Generator: build the tree, then expand leaves in
-// density order. A shared novelty set makes the budget count genuinely new
-// addresses, never duplicates or seeds.
+// Generate implements tga.Generator: the materializing shim over Emit.
 func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	return tga.Collect(g, seeds, budget)
+}
+
+// Emit implements tga.Streamer: build the tree, then expand leaves in
+// density order, yielding candidates as the expansion walks them. A
+// shared novelty set makes the budget count genuinely new addresses,
+// never duplicates or seeds.
+func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
 	if len(seeds) == 0 || budget <= 0 {
-		return nil
+		return
 	}
 	t := Build(seeds, g.cfg)
 
@@ -128,9 +134,9 @@ func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
 
 	seen := ip6.NewSet(len(seeds) + budget)
 	seen.AddSlice(seeds)
-	var out []ip6.Addr
+	e := &emitter{budget: budget, seen: seen, yield: yield}
 	for _, leaf := range leaves {
-		if len(out) >= budget {
+		if e.full() {
 			break
 		}
 		// Single observations are not regions; expanding them would
@@ -138,9 +144,30 @@ func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
 		if len(leaf.seeds) < 2 {
 			continue
 		}
-		out = expandLeaf(leaf, g.cfg.MaxFreeDims, budget, seen, out)
+		expandLeaf(leaf, g.cfg.MaxFreeDims, e)
 	}
-	return out
+}
+
+// emitter tracks one Emit pass: novelty-counted budget plus the
+// consumer's early-stop signal.
+type emitter struct {
+	budget  int
+	emitted int
+	stopped bool
+	seen    ip6.Set
+	yield   func(ip6.Addr) bool
+}
+
+func (e *emitter) full() bool { return e.stopped || e.emitted >= e.budget }
+
+// add yields a novel address, counting it toward the budget.
+func (e *emitter) add(a ip6.Addr) {
+	if e.seen.Add(a) {
+		e.emitted++
+		if !e.yield(a) {
+			e.stopped = true
+		}
+	}
 }
 
 func leafPriority(n *node) float64 {
@@ -162,7 +189,7 @@ func leafPriority(n *node) float64 {
 // maxDims dimensions (because DHC fixed them on the way down), the lowest
 // address nibbles are expanded as well; this is what discovers genuinely
 // new neighbors rather than only recombinations.
-func expandLeaf(n *node, maxDims, budget int, seen ip6.Set, out []ip6.Addr) []ip6.Addr {
+func expandLeaf(n *node, maxDims int, e *emitter) {
 	// Free dims, least significant first.
 	var free []int
 	taken := [32]bool{}
@@ -179,31 +206,31 @@ func expandLeaf(n *node, maxDims, budget int, seen ip6.Set, out []ip6.Addr) []ip
 		}
 	}
 	if len(free) == 0 {
-		return out
+		return
 	}
 	for _, seed := range n.seeds {
 		var rec func(addr ip6.Addr, d int)
 		rec = func(addr ip6.Addr, d int) {
-			if len(out) >= budget {
+			if e.full() {
 				return
 			}
 			if d == len(free) {
-				if seen.Add(addr) {
-					out = append(out, addr)
-				}
+				e.add(addr)
 				return
 			}
 			for v := byte(0); v < 16; v++ {
 				rec(addr.SetNibble(free[d], v), d+1)
-				if len(out) >= budget {
+				if e.full() {
 					return
 				}
 			}
 		}
 		rec(seed, 0)
-		if len(out) >= budget {
+		if e.full() {
 			break
 		}
 	}
-	return out
 }
+
+// The generator is a full streaming TGA.
+var _ tga.Streamer = (*Generator)(nil)

@@ -1,0 +1,158 @@
+package tga
+
+// Streaming target generation: every concrete generator implements
+// Streamer — an incremental Emit that yields candidates in exactly
+// Generate's order — and NewSource adapts that push stream into the scan
+// engine's pull-based TargetSource, so "generate → probe → feed back"
+// runs end to end without ever materializing a candidate list.
+
+import (
+	"io"
+	"sync"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/scan"
+)
+
+// Streamer is a Generator that can emit its candidate stream
+// incrementally: Emit yields up to budget candidates derived from seeds,
+// in exactly the order Generate returns them, stopping early when yield
+// returns false. Implementations are deterministic and never yield seed
+// addresses or duplicates.
+type Streamer interface {
+	Generator
+	Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool)
+}
+
+// Collect materializes a streamer's full emission — the Generate compat
+// shim every concrete generator builds on, and the reference a streaming
+// consumer can be checked against.
+func Collect(g Streamer, seeds []ip6.Addr, budget int) []ip6.Addr {
+	var out []ip6.Addr
+	g.Emit(seeds, budget, func(a ip6.Addr) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// sourceChunk is the hand-off granularity between the generator
+// goroutine and pulls; a few hundred addresses amortize the channel
+// synchronization without buffering meaningful memory.
+const sourceChunk = 256
+
+// Source streams a generator's candidates as a pull-based
+// scan.TargetSource. The generator runs in its own goroutine, bounded by
+// a small chunk channel, so at most a few chunks exist at once no matter
+// how large the budget is. The stream is deterministic: pulls see
+// exactly Generate's output order. Close stops an unfinished generator;
+// scan.Scanner.StreamFrom calls it automatically when the stream ends.
+type Source struct {
+	g      Streamer
+	seeds  []ip6.Addr
+	budget int
+
+	started  bool
+	ch       chan []ip6.Addr
+	stop     chan struct{}
+	stopOnce sync.Once
+	cur      []ip6.Addr
+	done     bool
+	emitted  int
+}
+
+// NewSource returns a pull source over g's candidate stream for the
+// given seeds and budget. Generation starts lazily on the first pull.
+func NewSource(g Streamer, seeds []ip6.Addr, budget int) *Source {
+	return &Source{g: g, seeds: seeds, budget: budget}
+}
+
+func (s *Source) start() {
+	s.ch = make(chan []ip6.Addr, 4)
+	s.stop = make(chan struct{})
+	go func() {
+		defer close(s.ch)
+		buf := make([]ip6.Addr, 0, sourceChunk)
+		flush := func() bool {
+			if len(buf) == 0 {
+				return true
+			}
+			select {
+			case s.ch <- buf:
+				buf = make([]ip6.Addr, 0, sourceChunk)
+				return true
+			case <-s.stop:
+				return false
+			}
+		}
+		s.g.Emit(s.seeds, s.budget, func(a ip6.Addr) bool {
+			buf = append(buf, a)
+			if len(buf) == sourceChunk {
+				return flush()
+			}
+			select {
+			case <-s.stop:
+				return false
+			default:
+				return true
+			}
+		})
+		flush()
+	}()
+}
+
+// Next implements scan.TargetSource.
+func (s *Source) Next(buf []ip6.Addr) (int, error) {
+	if !s.started {
+		s.started = true
+		s.start()
+	}
+	for len(s.cur) == 0 {
+		if s.done {
+			return 0, io.EOF
+		}
+		chunk, ok := <-s.ch
+		if !ok {
+			s.done = true
+			return 0, io.EOF
+		}
+		s.cur = chunk
+	}
+	n := copy(buf, s.cur)
+	s.cur = s.cur[n:]
+	s.emitted += n
+	return n, nil
+}
+
+// Close stops the generator goroutine; safe to call more than once, and
+// after exhaustion. It never blocks.
+func (s *Source) Close() error {
+	if s.started {
+		s.stopOnce.Do(func() { close(s.stop) })
+	}
+	return nil
+}
+
+// Emitted reports how many candidates have been pulled so far. Read it
+// after the stream ends.
+func (s *Source) Emitted() int { return s.emitted }
+
+// CandidateFeed adapts a Streamer into the service's per-scan candidate
+// feed (core.Config.TGAFeed): each scan it streams up to Budget
+// candidates generated from the service's cumulative responsive seeds,
+// which the service probes and feeds back as input — the paper's
+// Section 6 TGA workload as a closed loop.
+type CandidateFeed struct {
+	Gen    Streamer
+	Budget int
+}
+
+// Name labels the feed in input accounting.
+func (f CandidateFeed) Name() string { return f.Gen.Name() }
+
+// Candidates returns the scan-day candidate stream. The day parameter is
+// part of the feed contract (feeds may vary generation by day); the
+// bundled generators are day-independent.
+func (f CandidateFeed) Candidates(day int, seeds []ip6.Addr) scan.TargetSource {
+	return NewSource(f.Gen, seeds, f.Budget)
+}

@@ -1,0 +1,219 @@
+package tga_test
+
+import (
+	"context"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/rng"
+	"hitlist6/internal/scan"
+	"hitlist6/internal/tga"
+	"hitlist6/internal/tga/dc"
+	"hitlist6/internal/tga/sixgan"
+	"hitlist6/internal/tga/sixgraph"
+	"hitlist6/internal/tga/sixtree"
+	"hitlist6/internal/tga/sixveclm"
+)
+
+// streamSeeds builds a structured seed set that exercises every
+// generator: a dense low-IID cluster (distance clustering needs ≥10
+// addresses within gap 64), EUI-64 and wordy IIDs for 6GAN's classes,
+// and enough per-/64 variety for the tree/graph/Markov models.
+func streamSeeds() []ip6.Addr {
+	var seeds []ip6.Addr
+	base := ip6.MustParsePrefix("2001:db8:1:1::/64")
+	for i := uint64(1); i <= 14; i++ { // dense run, gaps of 2
+		seeds = append(seeds, base.NthAddr(i*2))
+	}
+	r := rng.NewStream(99, "tga-stream-seeds")
+	nets := []ip6.Prefix{
+		ip6.MustParsePrefix("2001:db8:2:1::/64"),
+		ip6.MustParsePrefix("2001:db8:2:2::/64"),
+		ip6.MustParsePrefix("2a00:1450:8:9::/64"),
+	}
+	for _, p := range nets {
+		for i := 0; i < 40; i++ {
+			seeds = append(seeds, p.RandomAddr(r)) // random IIDs
+		}
+		for i := uint64(0); i < 12; i++ {
+			seeds = append(seeds, p.NthAddr(i+1)) // low-byte IIDs
+		}
+	}
+	ip6.SortAddrs(seeds)
+	return tga.DedupAgainstSeeds(seeds, nil)
+}
+
+func streamers() []tga.Streamer {
+	return []tga.Streamer{
+		sixtree.New(sixtree.DefaultConfig()),
+		sixgraph.New(sixgraph.DefaultConfig()),
+		sixgan.New(sixgan.DefaultConfig()),
+		sixveclm.New(sixveclm.DefaultConfig()),
+		dc.New(dc.DefaultConfig()),
+	}
+}
+
+// TestEmitMatchesGenerate pins the compat shim: Generate is exactly the
+// collected Emit stream, and pulling through tga.NewSource reproduces it
+// for any pull buffer size.
+func TestEmitMatchesGenerate(t *testing.T) {
+	seeds := streamSeeds()
+	const budget = 3000
+	for _, g := range streamers() {
+		gen := g.Generate(seeds, budget)
+		if len(gen) == 0 {
+			t.Fatalf("%s: no candidates generated", g.Name())
+		}
+		for _, bufSize := range []int{1, 7, 513} {
+			src := tga.NewSource(g, seeds, budget)
+			var pulled []ip6.Addr
+			buf := make([]ip6.Addr, bufSize)
+			for {
+				n, err := src.Next(buf)
+				pulled = append(pulled, buf[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("%s: Next: %v", g.Name(), err)
+				}
+			}
+			if !reflect.DeepEqual(gen, pulled) {
+				t.Fatalf("%s (buf %d): pulled stream diverges from Generate (%d vs %d candidates)",
+					g.Name(), bufSize, len(pulled), len(gen))
+			}
+			if src.Emitted() != len(gen) {
+				t.Errorf("%s: Emitted() = %d, want %d", g.Name(), src.Emitted(), len(gen))
+			}
+			if err := src.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// collectShardSequences streams and records each shard's target sequence
+// in batch Seq order — the engine's full deterministic output shape.
+func collectShardSequences(t *testing.T, stream func(scan.Sink) (scan.Stats, error)) (map[int][]ip6.Addr, scan.Stats) {
+	t.Helper()
+	var mu sync.Mutex
+	seqs := make(map[int][]ip6.Addr)
+	next := make(map[int]int)
+	st, err := stream(func(b *scan.Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if b.Seq != next[b.Shard] {
+			t.Errorf("shard %d: batch seq %d, want %d", b.Shard, b.Seq, next[b.Shard])
+		}
+		next[b.Shard]++
+		for i := range b.Results {
+			seqs[b.Shard] = append(seqs[b.Shard], b.Results[i].Target)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqs, st
+}
+
+// TestGenerateThenStreamEquivalence is the API-redesign acceptance test:
+// for every TGA, materializing Generate's candidate list and Streaming it
+// must be bit-identical — per-shard batch sequences and aggregate stats —
+// to StreamFrom pulling the generator's stream directly, for several
+// worker counts and chunk sizes. The candidate slice never exists on the
+// StreamFrom side.
+func TestGenerateThenStreamEquivalence(t *testing.T) {
+	seeds := streamSeeds()
+	const budget = 2500
+	net := netmodel.NewNetwork(3, netmodel.NewASTable(nil))
+	protos := []netmodel.Protocol{netmodel.ICMP, netmodel.TCP80}
+
+	for _, g := range streamers() {
+		candidates := g.Generate(seeds, budget)
+		mk := func(workers, chunk int) *scan.Scanner {
+			cfg := scan.DefaultConfig(11)
+			cfg.LossRate = 0.05
+			cfg.Workers = workers
+			cfg.BatchSize = 32
+			cfg.SourceChunk = chunk
+			return scan.New(net, cfg)
+		}
+		base, baseStats := collectShardSequences(t, func(sink scan.Sink) (scan.Stats, error) {
+			return mk(1, 0).Stream(context.Background(), candidates, protos, 9, sink)
+		})
+		for _, workers := range []int{1, 4} {
+			for _, chunk := range []int{1, 100, 0} {
+				got, gotStats := collectShardSequences(t, func(sink scan.Sink) (scan.Stats, error) {
+					return mk(workers, chunk).StreamFrom(context.Background(), tga.NewSource(g, seeds, budget), protos, 9, sink)
+				})
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("%s workers=%d chunk=%d: StreamFrom shard sequences diverge from Generate-then-Stream",
+						g.Name(), workers, chunk)
+				}
+				if baseStats.ProbesSent != gotStats.ProbesSent || baseStats.Batches != gotStats.Batches {
+					t.Fatalf("%s workers=%d chunk=%d: stats diverge: %+v vs %+v",
+						g.Name(), workers, chunk, baseStats, gotStats)
+				}
+			}
+		}
+	}
+}
+
+// TestSourceEarlyClose: closing a partially pulled source stops the
+// generator goroutine and further pulls; double Close is safe.
+func TestSourceEarlyClose(t *testing.T) {
+	seeds := streamSeeds()
+	g := sixgraph.New(sixgraph.DefaultConfig())
+	src := tga.NewSource(g, seeds, 100000)
+	buf := make([]ip6.Addr, 16)
+	if n, err := src.Next(buf); n == 0 || err != nil {
+		t.Fatalf("first pull: n=%d err=%v", n, err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Pulls after Close drain at most the already-buffered chunks and
+	// then end; they must not hang.
+	for i := 0; i < 100000/16; i++ {
+		if _, err := src.Next(buf); err == io.EOF {
+			return
+		}
+	}
+	t.Fatal("source did not terminate after Close")
+}
+
+// TestStreamingDedupMatchesDedupAgainstSeeds pins scan.Dedup as the
+// streaming counterpart of tga.DedupAgainstSeeds: same survivors, same
+// order, for a stream with seed hits and repeats.
+func TestStreamingDedupMatchesDedupAgainstSeeds(t *testing.T) {
+	r := rng.NewStream(5, "dedup-test")
+	p := ip6.MustParsePrefix("2001:db8:77::/64")
+	var seeds, candidates []ip6.Addr
+	for i := uint64(0); i < 50; i++ {
+		seeds = append(seeds, p.NthAddr(i))
+	}
+	for i := 0; i < 600; i++ {
+		candidates = append(candidates, p.NthAddr(uint64(r.Intn(120)))) // many dups + seed hits
+	}
+
+	want := tga.DedupAgainstSeeds(append([]ip6.Addr(nil), candidates...), seeds)
+
+	seedSet := ip6.NewSet(len(seeds))
+	seedSet.AddSlice(seeds)
+	src := scan.Dedup(scan.SliceSource(candidates), seedSet.Has)
+	got, err := scan.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("streaming dedup diverges: %d vs %d survivors", len(got), len(want))
+	}
+}
