@@ -11,12 +11,14 @@ package hitlist6bench
 import (
 	"bytes"
 	"context"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"hitlist6/internal/core"
 	"hitlist6/internal/experiments"
+	"hitlist6/internal/hlfile"
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/rng"
@@ -150,6 +152,50 @@ func BenchmarkScanEngineStream(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var results atomic.Uint64 // sinks run concurrently across shards
 		stats, err := s.Stream(ctx, targets, protos, 100, func(batch *scan.Batch) error {
+			results.Add(uint64(len(batch.Results)))
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(stats.Batches), "batches")
+		b.ReportMetric(float64(results.Load()), "results")
+	}
+}
+
+// BenchmarkHitlistSource measures scanning straight off a .hl6 binary
+// hitlist: the mmap-backed sharded source against the same five-protocol
+// sweep BenchmarkScanEngineStream runs from a slice — the per-scan cost
+// of the external-memory target path.
+func BenchmarkHitlistSource(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.Params{
+		Seed: 17, Scale: 1.0 / 10000, TailASes: 48, ScanIntervalDays: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.NewStream(17, "bench-hitlist-targets")
+	prefixes := w.Net.AS.AnnouncedPrefixes()
+	targets := make([]ip6.Addr, 4096)
+	for i := range targets {
+		targets[i] = prefixes[r.Intn(len(prefixes))].RandomAddr(r)
+	}
+	path := filepath.Join(b.TempDir(), "bench.hl6")
+	if err := hlfile.Write(path, targets); err != nil {
+		b.Fatal(err)
+	}
+	reader, err := hlfile.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reader.Close()
+	protos := []netmodel.Protocol{netmodel.ICMP, netmodel.TCP443, netmodel.TCP80, netmodel.UDP443, netmodel.UDP53}
+	s := scan.New(w.Net, scan.DefaultConfig(17))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var results atomic.Uint64
+		stats, err := s.StreamFrom(ctx, reader.Source(), protos, 100, func(batch *scan.Batch) error {
 			results.Add(uint64(len(batch.Results)))
 			return nil
 		})

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hitlist6/internal/hlfile"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/rng"
+)
+
+// hl6Main dispatches the `hitlist6 hl6` subcommands — the .hl6 binary
+// hitlist toolbox:
+//
+//	hitlist6 hl6 convert -in targets.txt -out targets.hl6   # CSV/text → .hl6
+//	hitlist6 hl6 synth -n 2000000 -out big.hl6              # synthetic file
+//	hitlist6 hl6 info targets.hl6                            # header summary
+//
+// convert reads one address per line (or per CSV row; -col picks the
+// column), streams it through the bounded-memory writer, and emits the
+// sorted sharded binary file zmap6sim -hitlist and sources.HitlistFile
+// scan without materialization.
+func hl6Main(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hitlist6 hl6 convert|synth|info ...")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "convert":
+		hl6Convert(args[1:])
+	case "synth":
+		hl6Synth(args[1:])
+	case "info":
+		hl6Info(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown hl6 subcommand %q (want convert, synth or info)\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func hl6Convert(args []string) {
+	fs := flag.NewFlagSet("hl6 convert", flag.ExitOnError)
+	var (
+		in     = fs.String("in", "", "input file, one address per line or CSV ('-' = stdin)")
+		out    = fs.String("out", "", "output .hl6 path")
+		col    = fs.Int("col", 0, "CSV column holding the address (0-based)")
+		budget = fs.Int("budget", hlfile.DefaultWriterBudget, "resident address budget of the writer")
+		strict = fs.Bool("strict", false, "fail on unparsable lines instead of skipping them")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "hl6 convert needs -in and -out")
+		os.Exit(2)
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	w, err := hlfile.NewWriterBudget(*out, *budget)
+	if err != nil {
+		fatal(err)
+	}
+	// fatal skips defers (os.Exit); abort the writer by hand so a failed
+	// conversion never strands the scratch run file next to the output.
+	fail := func(err error) {
+		w.Abort()
+		fatal(err)
+	}
+
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var total, skipped int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.IndexByte(line, ','); i >= 0 {
+			fields := strings.Split(line, ",")
+			if *col >= len(fields) {
+				if *strict {
+					fail(fmt.Errorf("line %q has no column %d", line, *col))
+				}
+				skipped++
+				continue
+			}
+			line = strings.TrimSpace(fields[*col])
+		}
+		a, err := ip6.ParseAddr(line)
+		if err != nil {
+			if *strict {
+				fail(err)
+			}
+			skipped++
+			continue
+		}
+		if err := w.Add(a); err != nil {
+			fail(err)
+		}
+		total++
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if err := w.Finish(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hl6 convert: %d addresses in, %d skipped → %s\n", total, skipped, *out)
+}
+
+// hl6Synth writes a deterministic synthetic hitlist — the quick way to
+// produce a multi-million-address .hl6 for smoke tests and benchmarks
+// without a source list.
+func hl6Synth(args []string) {
+	fs := flag.NewFlagSet("hl6 synth", flag.ExitOnError)
+	var (
+		n      = fs.Int("n", 1_000_000, "addresses to generate")
+		out    = fs.String("out", "", "output .hl6 path")
+		seed   = fs.Uint64("seed", 42, "generator seed")
+		budget = fs.Int("budget", hlfile.DefaultWriterBudget, "resident address budget of the writer")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "hl6 synth needs -out")
+		os.Exit(2)
+	}
+	w, err := hlfile.NewWriterBudget(*out, *budget)
+	if err != nil {
+		fatal(err)
+	}
+	// Cluster the draws under 2001::/16-ish prefixes so the file looks
+	// like a hitlist (shared routed prefixes, varied IIDs), not noise.
+	r := rng.NewStream(*seed, "hl6-synth")
+	for i := 0; i < *n; i++ {
+		hi := 0x2001_0000_0000_0000 | r.Uint64()&0x0fff_ffff_0000 | r.Uint64()&0xffff
+		lo := r.Uint64() >> (r.Uint64() % 48)
+		if err := w.Add(ip6.AddrFromUint64s(hi, lo)); err != nil {
+			w.Abort()
+			fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hl6 synth: %d draws → %s (%d bytes)\n", *n, *out, st.Size())
+}
+
+func hl6Info(args []string) {
+	fs := flag.NewFlagSet("hl6 info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hitlist6 hl6 info file.hl6")
+		os.Exit(2)
+	}
+	r, err := hlfile.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	minLen, maxLen, nonEmpty := -1, 0, 0
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		n := r.ShardLen(sh)
+		if n > 0 {
+			nonEmpty++
+		}
+		if minLen < 0 || n < minLen {
+			minLen = n
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	fmt.Printf("addresses:       %d\n", r.Len())
+	fmt.Printf("shards:          %d (%d non-empty)\n", ip6.AddrShards, nonEmpty)
+	fmt.Printf("shard sizes:     min=%d max=%d\n", minLen, maxLen)
+	fmt.Printf("mmap:            %v\n", r.Mapped())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

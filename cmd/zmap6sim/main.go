@@ -1,23 +1,30 @@
 // Command zmap6sim scans targets in the synthetic Internet with the
 // ZMapv6-style scanner and writes result CSV to stdout.
 //
-// Targets come from a file (one IPv6 address per line) or, with
+// Targets come from a file (one IPv6 address per line), a .hl6 binary
+// hitlist (-hitlist, mmap-backed — the engine's probe workers pull each
+// shard's run straight off disk, so hitlist-scale inputs scan with
+// resident memory bounded by pull buffers, not input size), or, with
 // -sample N, from a random sample of the world's announced space. Either
 // way they reach the probe workers through a pull-based scan.TargetSource
-// — the file streams line by line and the sampler draws on demand, so no
-// global target slice is ever built (pass -ordered, which must buffer
-// the full result set anyway, to opt out).
+// — no global target slice is ever built (pass -ordered, which must
+// buffer the full result set anyway, to opt out).
 //
 // Results stream through the sharded scan engine and are written as
 // batches complete — like real ZMap, output row order is arrival order,
 // not input order (rows within a batch stay in probe order). Pass
 // -ordered to buffer the full result set and emit input order instead.
 // -batchstats prints one stderr line per completed batch; -shardstats
-// prints the full per-shard throughput table after the scan.
+// prints the full per-shard throughput table after the scan. -distinct
+// additionally counts distinct responsive addresses; with -spill DIR the
+// counting set spills sorted runs under -membudget MiB of resident
+// memory, so even a scan with hundreds of millions of responders stays
+// budget-bounded.
 //
 // Usage:
 //
 //	zmap6sim -targets addrs.txt -protocols ICMP,UDP/53 -day 1376 > scan.csv
+//	zmap6sim -hitlist targets.hl6 -spill /tmp/spill -membudget 64 > scan.csv
 //	zmap6sim -sample 10000 -batchstats > scan.csv
 package main
 
@@ -32,6 +39,7 @@ import (
 	"strings"
 	"sync"
 
+	"hitlist6/internal/hlfile"
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/rng"
@@ -104,7 +112,11 @@ func (s *sampleSource) Next(buf []ip6.Addr) (int, error) {
 func main() {
 	var (
 		targetsFile = flag.String("targets", "", "file with one IPv6 address per line")
+		hitlist     = flag.String("hitlist", "", "binary .hl6 hitlist file to scan (mmap-backed, sharded)")
 		sample      = flag.Int("sample", 0, "scan N random addresses from announced space instead")
+		distinct    = flag.Bool("distinct", false, "count distinct responsive addresses (resident set unless -spill)")
+		spillDir    = flag.String("spill", "", "spill directory for the distinct-responder set (implies -distinct)")
+		memBudget   = flag.Int("membudget", 64, "resident budget in MiB for the spilled distinct set")
 		protocols   = flag.String("protocols", "ICMP,TCP/443,TCP/80,UDP/443,UDP/53", "comma-separated protocol list")
 		day         = flag.Int("day", worldgen.EndDay, "simulation day of the scan")
 		scale       = flag.Float64("scale", 1.0/500, "world scale")
@@ -142,6 +154,13 @@ func main() {
 
 	var src scan.TargetSource
 	switch {
+	case *hitlist != "":
+		hs, err := hlfile.OpenSource(*hitlist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening hitlist: %v\n", err)
+			os.Exit(1)
+		}
+		src = hs
 	case *targetsFile != "":
 		ls, err := openLineSource(*targetsFile)
 		if err != nil {
@@ -156,8 +175,36 @@ func main() {
 			left:     *sample,
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "need -targets or -sample")
+		fmt.Fprintln(os.Stderr, "need -targets, -hitlist or -sample")
 		os.Exit(2)
+	}
+
+	// Distinct-responder accounting: a resident set by default, a
+	// disk-spilling one under -spill so the counting memory is bounded by
+	// -membudget rather than the responder count. cleanup releases the
+	// scratch file; die routes error exits through it so a failed scan
+	// never leaves multi-GB run files in the user's spill directory
+	// (os.Exit skips defers).
+	var responders ip6.SpillableSet
+	var spillSet *ip6.SpillSet
+	cleanup := func() {}
+	if *spillDir != "" {
+		budget := int64(*memBudget) << 20 / ip6.AddrBytes / ip6.AddrShards
+		ss, err := ip6.NewSpillSet(*spillDir, int(budget))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating spill set: %v\n", err)
+			os.Exit(1)
+		}
+		cleanup = func() { ss.Close() }
+		spillSet = ss
+		responders = ss
+	} else if *distinct {
+		responders = ip6.NewShardedSet()
+	}
+	die := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format, a...)
+		cleanup()
+		os.Exit(1)
 	}
 
 	cfg := scan.DefaultConfig(*seed)
@@ -172,8 +219,7 @@ func main() {
 
 	out, err := scan.NewWriter(os.Stdout)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err)
-		os.Exit(1)
+		die("%v\n", err)
 	}
 
 	var stats scan.Stats
@@ -183,19 +229,24 @@ func main() {
 		// therefore the materialized target list.
 		targets, err := scan.Collect(src)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "collecting targets: %v\n", err)
-			os.Exit(1)
+			die("collecting targets: %v\n", err)
 		}
 		results, st, err := s.Scan(ctx, targets, protos, *day)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scanning: %v\n", err)
-			os.Exit(1)
+			die("scanning: %v\n", err)
 		}
 		stats = st
 		for _, r := range results {
+			if responders != nil && r.Success {
+				responders.Add(r.Target)
+			}
 			if err := out.Write(r); err != nil {
-				fmt.Fprintf(os.Stderr, "%v\n", err)
-				os.Exit(1)
+				die("%v\n", err)
+			}
+		}
+		if spillSet != nil {
+			if err := spillSet.Compact(); err != nil {
+				die("compacting spill set: %v\n", err)
 			}
 		}
 	} else {
@@ -207,12 +258,27 @@ func main() {
 		// from many workers at once. The mutex covers both modes; it is
 		// uncontended when the delivery goroutine is the only caller.
 		var mu sync.Mutex
+		batches := 0
 		st, err := s.StreamFrom(ctx, src, protos, *day, func(b *scan.Batch) error {
 			mu.Lock()
 			defer mu.Unlock()
 			for _, r := range b.Results {
+				if responders != nil && r.Success {
+					responders.AddToShard(b.Shard, r.Target)
+				}
 				if err := out.Write(r); err != nil {
 					return err
+				}
+			}
+			// Periodic compaction keeps the spill set's per-shard run
+			// fan-in near 1, so membership probes stay one fence lookup
+			// instead of degrading with every frozen run. Safe here: the
+			// mutex serializes all AddToShard calls with the compactor.
+			if spillSet != nil {
+				if batches++; batches%1024 == 0 {
+					if err := spillSet.Compact(); err != nil {
+						return err
+					}
 				}
 			}
 			if *batchStats {
@@ -222,18 +288,28 @@ func main() {
 			return nil
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scanning: %v\n", err)
-			os.Exit(1)
+			die("scanning: %v\n", err)
 		}
 		stats = st
 	}
 	if err := out.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err)
-		os.Exit(1)
+		die("%v\n", err)
 	}
 	fmt.Fprintf(os.Stderr, "probes=%d responses=%d successes=%d batches=%d est-duration=%.1fs\n",
 		stats.ProbesSent, stats.Responses, stats.Successes, stats.Batches, stats.EstimatedSeconds)
+	if responders != nil {
+		if spillSet != nil {
+			if err := spillSet.Err(); err != nil {
+				die("spill set: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "distinct-responsive=%d spilled-runs=%d spilled-bytes=%d\n",
+				spillSet.Len(), spillSet.FrozenRuns(), spillSet.SpilledBytes())
+		} else {
+			fmt.Fprintf(os.Stderr, "distinct-responsive=%d\n", responders.Len())
+		}
+	}
 	printShardSummary(os.Stderr, stats.PerShard, *shardStats)
+	cleanup()
 }
 
 // printShardSummary renders the engine's per-shard throughput: always a

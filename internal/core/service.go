@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 
@@ -79,6 +80,25 @@ type Config struct {
 	// materialized), and the responders are ingested as next-scan input
 	// under the feed's name. Nil reproduces the plain service.
 	TGAFeed CandidateFeed
+
+	// MemoryBudget, when > 0, bounds the resident size (in bytes) of the
+	// cumulative sets that otherwise grow with the full measurement
+	// history — every address ever seen as input, the per-protocol and
+	// any-protocol ever-responsive sets, and the deployed GFW drop list.
+	// The budget is split evenly across those sets and their shards;
+	// each shard spills frozen sorted runs to disk past its slice and
+	// merges them at digest finalization, so a run over hitlist-scale
+	// input holds budget-bounded state instead of the whole history.
+	// Outputs are bit-identical with and without a budget. 0 keeps
+	// everything resident (the pre-spill behaviour). Scan-sized state
+	// (the active window, per-scan responder sets, and — with TGAFeed —
+	// the per-round seed slice generators need random access to) stays
+	// resident; the budget governs the history-sized sets.
+	MemoryBudget int64
+
+	// SpillDir is where spill scratch files live when MemoryBudget is
+	// set; "" creates (and removes at Close) a private temp directory.
+	SpillDir string
 }
 
 // CandidateFeed generates streaming scan candidates from the service's
@@ -194,8 +214,11 @@ type Service struct {
 	// runs on up to this many goroutines. Outputs never depend on it.
 	workers int
 
-	// Cumulative input accounting.
-	inputSeen    *ip6.ShardedSet
+	// Cumulative input accounting. The history-sized sets (inputSeen,
+	// gfwInputDrop, everResp*, everRespAny) are used through
+	// ip6.SpillableSet: resident ShardedSets by default, disk-backed
+	// SpillSets under Config.MemoryBudget.
+	inputSeen    ip6.SpillableSet
 	perASInput   map[int]*ASInput
 	inputTotal   int
 	blockedTotal int
@@ -203,8 +226,12 @@ type Service struct {
 	aliasedTotal int
 	evictedTotal int
 	gfwDeployed  bool
-	gfwInputDrop *ip6.ShardedSet // the cumulative "134 M" filter once deployed
-	unresponsive ip6.Set         // evicted addresses (if retained)
+	gfwInputDrop ip6.SpillableSet // the cumulative "134 M" filter once deployed
+	unresponsive ip6.Set          // evicted addresses (if retained)
+
+	// spill is non-nil when MemoryBudget is set: the scratch directory
+	// and the disk-backed sets to compact, error-check and close.
+	spill *spillState
 
 	// active is the sharded target store: per-address scan-window state,
 	// partitioned exactly like the scan engine's batch delivery. Ingest,
@@ -218,11 +245,15 @@ type Service struct {
 	pendingAPD64 []ip6.Prefix // newly seen /64s queued for APD
 	seen64       map[ip6.Prefix]struct{}
 	tracker      *gfw.Tracker
-	everResp     [netmodel.NumProtocols]*ip6.ShardedSet
-	everRespAny  *ip6.ShardedSet
-	prevRespAny  *ip6.ShardedSet
+	everResp     [netmodel.NumProtocols]ip6.SpillableSet
+	everRespAny  ip6.SpillableSet
+	prevRespAny  *ip6.ShardedSet // last scan's clean responders: scan-sized, stays resident
 	lastClean    map[netmodel.Protocol]*ip6.ShardedSet
 	inputByFeed  map[string]int
+
+	// lastShardStats is the previous main scan's per-shard throughput,
+	// feeding the adaptive dispatch order (slowest shards first).
+	lastShardStats []scan.ShardStats
 
 	// scanShards holds the per-shard scan-set buffers, rebuilt by the
 	// 30-day filter each scan and fed straight into StreamSharded; the
@@ -262,7 +293,105 @@ type ASInput struct {
 	GFW     int
 }
 
-// NewService assembles a pipeline over a world.
+// spillState carries the external-memory context of a budgeted service:
+// scratch directory, per-set/per-shard budget, and every disk-backed set
+// for compaction, error checks and Close.
+type spillState struct {
+	dir         string
+	ownsDir     bool
+	shardBudget int
+	sets        []*ip6.SpillSet
+	initErr     error
+}
+
+// spillSets is how many history-sized sets share the memory budget: the
+// per-protocol ever-responsive sets, the any-protocol one, the input
+// dedup set and the GFW drop list.
+const spillSets = netmodel.NumProtocols + 3
+
+// newSet returns a fresh disk-backed set sharing the spill state's
+// budget, recording (and re-reporting) the first creation error.
+func (sp *spillState) newSet() *ip6.SpillSet {
+	set, err := ip6.NewSpillSet(sp.dir, sp.shardBudget)
+	if err != nil {
+		if sp.initErr == nil {
+			sp.initErr = err
+		}
+		return nil
+	}
+	sp.sets = append(sp.sets, set)
+	return set
+}
+
+// err surfaces the first initialization or disk error across the sets.
+func (sp *spillState) err() error {
+	if sp.initErr != nil {
+		return sp.initErr
+	}
+	for _, set := range sp.sets {
+		if err := set.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact folds every set's runs down (one run per shard) — the merge
+// step of digest finalization and snapshot capture.
+func (sp *spillState) compact() error {
+	for _, set := range sp.sets {
+		if err := set.Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sp *spillState) close() error {
+	var first error
+	for _, set := range sp.sets {
+		if err := set.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	sp.sets = nil
+	if sp.ownsDir {
+		if err := os.RemoveAll(sp.dir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// newSpillState resolves Config.MemoryBudget/SpillDir into a spill
+// context, or nil when the service runs fully resident.
+func newSpillState(cfg Config) *spillState {
+	if cfg.MemoryBudget <= 0 {
+		return nil
+	}
+	sp := &spillState{}
+	// Even split: budget bytes over the sharing sets and their shards.
+	// NewSpillSet clamps to ≥ 1 resident address per shard, so even a
+	// pathological budget stays functional (it just spills constantly).
+	sp.shardBudget = int(cfg.MemoryBudget / ip6.AddrBytes / spillSets / ip6.AddrShards)
+	if cfg.SpillDir != "" {
+		sp.dir = cfg.SpillDir
+		if err := os.MkdirAll(sp.dir, 0o755); err != nil {
+			sp.initErr = fmt.Errorf("core: creating spill dir: %w", err)
+		}
+	} else {
+		dir, err := os.MkdirTemp("", "hitlist6-spill-*")
+		if err != nil {
+			sp.initErr = fmt.Errorf("core: creating spill dir: %w", err)
+		}
+		sp.dir, sp.ownsDir = dir, true
+	}
+	return sp
+}
+
+// NewService assembles a pipeline over a world. When Config.MemoryBudget
+// is set the cumulative sets are disk-backed; call Close when done to
+// release their scratch files (a resident service needs no Close).
 func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blocklist *ip6.PrefixSet) *Service {
 	if len(cfg.Protocols) == 0 {
 		cfg.Protocols = []netmodel.Protocol{netmodel.ICMP, netmodel.TCP443, netmodel.TCP80, netmodel.UDP443, netmodel.UDP53}
@@ -293,15 +422,13 @@ func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blockl
 		feeds:        feeds,
 		block:        blocklist,
 		workers:      workers,
-		inputSeen:    ip6.NewShardedSet(),
+		spill:        newSpillState(cfg),
 		perASInput:   make(map[int]*ASInput),
-		gfwInputDrop: ip6.NewShardedSet(),
 		unresponsive: ip6.NewSet(0),
 		active:       ip6.NewShardedMap[*targetState](),
 		aliased:      ip6.NewPrefixSet(),
 		seen64:       make(map[ip6.Prefix]struct{}),
 		tracker:      gfw.NewTracker(),
-		everRespAny:  ip6.NewShardedSet(),
 		prevRespAny:  ip6.NewShardedSet(),
 		inputByFeed:  make(map[string]int),
 		scanShards:   make([][]ip6.Addr, ip6.AddrShards),
@@ -309,11 +436,54 @@ func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blockl
 		snapshots:    make(map[int]*Snapshot),
 		snapQueue:    append([]int(nil), cfg.SnapshotDays...),
 	}
+	s.inputSeen = s.newCumulativeSet()
+	// gfwInputDrop is only read once the filter deploys, and deployment
+	// replaces it wholesale — an empty resident placeholder until then
+	// (the budget split still reserves its post-deployment share).
+	s.gfwInputDrop = ip6.NewShardedSet()
+	s.everRespAny = s.newCumulativeSet()
 	for i := range s.everResp {
-		s.everResp[i] = ip6.NewShardedSet()
+		s.everResp[i] = s.newCumulativeSet()
 	}
 	s.detector = apd.NewDetector(s.scanner, apd.DefaultConfig())
 	return s
+}
+
+// newCumulativeSet picks the resident or disk-backed implementation for
+// one history-sized set.
+func (s *Service) newCumulativeSet() ip6.SpillableSet {
+	if s.spill != nil {
+		if set := s.spill.newSet(); set != nil {
+			return set
+		}
+		// Creation failed; fall back resident so the service object stays
+		// usable — RunScan surfaces spill.initErr before any scan runs.
+	}
+	return ip6.NewShardedSet()
+}
+
+// Close releases the spill scratch files (and the private spill
+// directory, when the service created one). Harmless on a resident
+// service.
+func (s *Service) Close() error {
+	if s.spill == nil {
+		return nil
+	}
+	return s.spill.close()
+}
+
+// SpilledRuns reports how many sorted runs the cumulative sets have
+// frozen to disk so far — 0 on a resident service, and the "did the
+// budget actually bite" signal for tests and operators.
+func (s *Service) SpilledRuns() int64 {
+	if s.spill == nil {
+		return 0
+	}
+	var n int64
+	for _, set := range s.spill.sets {
+		n += set.FrozenRuns()
+	}
+	return n
 }
 
 // Scanner exposes the service's scanner (for auxiliary experiments that
@@ -398,6 +568,11 @@ func (s *Service) Funnel() Funnel {
 
 // RunScan executes one full pipeline iteration at the given day.
 func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
+	if s.spill != nil {
+		if err := s.spill.err(); err != nil {
+			return nil, fmt.Errorf("core: spill state: %w", err)
+		}
+	}
 	rec := &ScanRecord{Index: s.scanIndex, Day: day}
 
 	// 1. Input accumulation: each active feed drains into a lazy
@@ -430,6 +605,11 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	// folded into per-shard accumulators concurrently as they complete —
 	// the full targets × protocols result slice is never materialized —
 	// then the accumulators merge in canonical shard order.
+	// Adaptive dispatch: hand the previous scan's slowest shards out
+	// first (ShardStats nanos, descending) so stragglers overlap the
+	// cheap tail instead of serializing after it. Purely a wall-clock
+	// knob — per-shard outputs are dispatch-order-invariant.
+	s.applyDispatchOrder()
 	digests := make([]*shardDigest, ip6.AddrShards)
 	stats, err := s.scanner.StreamFrom(ctx, scan.ShardSlices(s.scanShards), s.cfg.Protocols, day, s.digestSink(digests))
 	if err != nil {
@@ -437,7 +617,16 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	}
 	rec.ProbesSent += stats.ProbesSent
 	rec.ShardStats = stats.PerShard
+	s.lastShardStats = stats.PerShard
 	s.finalizeDigest(digests, day, rec)
+	// Digest finalization is a merge point for the spilled sets: fold
+	// each shard's frozen runs into one so membership probes stay one
+	// fence lookup per shard, and surface any disk error now.
+	if s.spill != nil {
+		if err := s.spill.compact(); err != nil {
+			return nil, fmt.Errorf("core: compacting spilled sets: %w", err)
+		}
+	}
 
 	// 6b. TGA candidate round: generate → probe → feed back, streamed
 	// end to end.
@@ -450,9 +639,37 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	// 7. Snapshots.
 	s.maybeSnapshot(day)
 
+	// Any disk error the sweeps hit (spill writes degrade softly and
+	// record a sticky error) fails the scan rather than silently running
+	// with a lossy membership view.
+	if s.spill != nil {
+		if err := s.spill.err(); err != nil {
+			return nil, fmt.Errorf("core: spill state: %w", err)
+		}
+	}
 	s.records = append(s.records, rec)
 	s.scanIndex++
 	return rec, nil
+}
+
+// applyDispatchOrder feeds the previous scan's per-shard wall-clock
+// profile back into the engine: slowest shards dispatch first. The first
+// scan (no profile yet) keeps canonical order.
+func (s *Service) applyDispatchOrder() {
+	if len(s.lastShardStats) != ip6.AddrShards {
+		return
+	}
+	order := make([]int, ip6.AddrShards)
+	for i := range order {
+		order[i] = i
+	}
+	stats := s.lastShardStats
+	sort.SliceStable(order, func(i, j int) bool {
+		return stats[order[i]].Nanos > stats[order[j]].Nanos
+	})
+	// Building the permutation locally means SetDispatchOrder cannot
+	// reject it; ignore the impossible error to keep the scan path flat.
+	_ = s.scanner.SetDispatchOrder(order)
 }
 
 // ingestCounters accumulates the outcome counters of an admission sweep;
@@ -738,11 +955,19 @@ func (s *Service) trackSlash64(a ip6.Addr) {
 // deltas merge in canonical shard order.
 func (s *Service) deployGFWFilter(rec *ScanRecord) {
 	s.gfwDeployed = true
-	s.gfwInputDrop = s.tracker.InjectedOnlySharded()
+	drop := s.tracker.InjectedOnlySharded()
+	// Under a memory budget the cumulative drop list moves into a
+	// disk-backed set inside the same per-shard sweep that purges the
+	// active window, so the resident tracker-built copy dies with this
+	// call instead of living for the rest of the run.
+	var spillDrop *ip6.SpillSet
+	if s.spill != nil {
+		spillDrop = s.spill.newSet()
+	}
 	dropped := make([]shardPurge, ip6.AddrShards)
 	ip6.ParallelShards(s.workers, func(sh int) {
 		d := &dropped[sh]
-		for a := range s.gfwInputDrop.Shard(sh) {
+		drop.WalkShard(sh, func(a ip6.Addr) bool {
 			if s.active.DeleteInShard(sh, a) {
 				d.count++
 				asn := 0
@@ -751,8 +976,17 @@ func (s *Service) deployGFWFilter(rec *ScanRecord) {
 				}
 				d.addAS(asn)
 			}
+			return true
+		})
+		if spillDrop != nil {
+			spillDrop.AddAllToShard(sh, drop.Shard(sh))
 		}
 	})
+	if spillDrop != nil {
+		s.gfwInputDrop = spillDrop
+	} else {
+		s.gfwInputDrop = drop
+	}
 	for sh := range dropped {
 		d := &dropped[sh]
 		rec.GFWFilteredInput += d.count
@@ -1069,6 +1303,27 @@ func (s *Service) finalizeDigest(digests []*shardDigest, day int, rec *ScanRecor
 	s.lastClean = lastClean
 }
 
+// compactingSeen wraps a round-local spill set as a scan.AddSet that
+// compacts itself every compactEvery inserts (compact errors are sticky
+// on the set and surface from the round's Err check).
+type compactingSeen struct {
+	set *ip6.SpillSet
+	n   int
+}
+
+// compactEvery balances merge cost against probe fan-in: a few hundred
+// thousand inserts accrue at most a handful of runs per shard under any
+// sane budget.
+const compactEvery = 1 << 18
+
+func (c *compactingSeen) Add(a ip6.Addr) bool {
+	ok := c.set.Add(a)
+	if c.n++; c.n%compactEvery == 0 {
+		c.set.Compact()
+	}
+	return ok
+}
+
 // countSource interposes on a target stream to count pulled addresses.
 type countSource struct {
 	src scan.TargetSource
@@ -1101,10 +1356,38 @@ func (s *Service) runTGA(ctx context.Context, day int, rec *ScanRecord) error {
 	if len(seeds) == 0 {
 		return nil
 	}
-	counted := &countSource{src: scan.Dedup(s.cfg.TGAFeed.Candidates(day, seeds), s.inputSeen.Has)}
+	// Candidate dedup tracks this round's emissions; under a memory
+	// budget that tracking set spills too, so a hitlist-scale candidate
+	// stream never accumulates in RAM. The cross-round filter is the
+	// (possibly disk-backed) cumulative inputSeen either way.
+	var seen scan.AddSet = ip6.NewSet(0)
+	var roundSpill *ip6.SpillSet
+	if s.spill != nil {
+		set, err := ip6.NewSpillSet(s.spill.dir, s.spill.shardBudget)
+		if err != nil {
+			return fmt.Errorf("core: TGA dedup spill set: %w", err)
+		}
+		defer set.Close()
+		roundSpill = set
+		// Periodic compaction keeps the round set's per-shard run fan-in
+		// near 1 — without it a long candidate stream would probe every
+		// frozen run per Add. Safe: the dedup filter runs on the single
+		// puller goroutine, so no per-shard sweep is ever active here.
+		seen = &compactingSeen{set: set}
+	}
+	counted := &countSource{src: scan.DedupWith(s.cfg.TGAFeed.Candidates(day, seeds), s.inputSeen.Has, seen)}
 	resp, stats, err := s.scanner.StreamResponsiveFrom(ctx, counted, s.cfg.Protocols, day)
 	if err != nil {
 		return fmt.Errorf("core: TGA candidate scan: %w", err)
+	}
+	// A disk error in the round's dedup set degrades Has to false
+	// (candidates probed twice) — fail the scan like every other spill
+	// error instead of letting outputs silently diverge from the
+	// budget-less run.
+	if roundSpill != nil {
+		if err := roundSpill.Err(); err != nil {
+			return fmt.Errorf("core: TGA dedup spill set: %w", err)
+		}
 	}
 	rec.ProbesSent += stats.ProbesSent
 	rec.TGACandidates = counted.n
@@ -1126,6 +1409,12 @@ func (s *Service) runTGA(ctx context.Context, day int, rec *ScanRecord) error {
 	return s.ingest(feedback, day, rec)
 }
 
+// maybeSnapshot captures due snapshots. Snapshots read only the
+// scan-sized resident sets (prevRespAny, lastClean, aliased), so no
+// spill interaction happens here; the spilled cumulative sets were
+// compacted moments earlier in RunScan's digest-finalization step, which
+// is what keeps the InputSeen/EverResponsive accessor merges cheap at
+// snapshot days too.
 func (s *Service) maybeSnapshot(day int) {
 	for len(s.snapQueue) > 0 && day >= s.snapQueue[0] {
 		want := s.snapQueue[0]

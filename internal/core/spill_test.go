@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// spillBudget is small enough that the tiny reference scenario spills
+// constantly (one resident address per shard per set) while staying
+// functional.
+const spillBudget = 1
+
+// spillTinyRun is refTinyRun with a memory budget: same scenario, the
+// cumulative sets disk-backed and spilling hard.
+func spillTinyRun(t testing.TB, workers int, dir string) *Service {
+	t.Helper()
+	n, feeds := tinyWorld(t)
+	cfg := DefaultConfig(1)
+	cfg.GFWFilterFromDay = 150
+	cfg.SnapshotDays = []int{14, 70, 180}
+	cfg.ScanWorkers = workers
+	cfg.MemoryBudget = spillBudget
+	cfg.SpillDir = dir
+	s := NewService(cfg, n, feeds, nil)
+	runDays(t, s, weekly(0, 196))
+	return s
+}
+
+// TestShardedStoreSpillMatchesReference is the external-memory
+// acceptance gate: with a memory budget tiny enough to force constant
+// spilling, records and snapshots stay bit-identical to the same
+// pre-refactor goldens the resident implementation is pinned to — the
+// spillable digest is an exact refactor, not an approximation.
+func TestShardedStoreSpillMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := spillTinyRun(t, workers, t.TempDir())
+		if s.SpilledRuns() == 0 {
+			t.Fatalf("workers=%d: budget %d never spilled — the test exercised the resident path", workers, spillBudget)
+		}
+		g := goldenFrom(s.Records(), s.Snapshots())
+		compareGolden(t, "reference_tiny.json", g, fmt.Sprintf("spill workers=%d", workers))
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if testing.Short() {
+		t.Skip("generated-world spill comparison in -short mode")
+	}
+	w, feeds := generatedWorld(t, 23)
+	cfg := DefaultConfig(23)
+	cfg.ScanWorkers = runtime.GOMAXPROCS(0)
+	cfg.MemoryBudget = 64 << 10 // a few dozen resident addrs per shard per set
+	s := NewService(cfg, w, feeds, nil)
+	defer s.Close()
+	for d := 0; d <= 140; d += 14 {
+		runDays(t, s, []int{d})
+	}
+	if s.SpilledRuns() == 0 {
+		t.Fatal("generated world: budget never spilled")
+	}
+	compareGolden(t, "reference_generated.json", goldenFrom(s.Records(), nil), "spill generated")
+}
+
+// TestSpillScratchLifecycle pins the scratch hygiene: spill files live in
+// the configured directory while the service runs and are gone after
+// Close.
+func TestSpillScratchLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s := spillTinyRun(t, 1, dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no spill scratch files in the configured dir")
+	}
+	for _, e := range entries {
+		if !strings.Contains(e.Name(), "spill") {
+			t.Errorf("unexpected file %s in spill dir", e.Name())
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+		t.Fatalf("scratch files left after Close: %v", names)
+	}
+	// A resident service needs no Close but tolerates one.
+	n, feeds := tinyWorld(t)
+	resident := NewService(DefaultConfig(1), n, feeds, nil)
+	if err := resident.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resident.SpilledRuns() != 0 {
+		t.Error("resident service reports spilled runs")
+	}
+}
+
+// TestTGAFeedLoopSpillEquivalence runs the closed TGA loop with and
+// without a budget: the spill-backed candidate dedup must leave every
+// record identical.
+func TestTGAFeedLoopSpillEquivalence(t *testing.T) {
+	run := func(budget int64) []*ScanRecord {
+		n, feeds := tinyWorld(t)
+		cfg := DefaultConfig(1)
+		cfg.ScanWorkers = 4
+		cfg.TGAFeed = aliasNeighborFeed{}
+		cfg.MemoryBudget = budget
+		s := NewService(cfg, n, feeds, nil)
+		defer s.Close()
+		runDays(t, s, weekly(0, 28))
+		return stripShardTiming(s.Records())
+	}
+	resident := run(0)
+	spilled := run(spillBudget)
+	if !reflect.DeepEqual(resident, spilled) {
+		t.Fatal("TGA loop records diverge between resident and spilling runs")
+	}
+	saw := false
+	for _, rec := range resident {
+		if rec.TGACandidates > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("TGA loop never produced candidates — equivalence proved nothing")
+	}
+}
+
+// TestSpillMergedViewsMatchResident checks the merged accessors (the
+// experiment suite's read path) agree between implementations after a
+// real run.
+func TestSpillMergedViewsMatchResident(t *testing.T) {
+	n, feeds := tinyWorld(t)
+	cfgR := DefaultConfig(1)
+	cfgR.GFWFilterFromDay = 150
+	resident := NewService(cfgR, n, feeds, nil)
+	runDays(t, resident, weekly(0, 84))
+
+	spilling := spillTinyRunDays(t, weekly(0, 84))
+	defer spilling.Close()
+
+	if got, want := spilling.InputSeen(), resident.InputSeen(); got.Len() != want.Len() {
+		t.Fatalf("InputSeen: %d vs %d", got.Len(), want.Len())
+	} else {
+		for a := range want {
+			if !got.Has(a) {
+				t.Fatalf("InputSeen missing %v", a)
+			}
+		}
+	}
+	if got, want := spilling.EverResponsiveAny(), resident.EverResponsiveAny(); got.Len() != want.Len() {
+		t.Fatalf("EverResponsiveAny: %d vs %d", got.Len(), want.Len())
+	}
+	if got, want := spilling.EverResponsiveAnyLen(), resident.EverResponsiveAnyLen(); got != want {
+		t.Fatalf("EverResponsiveAnyLen: %d vs %d", got, want)
+	}
+}
+
+// spillTinyRunDays runs the tiny world under budget for the given days
+// (GFW filter at 150, like the reference scenario).
+func spillTinyRunDays(t testing.TB, days []int) *Service {
+	t.Helper()
+	n, feeds := tinyWorld(t)
+	cfg := DefaultConfig(1)
+	cfg.GFWFilterFromDay = 150
+	cfg.MemoryBudget = spillBudget
+	s := NewService(cfg, n, feeds, nil)
+	runDays(t, s, days)
+	return s
+}

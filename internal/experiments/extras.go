@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 
 	"hitlist6/internal/analysis"
 	"hitlist6/internal/apd"
@@ -385,5 +386,78 @@ func Ablations(ctx context.Context, s *Suite, w io.Writer) error {
 	tbE.Row("classified injected", detected)
 	tbE.Row("ground-truth injected", truthInjected)
 	fmt.Fprint(w, tbE)
+	return nil
+}
+
+// ShardBalance renders the scan engine's per-shard throughput profile —
+// the raw signal behind the adaptive dispatch order: cumulative probes
+// and wall-clock nanos per canonical shard across every scan of the
+// timeline, as min/median/max spreads plus the heaviest shards. Probes
+// per shard are deterministic; nanos measure this machine and vary run
+// to run.
+func ShardBalance(ctx context.Context, s *Suite, w io.Writer) error {
+	if err := s.Run(ctx); err != nil {
+		return err
+	}
+	var probes, nanos [ip6.AddrShards]int64
+	scans := 0
+	for _, rec := range s.Svc.Records() {
+		if len(rec.ShardStats) != ip6.AddrShards {
+			continue
+		}
+		scans++
+		for sh, st := range rec.ShardStats {
+			probes[sh] += int64(st.ProbesSent)
+			nanos[sh] += st.Nanos
+		}
+	}
+	if scans == 0 {
+		return fmt.Errorf("experiments: no per-shard stats recorded")
+	}
+
+	spread := func(vals [ip6.AddrShards]int64) (min, med, max int64) {
+		sorted := append([]int64(nil), vals[:]...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1]
+	}
+	pMin, pMed, pMax := spread(probes)
+	nMin, nMed, nMax := spread(nanos)
+
+	fmt.Fprintf(w, "Shard balance — engine throughput per canonical shard (%d scans, %d shards)\n\n",
+		scans, ip6.AddrShards)
+	tb := analysis.NewTable("metric", "min", "median", "max", "max/median")
+	ratio := "n/a"
+	if pMed > 0 {
+		ratio = fmt.Sprintf("%.2fx", float64(pMax)/float64(pMed))
+	}
+	tb.Row("probes", analysis.Humanize(int(pMin)), analysis.Humanize(int(pMed)), analysis.Humanize(int(pMax)), ratio)
+	ratio = "n/a"
+	if nMed > 0 {
+		ratio = fmt.Sprintf("%.2fx", float64(nMax)/float64(nMed))
+	}
+	tb.Row("probe-time (ms)", fmt.Sprintf("%.1f", float64(nMin)/1e6),
+		fmt.Sprintf("%.1f", float64(nMed)/1e6), fmt.Sprintf("%.1f", float64(nMax)/1e6), ratio)
+	fmt.Fprint(w, tb)
+
+	order := make([]int, ip6.AddrShards)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return nanos[order[i]] > nanos[order[j]] })
+	fmt.Fprintf(w, "\nheaviest shards by probe time (dispatched first by the adaptive order):\n")
+	tbH := analysis.NewTable("shard", "probes", "probe-ms", "share")
+	var totalNanos int64
+	for _, n := range nanos {
+		totalNanos += n
+	}
+	for _, sh := range order[:5] {
+		share := "n/a"
+		if totalNanos > 0 {
+			share = analysis.Pct(int(nanos[sh]/1e3), int(totalNanos/1e3))
+		}
+		tbH.Row(fmt.Sprintf("%d", sh), analysis.Humanize(int(probes[sh])),
+			fmt.Sprintf("%.1f", float64(nanos[sh])/1e6), share)
+	}
+	fmt.Fprint(w, tbH)
 	return nil
 }

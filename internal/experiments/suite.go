@@ -180,6 +180,7 @@ func All() []Runner {
 		{"domains", "domains hosted in aliased prefixes (Sec. 5.2)", Domains},
 		{"eui64", "EUI-64 composition of the input (Sec. 4.1)", EUI64},
 		{"ablations", "design-choice ablations", Ablations},
+		{"shardbal", "scan-engine shard balance (per-shard probes and probe time)", ShardBalance},
 	}
 }
 

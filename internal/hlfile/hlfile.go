@@ -1,0 +1,250 @@
+// Package hlfile defines the .hl6 binary hitlist format — the on-disk
+// interchange for hitlist-scale target sets — plus a bounded-memory
+// writer and an mmap/ReadAt-backed reader that plugs straight into the
+// scan engine as a sharded TargetSource.
+//
+// Layout (all integers little-endian):
+//
+//	offset 0   magic "HL6F"
+//	       4   uint16 version (currently 1)
+//	       6   uint16 reserved (zero)
+//	       8   uint32 shard count (must equal ip6.AddrShards)
+//	      12   uint32 reserved (zero)
+//	      16   [shards]uint64 per-shard address counts
+//	      16+8·shards   body: raw 16-byte addresses, network byte order,
+//	                    shard 0's run, then shard 1's, … — each run sorted
+//	                    ascending and duplicate-free
+//
+// Shard membership is ip6.ShardOf, the same canonical partitioning every
+// sharded structure in the repository uses, so a reader hands each scan
+// worker its shard's run directly off disk: scanning a .hl6 file
+// materializes nothing beyond per-pull buffers no matter how many
+// millions of addresses it holds. Byte offsets of every shard follow from
+// the header's counts, which is the whole per-shard index.
+package hlfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hitlist6/internal/ip6"
+)
+
+// magic identifies .hl6 files.
+var magic = [4]byte{'H', 'L', '6', 'F'}
+
+// Version is the current format version.
+const Version = 1
+
+// headerSize is the fixed prologue plus the per-shard count table.
+const headerSize = 16 + 8*ip6.AddrShards
+
+// ErrFormat tags every malformed-file error Open returns (wrapped with
+// detail); errors.Is(err, ErrFormat) distinguishes corruption from I/O.
+var ErrFormat = errors.New("hlfile: malformed file")
+
+// Writer builds a .hl6 file from addresses in any order, with bounded
+// resident memory: incoming addresses buffer per shard, and when the
+// resident total reaches the budget every shard buffer freezes to a
+// sorted run in a scratch ip6.RunFile. Finish merges each shard's runs —
+// deduplicating on the fly — straight into the output body and then
+// backfills the header, so peak memory is the budget plus per-run merge
+// chunks regardless of input size.
+type Writer struct {
+	path   string
+	rf     *ip6.RunFile
+	budget int
+
+	bufs     [ip6.AddrShards][]ip6.Addr
+	runs     [ip6.AddrShards][]*ip6.Run
+	resident int
+	finished bool
+}
+
+// DefaultWriterBudget is the resident address budget of NewWriter:
+// 1 Mi addresses ≈ 16 MiB.
+const DefaultWriterBudget = 1 << 20
+
+// NewWriter creates a writer targeting path with the default budget.
+func NewWriter(path string) (*Writer, error) {
+	return NewWriterBudget(path, DefaultWriterBudget)
+}
+
+// NewWriterBudget creates a writer whose resident buffer is capped at
+// budget addresses (minimum 1). The scratch run file lives next to the
+// output so spills stay on the same filesystem.
+func NewWriterBudget(path string, budget int) (*Writer, error) {
+	if budget < 1 {
+		budget = 1
+	}
+	rf, err := ip6.OpenRunFile(filepath.Dir(path), ".hl6-scratch-*")
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{path: path, rf: rf, budget: budget}, nil
+}
+
+// Add routes one address to its shard buffer, spilling when the resident
+// budget fills. Duplicates are allowed; Finish drops them.
+func (w *Writer) Add(a ip6.Addr) error {
+	sh := ip6.ShardOf(a)
+	w.bufs[sh] = append(w.bufs[sh], a)
+	w.resident++
+	if w.resident >= w.budget {
+		return w.spill()
+	}
+	return nil
+}
+
+// AddSlice adds every address.
+func (w *Writer) AddSlice(addrs []ip6.Addr) error {
+	for _, a := range addrs {
+		if err := w.Add(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spill freezes every non-empty shard buffer as a sorted run.
+func (w *Writer) spill() error {
+	for sh := range w.bufs {
+		buf := w.bufs[sh]
+		if len(buf) == 0 {
+			continue
+		}
+		ip6.SortAddrs(buf)
+		run, err := w.rf.WriteRun(buf)
+		if err != nil {
+			return err
+		}
+		w.runs[sh] = append(w.runs[sh], &run)
+		w.bufs[sh] = buf[:0]
+	}
+	w.resident = 0
+	return nil
+}
+
+// Abort discards the writer without producing the output file, removing
+// the scratch run file — the cleanup path for conversions that fail
+// mid-input. No-op after Finish or a prior Abort.
+func (w *Writer) Abort() {
+	if w.finished {
+		return
+	}
+	w.finished = true
+	w.rf.Close()
+}
+
+// Finish merges the spilled runs and writes the final file. The writer
+// cannot be reused afterwards; the scratch file is always removed, even
+// on error.
+func (w *Writer) Finish() (err error) {
+	if w.finished {
+		return fmt.Errorf("hlfile: writer already finished")
+	}
+	w.finished = true
+	defer func() {
+		if cerr := w.rf.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if err := w.spill(); err != nil {
+		return err
+	}
+
+	out, err := os.Create(w.path)
+	if err != nil {
+		return fmt.Errorf("hlfile: creating %s: %w", w.path, err)
+	}
+	defer func() {
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	// Placeholder header first; the real counts land after the body is
+	// streamed out and known.
+	var counts [ip6.AddrShards]uint64
+	if err := writeHeader(out, &counts); err != nil {
+		return err
+	}
+	bw := newBodyWriter(out, headerSize)
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		n := uint64(0)
+		if err := ip6.MergeRuns(w.rf, w.runs[sh], func(a ip6.Addr) error {
+			n++
+			return bw.append(a)
+		}); err != nil {
+			return err
+		}
+		counts[sh] = n
+	}
+	if err := bw.flush(); err != nil {
+		return err
+	}
+	// Backfill the real counts (writeHeader writes at offset 0).
+	return writeHeader(out, &counts)
+}
+
+func writeHeader(f *os.File, counts *[ip6.AddrShards]uint64) error {
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	binary.LittleEndian.PutUint32(hdr[8:], ip6.AddrShards)
+	for i, c := range counts {
+		binary.LittleEndian.PutUint64(hdr[16+8*i:], c)
+	}
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("hlfile: writing header: %w", err)
+	}
+	return nil
+}
+
+// bodyWriter batches sequential body appends into large writes.
+type bodyWriter struct {
+	f   *os.File
+	off int64
+	buf []byte
+}
+
+func newBodyWriter(f *os.File, off int64) *bodyWriter {
+	return &bodyWriter{f: f, off: off, buf: make([]byte, 0, 64*1024)}
+}
+
+func (b *bodyWriter) append(a ip6.Addr) error {
+	b.buf = append(b.buf, a[:]...)
+	if len(b.buf) >= 64*1024 {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *bodyWriter) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	if _, err := b.f.WriteAt(b.buf, b.off); err != nil {
+		return fmt.Errorf("hlfile: writing body: %w", err)
+	}
+	b.off += int64(len(b.buf))
+	b.buf = b.buf[:0]
+	return nil
+}
+
+// Write converts a materialized address slice to a .hl6 file — the
+// convenience path for tests and small conversions.
+func Write(path string, addrs []ip6.Addr) error {
+	w, err := NewWriter(path)
+	if err != nil {
+		return err
+	}
+	if err := w.AddSlice(addrs); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Finish()
+}

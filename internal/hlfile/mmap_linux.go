@@ -1,0 +1,23 @@
+//go:build linux
+
+package hlfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only; nil on any failure (callers fall
+// back to ReadAt).
+func mmapFile(f *os.File, size int64) []byte {
+	if size <= 0 || size != int64(int(size)) {
+		return nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func munmapFile(data []byte) { _ = syscall.Munmap(data) }

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package hlfile
+
+import "os"
+
+// Without a ported mmap the reader serves every request through ReadAt;
+// the format and the source behave identically, just with copies.
+func mmapFile(f *os.File, size int64) []byte { return nil }
+
+func munmapFile(data []byte) {}

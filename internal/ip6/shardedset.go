@@ -125,3 +125,13 @@ func (s *ShardedSet) Walk(fn func(Addr) bool) {
 		}
 	}
 }
+
+// WalkShard visits every member of shard i in unspecified order; fn
+// returning false stops the walk.
+func (s *ShardedSet) WalkShard(i int, fn func(Addr) bool) {
+	for a := range s.shards[i] {
+		if !fn(a) {
+			return
+		}
+	}
+}

@@ -1,0 +1,695 @@
+package ip6
+
+// External-memory address sets. The cumulative sets the hitlist pipeline
+// carries across scans (every address ever seen as input, every address
+// ever responsive, the deployed GFW drop list) grow with the full history
+// of the measurement — at paper scale hundreds of millions of 16-byte
+// addresses, far beyond what fits in RAM as Go maps. SpillableSet is the
+// small interface both the resident ShardedSet and the disk-backed
+// SpillSet satisfy, and RunFile/Run/MergeRuns are the sorted-run
+// primitives SpillSet (and the hlfile writer) are built from: frozen
+// sorted runs appended to a scratch file, fence-indexed point lookups,
+// and k-way streaming merges.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// AddrBytes is the on-disk size of one address in every external-memory
+// structure of this package (raw network byte order, no framing).
+const AddrBytes = 16
+
+// SpillableSet is the sharded address-set surface the service's
+// cumulative sets are used through. ShardedSet implements it fully
+// resident; SpillSet implements it with bounded resident memory, spilling
+// frozen sorted runs to disk. The per-shard writing contract is the same
+// as ShardedSet's: at most one goroutine touches a given shard at a time,
+// and whole-set views (Len, Merge) run only outside per-shard sweeps.
+type SpillableSet interface {
+	// Add inserts a into its canonical shard; it reports whether a was
+	// newly added. Single-goroutine use only.
+	Add(a Addr) bool
+	// AddToShard inserts a into shard i (ShardOf(a) must equal i),
+	// reporting whether a was newly added.
+	AddToShard(i int, a Addr) bool
+	// AddAllToShard inserts every member of set into shard i under the
+	// same contract as AddToShard.
+	AddAllToShard(i int, set Set)
+	// Has reports membership.
+	Has(a Addr) bool
+	// HasInShard reports membership of a in shard i, skipping the shard
+	// hash when the caller already knows it.
+	HasInShard(i int, a Addr) bool
+	// Len returns the total cardinality across shards.
+	Len() int
+	// WalkShard visits every member of shard i in unspecified order; fn
+	// returning false stops the walk.
+	WalkShard(i int, fn func(Addr) bool)
+	// Merge returns a new flat Set holding every member.
+	Merge() Set
+}
+
+// ShardedSet must satisfy the interface it anchors.
+var _ SpillableSet = (*ShardedSet)(nil)
+
+// fenceEvery is the fence-index granularity of a Run: one resident
+// address per this many on-disk addresses, so a point lookup costs one
+// bounded ReadAt after a resident binary search.
+const fenceEvery = 256
+
+// RunFile is an append-only scratch file of sorted address runs. Runs are
+// written whole under an internal lock (safe from concurrent per-shard
+// workers) and read with ReadAt (safe concurrently with appends).
+// Superseded runs become dead space until the file is closed and removed
+// — owners that churn runs (SpillSet.Compact) rotate to a fresh file
+// once dead bytes outgrow live data.
+type RunFile struct {
+	f  *os.File
+	mu sync.Mutex
+	sz int64
+}
+
+// OpenRunFile creates a fresh scratch run file in dir ("" = the system
+// temp directory). The file is removed by Close.
+func OpenRunFile(dir, pattern string) (*RunFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, fmt.Errorf("ip6: creating run file: %w", err)
+	}
+	return &RunFile{f: f}, nil
+}
+
+// Close closes and removes the scratch file.
+func (rf *RunFile) Close() error {
+	name := rf.f.Name()
+	err := rf.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// Size returns the bytes appended so far.
+func (rf *RunFile) Size() int64 {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	return rf.sz
+}
+
+// Run is one frozen sorted run inside a RunFile: a contiguous range of
+// strictly ascending addresses, plus a resident fence index (every
+// fenceEvery-th address and the last) for bounded-cost point lookups.
+type Run struct {
+	off   int64
+	count int
+	fence []Addr
+	last  Addr
+}
+
+// Count returns the number of addresses in the run.
+func (r *Run) Count() int { return r.count }
+
+// buildFence indexes a sorted address slice.
+func buildFence(addrs []Addr) (fence []Addr, last Addr) {
+	for i := 0; i < len(addrs); i += fenceEvery {
+		fence = append(fence, addrs[i])
+	}
+	return fence, addrs[len(addrs)-1]
+}
+
+// WriteRun appends addrs — which must be sorted ascending — as one run
+// and returns its handle. Duplicates within addrs are kept (MergeRuns
+// drops them); an empty slice yields an empty run.
+func (rf *RunFile) WriteRun(addrs []Addr) (Run, error) {
+	if len(addrs) == 0 {
+		return Run{}, nil
+	}
+	buf := make([]byte, len(addrs)*AddrBytes)
+	for i, a := range addrs {
+		copy(buf[i*AddrBytes:], a[:])
+	}
+	rf.mu.Lock()
+	off := rf.sz
+	rf.sz += int64(len(buf))
+	rf.mu.Unlock()
+	if _, err := rf.f.WriteAt(buf, off); err != nil {
+		return Run{}, fmt.Errorf("ip6: writing run: %w", err)
+	}
+	fence, last := buildFence(addrs)
+	return Run{off: off, count: len(addrs), fence: fence, last: last}, nil
+}
+
+// Has reports whether a is in the run. scratch is the caller's reusable
+// read buffer (grown as needed); callers honoring the per-shard contract
+// can share one per shard.
+func (r *Run) Has(rf *RunFile, a Addr, scratch *[]byte) (bool, error) {
+	if r.count == 0 || a.Less(r.fence[0]) || r.last.Less(a) {
+		return false, nil
+	}
+	// Last fence block whose first address is <= a.
+	blk := sort.Search(len(r.fence), func(i int) bool { return a.Less(r.fence[i]) }) - 1
+	start := blk * fenceEvery
+	n := r.count - start
+	if n > fenceEvery {
+		n = fenceEvery
+	}
+	need := n * AddrBytes
+	if cap(*scratch) < need {
+		*scratch = make([]byte, need)
+	}
+	b := (*scratch)[:need]
+	if _, err := rf.f.ReadAt(b, r.off+int64(start*AddrBytes)); err != nil {
+		return false, fmt.Errorf("ip6: reading run block: %w", err)
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := compareBytes(a, b[mid*AddrBytes:])
+		switch {
+		case c == 0:
+			return true, nil
+		case c < 0:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return false, nil
+}
+
+// compareBytes orders a against the 16 raw bytes at b[0:16].
+func compareBytes(a Addr, b []byte) int {
+	for i := 0; i < AddrBytes; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// runReader streams one run in order, chunk by chunk.
+type runReader struct {
+	rf   *RunFile
+	run  *Run
+	pos  int // addresses consumed
+	buf  []byte
+	cur  []byte // unread remainder of buf
+	size int    // chunk size in addresses
+}
+
+func newRunReader(rf *RunFile, r *Run, chunkAddrs int) *runReader {
+	if chunkAddrs <= 0 {
+		chunkAddrs = 1024
+	}
+	return &runReader{rf: rf, run: r, size: chunkAddrs}
+}
+
+// next returns the next address; ok=false at end of run.
+func (rr *runReader) next() (Addr, bool, error) {
+	if len(rr.cur) == 0 {
+		left := rr.run.count - rr.pos
+		if left == 0 {
+			return Addr{}, false, nil
+		}
+		n := rr.size
+		if n > left {
+			n = left
+		}
+		need := n * AddrBytes
+		if cap(rr.buf) < need {
+			rr.buf = make([]byte, need)
+		}
+		rr.cur = rr.buf[:need]
+		if _, err := rr.rf.f.ReadAt(rr.cur, rr.run.off+int64(rr.pos*AddrBytes)); err != nil {
+			return Addr{}, false, fmt.Errorf("ip6: reading run: %w", err)
+		}
+		rr.pos += n
+	}
+	var a Addr
+	copy(a[:], rr.cur)
+	rr.cur = rr.cur[AddrBytes:]
+	return a, true, nil
+}
+
+// MergeRuns streams the sorted union of the given runs to emit, dropping
+// duplicates (within and across runs). Runs must each be sorted; the
+// merge reads bounded chunks per run and keeps a min-heap of run heads,
+// so memory is O(runs) and comparisons O(N log runs) — linear even for
+// the hundreds-of-runs fan-in an uncompacted writer accumulates on
+// hitlist-scale conversions. A non-nil error from emit aborts the merge.
+func MergeRuns(rf *RunFile, runs []*Run, emit func(Addr) error) error {
+	h := mergeHeap{}
+	for _, r := range runs {
+		if r.count == 0 {
+			continue
+		}
+		rr := newRunReader(rf, r, 0)
+		a, ok, err := rr.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.entries = append(h.entries, mergeEntry{head: a, rr: rr})
+		}
+	}
+	for i := len(h.entries)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	var lastEmitted Addr
+	emitted := false
+	for len(h.entries) > 0 {
+		e := &h.entries[0]
+		a := e.head
+		if !emitted || lastEmitted != a {
+			if err := emit(a); err != nil {
+				return err
+			}
+			lastEmitted, emitted = a, true
+		}
+		nxt, ok, err := e.rr.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			e.head = nxt
+		} else {
+			last := len(h.entries) - 1
+			h.entries[0] = h.entries[last]
+			h.entries = h.entries[:last]
+		}
+		h.siftDown(0)
+	}
+	return nil
+}
+
+// mergeHeap is a hand-rolled binary min-heap of run cursors keyed by
+// their head address (container/heap's interface indirection costs an
+// allocation per op on the merge hot path).
+type mergeEntry struct {
+	head Addr
+	rr   *runReader
+}
+
+type mergeHeap struct{ entries []mergeEntry }
+
+func (h *mergeHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.entries[l].head.Less(h.entries[min].head) {
+			min = l
+		}
+		if r < n && h.entries[r].head.Less(h.entries[min].head) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.entries[i], h.entries[min] = h.entries[min], h.entries[i]
+		i = min
+	}
+}
+
+// runWriter appends one run incrementally — the streaming counterpart of
+// WriteRun for merges whose output must not be materialized. The run's
+// bytes are contiguous: the writer reserves nothing up front, so only one
+// runWriter may be open per RunFile at a time (appends go through the
+// file lock but interleaving two open writers would interleave their
+// runs' bytes).
+type runWriter struct {
+	rf    *RunFile
+	off   int64
+	count int
+	buf   []byte
+	fence []Addr
+	last  Addr
+	open  bool
+}
+
+func (rf *RunFile) newRunWriter() *runWriter {
+	return &runWriter{rf: rf}
+}
+
+// append adds the next address (must be > the previous one).
+func (w *runWriter) append(a Addr) error {
+	if !w.open {
+		w.rf.mu.Lock()
+		w.off = w.rf.sz
+		w.rf.mu.Unlock()
+		w.open = true
+	}
+	if w.count%fenceEvery == 0 {
+		w.fence = append(w.fence, a)
+	}
+	w.buf = append(w.buf, a[:]...)
+	w.count++
+	w.last = a
+	if len(w.buf) >= 64*1024 {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *runWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	off := w.off + int64(w.count*AddrBytes) - int64(len(w.buf))
+	if _, err := w.rf.f.WriteAt(w.buf, off); err != nil {
+		return fmt.Errorf("ip6: writing merged run: %w", err)
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// finish flushes and returns the completed run.
+func (w *runWriter) finish() (Run, error) {
+	if err := w.flush(); err != nil {
+		return Run{}, err
+	}
+	if w.open {
+		w.rf.mu.Lock()
+		end := w.off + int64(w.count*AddrBytes)
+		if end > w.rf.sz {
+			w.rf.sz = end
+		}
+		w.rf.mu.Unlock()
+	}
+	return Run{off: w.off, count: w.count, fence: w.fence, last: w.last}, nil
+}
+
+// SpillSet is the disk-backed SpillableSet: per shard, a small resident
+// delta Set plus frozen sorted runs in a shared scratch RunFile. When a
+// shard's delta reaches the configured budget it freezes — sorted, written
+// as a run, cleared — so resident memory is bounded by
+// AddrShards × budget addresses regardless of cardinality. Inserts check
+// membership first (delta, then runs), so runs are mutually disjoint and
+// Len is a plain counter sum. Compact merges each shard's runs into one,
+// keeping point lookups at one fence search per run.
+//
+// The spill trigger is shard-local (delta size only), so whether an
+// address lands in the delta or a run depends solely on the shard's own
+// insert sequence — never on cross-shard timing — and every set-level
+// observation (Has, Len, Merge, WalkShard membership) is deterministic
+// under the same per-shard contract ShardedSet has.
+//
+// Disk errors are sticky: the failing operation degrades (Has reports
+// false, Add drops the freeze) and Err returns the first error for the
+// owner to surface at its next checkpoint.
+type SpillSet struct {
+	rf     *RunFile
+	dir    string
+	budget int
+	shards [AddrShards]spillShard
+
+	frozen atomic.Int64 // runs frozen over the set's lifetime (telemetry)
+	failed atomic.Bool  // latch: stop freezing after the first disk error
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+type spillShard struct {
+	delta   Set
+	runs    []*Run
+	ondisk  int // addresses in runs (disjoint from delta)
+	scratch []byte
+}
+
+// NewSpillSet creates a disk-backed set whose scratch file lives in dir
+// ("" = system temp). budget is the per-shard resident address count that
+// triggers a freeze; values < 1 are clamped to 1 (every insert spills —
+// maximal disk pressure, used by the larger-than-memory tests).
+func NewSpillSet(dir string, budget int) (*SpillSet, error) {
+	rf, err := OpenRunFile(dir, "ip6-spill-*.runs")
+	if err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	return &SpillSet{rf: rf, dir: dir, budget: budget}, nil
+}
+
+var _ SpillableSet = (*SpillSet)(nil)
+
+// Close releases the scratch file.
+func (s *SpillSet) Close() error { return s.rf.Close() }
+
+// Err returns the first disk error any operation hit, or nil.
+func (s *SpillSet) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
+
+// FrozenRuns reports how many runs have been frozen over the set's
+// lifetime (compaction does not reset it) — the "did we actually spill"
+// signal for tests and telemetry.
+func (s *SpillSet) FrozenRuns() int64 { return s.frozen.Load() }
+
+// SpilledBytes reports the scratch file's current size.
+func (s *SpillSet) SpilledBytes() int64 { return s.rf.Size() }
+
+func (s *SpillSet) fail(err error) {
+	s.failed.Store(true)
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// Add inserts a into its canonical shard.
+func (s *SpillSet) Add(a Addr) bool { return s.AddToShard(ShardOf(a), a) }
+
+// AddToShard inserts a into shard i under the per-shard contract,
+// reporting whether a was newly added.
+func (s *SpillSet) AddToShard(i int, a Addr) bool {
+	if s.HasInShard(i, a) {
+		return false
+	}
+	sh := &s.shards[i]
+	if sh.delta == nil {
+		sh.delta = NewSet(0)
+	}
+	sh.delta[a] = struct{}{}
+	// The failed latch stops freeze attempts after a disk error: without
+	// it every over-budget insert would re-sort and re-write the whole
+	// delta against a dead disk. Membership stays correct (the delta just
+	// grows resident) and the sticky error surfaces via Err.
+	if len(sh.delta) >= s.budget && !s.failed.Load() {
+		s.freeze(i)
+	}
+	return true
+}
+
+// AddAllToShard inserts every member of set into shard i.
+func (s *SpillSet) AddAllToShard(i int, set Set) {
+	for a := range set {
+		s.AddToShard(i, a)
+	}
+}
+
+// freeze spills shard i's delta as a sorted run and clears it.
+func (s *SpillSet) freeze(i int) {
+	sh := &s.shards[i]
+	if len(sh.delta) == 0 {
+		return
+	}
+	addrs := sh.delta.Sorted()
+	run, err := s.rf.WriteRun(addrs)
+	if err != nil {
+		// Keep the delta resident: membership stays correct, the error
+		// surfaces via Err.
+		s.fail(err)
+		return
+	}
+	sh.runs = append(sh.runs, &run)
+	sh.ondisk += run.count
+	sh.delta = NewSet(0)
+	s.frozen.Add(1)
+}
+
+// Has reports membership.
+func (s *SpillSet) Has(a Addr) bool { return s.HasInShard(ShardOf(a), a) }
+
+// HasInShard reports membership of a in shard i.
+func (s *SpillSet) HasInShard(i int, a Addr) bool {
+	sh := &s.shards[i]
+	if sh.delta.Has(a) {
+		return true
+	}
+	// Newest runs first: recent inserts are the likelier probes.
+	for j := len(sh.runs) - 1; j >= 0; j-- {
+		ok, err := sh.runs[j].Has(s.rf, a, &sh.scratch)
+		if err != nil {
+			s.fail(err)
+			return false
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the total cardinality across shards.
+func (s *SpillSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].delta) + s.shards[i].ondisk
+	}
+	return n
+}
+
+// ShardLen returns the cardinality of shard i.
+func (s *SpillSet) ShardLen(i int) int {
+	return len(s.shards[i].delta) + s.shards[i].ondisk
+}
+
+// WalkShard visits every member of shard i (delta first, then runs in
+// freeze order); fn returning false stops the walk.
+func (s *SpillSet) WalkShard(i int, fn func(Addr) bool) {
+	sh := &s.shards[i]
+	for a := range sh.delta {
+		if !fn(a) {
+			return
+		}
+	}
+	for _, r := range sh.runs {
+		rr := newRunReader(s.rf, r, 0)
+		for {
+			a, ok, err := rr.next()
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			if !ok {
+				break
+			}
+			if !fn(a) {
+				return
+			}
+		}
+	}
+}
+
+// Merge materializes the whole set — the compat view for snapshot
+// encodings and analyses that need a flat Set. It is the one operation
+// whose output is not memory-bounded; larger-than-memory consumers should
+// stream WalkShard instead.
+func (s *SpillSet) Merge() Set {
+	out := NewSet(s.Len())
+	for i := range s.shards {
+		s.WalkShard(i, func(a Addr) bool {
+			out[a] = struct{}{}
+			return true
+		})
+	}
+	return out
+}
+
+// rotateMinDead is the dead-space floor below which Compact keeps
+// appending instead of rewriting into a fresh file.
+const rotateMinDead = 4 << 20
+
+// Compact merges every shard's runs into at most one, bounding point
+// lookups at one fence search per shard. Deltas stay resident (they are
+// under budget by construction). The run file is append-only, so
+// superseded runs accumulate as dead bytes; once dead space exceeds the
+// live data (and a small floor), Compact rewrites the live runs into a
+// fresh scratch file and drops the old one — bounding scratch disk at
+// roughly 2× the set's size instead of growing with every merge.
+// Compact must run outside per-shard sweeps (single goroutine).
+func (s *SpillSet) Compact() error {
+	var live int64
+	for i := range s.shards {
+		live += int64(s.shards[i].ondisk) * AddrBytes
+	}
+	if dead := s.rf.Size() - live; dead > live && dead > rotateMinDead {
+		// Rotation merges every shard (fan-in 1 included) into the fresh
+		// file, so it subsumes the in-place pass.
+		if err := s.rotate(); err != nil {
+			s.fail(err)
+			return err
+		}
+		return s.Err()
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if len(sh.runs) < 2 {
+			continue
+		}
+		w := s.rf.newRunWriter()
+		if err := MergeRuns(s.rf, sh.runs, w.append); err != nil {
+			s.fail(err)
+			return err
+		}
+		run, err := w.finish()
+		if err != nil {
+			s.fail(err)
+			return err
+		}
+		sh.runs = sh.runs[:0]
+		if run.count > 0 {
+			sh.runs = append(sh.runs, &run)
+		}
+		sh.ondisk = run.count
+	}
+	return s.Err()
+}
+
+// rotate rewrites every shard's live runs into a fresh scratch file and
+// removes the old one. Shard state swaps only after every merge
+// succeeded, so a mid-rotation failure leaves the set fully on the old
+// file (the fresh one is dropped) — never split across both.
+func (s *SpillSet) rotate() error {
+	fresh, err := OpenRunFile(s.dir, "ip6-spill-*.runs")
+	if err != nil {
+		return err
+	}
+	var staged [AddrShards]*Run
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if len(sh.runs) == 0 {
+			continue
+		}
+		w := fresh.newRunWriter()
+		if err := MergeRuns(s.rf, sh.runs, w.append); err != nil {
+			fresh.Close()
+			return err
+		}
+		run, err := w.finish()
+		if err != nil {
+			fresh.Close()
+			return err
+		}
+		if run.count > 0 {
+			staged[i] = &run
+		}
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.runs = sh.runs[:0]
+		sh.ondisk = 0
+		if staged[i] != nil {
+			sh.runs = append(sh.runs, staged[i])
+			sh.ondisk = staged[i].count
+		}
+	}
+	old := s.rf
+	s.rf = fresh
+	return old.Close()
+}
+
+var _ io.Closer = (*SpillSet)(nil)

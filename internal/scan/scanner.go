@@ -139,6 +139,11 @@ type Scanner struct {
 	// bufPool recycles batch result buffers across Stream calls; sinks
 	// must not retain batches, which is what makes this reuse sound.
 	bufPool sync.Pool
+
+	// dispatch is the optional shard hand-out order of the sharded
+	// stream path (SetDispatchOrder); nil means canonical ascending.
+	dispatchMu sync.Mutex
+	dispatch   []int
 }
 
 // New builds a scanner over the given network.
@@ -157,6 +162,46 @@ func New(net *netmodel.Network, cfg Config) *Scanner {
 
 // Config returns the scanner's configuration.
 func (s *Scanner) Config() Config { return s.cfg }
+
+// SetDispatchOrder sets the order the sharded stream path hands whole
+// shards to probe workers — the scheduler knob for adaptive dispatch:
+// feeding the previous scan's slowest shards (ShardStats.Nanos) first
+// trims the tail, because the stragglers are in flight while the cheap
+// shards backfill idle workers. order must be a permutation of
+// [0, ip6.AddrShards); nil restores canonical ascending order. Scan
+// outputs never depend on the dispatch order — batches are per shard and
+// consumers merge in canonical shard order — so this is purely a
+// wall-clock knob.
+func (s *Scanner) SetDispatchOrder(order []int) error {
+	if order == nil {
+		s.dispatchMu.Lock()
+		s.dispatch = nil
+		s.dispatchMu.Unlock()
+		return nil
+	}
+	if len(order) != ip6.AddrShards {
+		return fmt.Errorf("scan: dispatch order has %d entries, want %d", len(order), ip6.AddrShards)
+	}
+	var seen [ip6.AddrShards]bool
+	for _, sh := range order {
+		if sh < 0 || sh >= ip6.AddrShards || seen[sh] {
+			return fmt.Errorf("scan: dispatch order is not a permutation of [0,%d)", ip6.AddrShards)
+		}
+		seen[sh] = true
+	}
+	cp := append([]int(nil), order...)
+	s.dispatchMu.Lock()
+	s.dispatch = cp
+	s.dispatchMu.Unlock()
+	return nil
+}
+
+// dispatchOrder returns the current hand-out order (nil = canonical).
+func (s *Scanner) dispatchOrder() []int {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	return s.dispatch
+}
 
 // lost draws deterministic per-attempt probe loss.
 func (s *Scanner) lost(a ip6.Addr, p netmodel.Protocol, day, attempt int) bool {

@@ -306,12 +306,29 @@ func (f *filterSource) Close() error {
 	return nil
 }
 
+// AddSet is the accumulator DedupWith tracks emitted addresses in: Add
+// reports whether the address was newly inserted. ip6.Set satisfies it
+// resident; ip6.SpillSet satisfies it with bounded memory, which is what
+// keeps hitlist-scale candidate streams deduplicable without holding the
+// emitted set in RAM.
+type AddSet interface {
+	Add(a ip6.Addr) bool
+}
+
 // Dedup wraps src, dropping every address skip reports true for and any
 // address already emitted earlier in the stream — the streaming
 // counterpart of tga.DedupAgainstSeeds (with skip as seed-set
-// membership). Closing the dedup source closes src if closable.
+// membership). Closing the dedup source closes src if closable. The
+// emitted-address set is resident; use DedupWith to supply a spillable
+// one.
 func Dedup(src TargetSource, skip func(ip6.Addr) bool) TargetSource {
-	seen := ip6.NewSet(0)
+	return DedupWith(src, skip, ip6.NewSet(0))
+}
+
+// DedupWith is Dedup with a caller-provided emitted-address accumulator,
+// so larger-than-memory streams can dedup against a disk-backed set. The
+// caller owns seen (and closes it if closable); the source only Adds.
+func DedupWith(src TargetSource, skip func(ip6.Addr) bool, seen AddSet) TargetSource {
 	return Filter(src, func(a ip6.Addr) bool {
 		if skip != nil && skip(a) {
 			return false

@@ -407,8 +407,18 @@ func (r *streamRun) runSharded(src ShardedSource) {
 		}()
 	}
 
+	// Hand-out order: canonical unless the scanner carries an adaptive
+	// dispatch order (slowest-first scheduling). Order only affects which
+	// worker starts which shard when — every shard's own batch sequence,
+	// and therefore every output, is identical.
+	order := r.s.dispatchOrder()
+
 feed:
-	for sh := 0; sh < ip6.AddrShards; sh++ {
+	for i := 0; i < ip6.AddrShards; i++ {
+		sh := i
+		if order != nil {
+			sh = order[i]
+		}
 		if feeds[sh] == nil {
 			continue
 		}

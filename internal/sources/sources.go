@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 
+	"hitlist6/internal/hlfile"
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/rng"
@@ -33,6 +34,13 @@ type Feed struct {
 	// Collect returns the candidate addresses the feed contributes for a
 	// given day. Implementations must be deterministic in day.
 	Collect func(ctx context.Context, day int) ([]ip6.Addr, error)
+
+	// Open, when set, supersedes Collect as the feed's streaming
+	// backend: it returns a pull source whose addresses are never
+	// materialized by the feed layer — hitlist-file feeds (.hl6 readers)
+	// plug in here. Sources must be deterministic in day; closable
+	// sources are closed by the consumer when the pull ends.
+	Open func(ctx context.Context, day int) (scan.TargetSource, error)
 }
 
 // ActiveAt reports whether the feed produces data at the given day.
@@ -52,9 +60,22 @@ func Drain(ctx context.Context, feeds []*Feed, day int) (map[string][]ip6.Addr, 
 		if !f.ActiveAt(day) {
 			continue
 		}
-		addrs, err := f.Collect(ctx, day)
+		var addrs []ip6.Addr
+		var err error
+		if f.Open != nil {
+			// Streaming feeds materialize through their source here —
+			// Drain is the compat path — keeping Open's documented
+			// precedence over Collect on both consumption paths. The
+			// source wraps its own errors with feed attribution.
+			addrs, err = scan.Collect(f.Source(ctx, day))
+		} else {
+			addrs, err = f.Collect(ctx, day)
+			if err != nil {
+				err = fmt.Errorf("sources: feed %s at day %d: %w", f.Name, day, err)
+			}
+		}
 		if err != nil {
-			return out, fmt.Errorf("sources: feed %s at day %d: %w", f.Name, day, err)
+			return out, err
 		}
 		out[f.Name] = addrs
 	}
@@ -83,12 +104,75 @@ func Open(ctx context.Context, feeds []*Feed, day int) []NamedSource {
 	return out
 }
 
-// Source returns a pull-based source over the feed's collection for one
-// day: Collect runs lazily on the first pull (with its error surfacing
-// from Next), and the collected list then streams out in order. An
-// inactive feed yields an immediately exhausted source.
+// Source returns a pull-based source over the feed's contribution for
+// one day. Feeds with a streaming backend (Open) hand it out directly —
+// opened lazily on the first pull so errors surface from Next like every
+// other source failure; Collect-based feeds run Collect lazily on the
+// first pull and stream the collected list. An inactive feed yields an
+// immediately exhausted source.
 func (f *Feed) Source(ctx context.Context, day int) scan.TargetSource {
+	if f.Open != nil {
+		return &openSource{ctx: ctx, f: f, day: day}
+	}
 	return &feedSource{ctx: ctx, f: f, day: day}
+}
+
+// openSource defers a streaming feed's Open to the first pull.
+type openSource struct {
+	ctx context.Context
+	f   *Feed
+	day int
+	src scan.TargetSource
+	err error
+}
+
+func (s *openSource) open() error {
+	if s.src != nil || s.err != nil {
+		return s.err
+	}
+	if !s.f.ActiveAt(s.day) {
+		s.src = scan.SliceSource(nil)
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return err
+	}
+	src, err := s.f.Open(s.ctx, s.day)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	s.src = src
+	return nil
+}
+
+func (s *openSource) Next(buf []ip6.Addr) (int, error) {
+	if err := s.open(); err != nil {
+		return 0, s.attribute(err)
+	}
+	n, err := s.src.Next(buf)
+	if err != nil && err != io.EOF {
+		// Attribute mid-stream errors (a truncated hitlist file, a bad
+		// read) to the feed, so multi-feed consumers know which import
+		// failed; io.EOF is protocol, not failure, and passes through.
+		err = s.attribute(err)
+	}
+	return n, err
+}
+
+func (s *openSource) attribute(err error) error {
+	return fmt.Errorf("sources: feed %s at day %d: %w", s.f.Name, s.day, err)
+}
+
+func (s *openSource) Close() error {
+	if s.src == nil {
+		return nil
+	}
+	if c, ok := s.src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 type feedSource struct {
@@ -145,6 +229,28 @@ func (s *feedSource) Span(max int) ([]ip6.Addr, error) {
 		return seg, io.EOF
 	}
 	return seg, nil
+}
+
+// HitlistFile builds a one-shot feed that streams a .hl6 binary hitlist
+// (see internal/hlfile) straight off disk — the import path for real
+// hitlist-scale snapshots: the feed layer holds no address list, the
+// service's ingest pulls the mmap-backed reader chunk-wise. Note the
+// consumer's own footprint still applies — core ingest routes one small
+// record per candidate before its all-or-nothing admission sweep, so an
+// import is scan-input-sized resident for that scan even under a memory
+// budget (zmap6sim -hitlist is the truly constant-memory scan path).
+// Like Snapshot, the window stays open for two weeks so the next
+// scheduled scan picks it up; input dedup makes repeated delivery
+// harmless.
+func HitlistFile(name string, day int, path string) *Feed {
+	return &Feed{
+		Name:    name,
+		FromDay: day,
+		ToDay:   day + 14,
+		Open: func(ctx context.Context, _ int) (scan.TargetSource, error) {
+			return hlfile.OpenSource(path)
+		},
+	}
 }
 
 // Snapshot builds a one-shot feed that delivers a fixed address list (DET

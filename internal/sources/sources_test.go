@@ -3,9 +3,11 @@ package sources
 import (
 	"context"
 	"errors"
+	"path/filepath"
 	"reflect"
 	"testing"
 
+	"hitlist6/internal/hlfile"
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/scan"
@@ -245,5 +247,62 @@ func TestFeedSource(t *testing.T) {
 	srcs := Open(context.Background(), []*Feed{f, late}, 5)
 	if len(srcs) != 1 || srcs[0].Name != "dns" {
 		t.Errorf("Open: %v", srcs)
+	}
+}
+
+// TestHitlistFileFeed pins the streaming .hl6-backed feed: lazy open on
+// the first pull, full contents delivered, open errors surfacing from
+// Next, inactivity yielding an empty stream, and Drain's materializing
+// compat path agreeing with the stream.
+func TestHitlistFileFeed(t *testing.T) {
+	addrs := []ip6.Addr{
+		ip6.MustParseAddr("2001:db8::1"),
+		ip6.MustParseAddr("2001:db8::2"),
+		ip6.MustParseAddr("2001:db8:99::1"),
+	}
+	path := filepath.Join(t.TempDir(), "import.hl6")
+	if err := hlfile.Write(path, addrs); err != nil {
+		t.Fatal(err)
+	}
+
+	f := HitlistFile("rdns-import", 50, path)
+	if f.ActiveAt(49) || !f.ActiveAt(50) || f.ActiveAt(64) {
+		t.Error("activity window")
+	}
+	got, err := scan.Collect(f.Source(context.Background(), 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ip6.SetOf(got...), ip6.SetOf(addrs...); !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed %v, want %v", got, want)
+	}
+
+	// Inactive day: exhausted immediately, no file touched.
+	empty, err := scan.Collect(f.Source(context.Background(), 10))
+	if err != nil || len(empty) != 0 {
+		t.Errorf("inactive day yielded %d addrs, err %v", len(empty), err)
+	}
+
+	// Drain's compat path materializes the same contents.
+	drained, err := Drain(context.Background(), []*Feed{f}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drained["rdns-import"]) != len(addrs) {
+		t.Errorf("Drain got %d addrs", len(drained["rdns-import"]))
+	}
+
+	// A missing file fails at pull time, not construction time.
+	broken := HitlistFile("bad", 50, filepath.Join(t.TempDir(), "missing.hl6"))
+	buf := make([]ip6.Addr, 8)
+	if _, err := broken.Source(context.Background(), 50).Next(buf); err == nil {
+		t.Error("missing file did not surface from Next")
+	}
+
+	// Cancellation before the first pull surfaces too.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Source(ctx, 50).Next(buf); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled pull: %v", err)
 	}
 }

@@ -141,7 +141,15 @@ func (s *Source) Emitted() int { return s.emitted }
 // feed (core.Config.TGAFeed): each scan it streams up to Budget
 // candidates generated from the service's cumulative responsive seeds,
 // which the service probes and feeds back as input — the paper's
-// Section 6 TGA workload as a closed loop.
+// Section 6 TGA workload as a closed loop. The service dedups the
+// stream on the fly against every address ever seen as input; under a
+// memory budget (core.Config.MemoryBudget) both that cumulative set and
+// the round's emitted-candidate set are disk-backed, so the candidate
+// stream is memory-bounded no matter how large Budget grows. The seed
+// set itself is still materialized per round — the Streamer API hands
+// generators a sorted []ip6.Addr because they need random access to
+// build their models; streaming seed delivery is a follow-on (see
+// ROADMAP).
 type CandidateFeed struct {
 	Gen    Streamer
 	Budget int

@@ -216,4 +216,23 @@ func TestStreamingDedupMatchesDedupAgainstSeeds(t *testing.T) {
 	if !reflect.DeepEqual(want, got) {
 		t.Fatalf("streaming dedup diverges: %d vs %d survivors", len(got), len(want))
 	}
+
+	// The same stream deduped against a disk-backed emitted set — how
+	// the service's TGA feed round runs under a memory budget — must be
+	// bit-identical too, even when every insert spills.
+	spill, err := ip6.NewSpillSet(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spill.Close()
+	spilled, err := scan.Collect(scan.DedupWith(scan.SliceSource(candidates), seedSet.Has, spill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, spilled) {
+		t.Fatalf("spill-backed dedup diverges: %d vs %d survivors", len(spilled), len(want))
+	}
+	if spill.FrozenRuns() == 0 {
+		t.Fatal("spill-backed dedup never spilled")
+	}
 }
