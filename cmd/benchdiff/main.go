@@ -12,6 +12,13 @@
 // where the bench artifact diff fails loudly instead of only reporting.
 // The default (-1) reports without failing. -max-regress is the
 // deprecated alias of -threshold.
+//
+// Benchmarks missing from the baseline are additions, not regressions:
+// they are listed in the table, summarized as a warning on stderr, and
+// never fail the gate — the reminder to refresh bench-baseline.txt, not
+// a build breaker. Benchmarks missing from the current run are reported
+// the same way (a deleted bench should also come with a baseline
+// refresh).
 package main
 
 import (
@@ -110,10 +117,13 @@ func main() {
 	defer w.Flush()
 	fmt.Fprintf(w, "%-34s %26s %26s %26s\n", "benchmark", "ns/op (base→cur Δ)", "B/op (base→cur Δ)", "allocs/op (base→cur Δ)")
 	failed := false
+	var added []string
 	for _, name := range order {
 		c := cur[name]
 		b, ok := base[name]
 		if !ok {
+			// Missing from the baseline: an addition, never a failure.
+			added = append(added, name)
 			fmt.Fprintf(w, "%-34s %26s\n", strings.TrimPrefix(name, "Benchmark"), "(new benchmark)")
 			continue
 		}
@@ -143,6 +153,14 @@ func main() {
 	sort.Strings(gone)
 	for _, name := range gone {
 		fmt.Fprintf(w, "%-34s %26s\n", strings.TrimPrefix(name, "Benchmark"), "(missing from current)")
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d benchmark(s) missing from the baseline (treated as additions, not failures): %s — refresh bench-baseline.txt\n",
+			len(added), strings.Join(added, ", "))
+	}
+	if len(gone) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d benchmark(s) missing from the current run: %s\n",
+			len(gone), strings.Join(gone, ", "))
 	}
 	if failed {
 		w.Flush()

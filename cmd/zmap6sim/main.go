@@ -21,11 +21,16 @@
 // memory, so even a scan with hundreds of millions of responders stays
 // budget-bounded.
 //
+// -cpuprofile and -memprofile write pprof profiles of the scan (the CPU
+// profile starts after world generation), so probe-hot-path regressions
+// are diagnosable against a real scan shape without editing benchmarks.
+//
 // Usage:
 //
 //	zmap6sim -targets addrs.txt -protocols ICMP,UDP/53 -day 1376 > scan.csv
 //	zmap6sim -hitlist targets.hl6 -spill /tmp/spill -membudget 64 > scan.csv
 //	zmap6sim -sample 10000 -batchstats > scan.csv
+//	zmap6sim -sample 100000 -cpuprofile cpu.out -memprofile mem.out > /dev/null
 package main
 
 import (
@@ -35,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -131,6 +138,8 @@ func main() {
 		ordered     = flag.Bool("ordered", false, "buffer results and write in input order")
 		batchStats  = flag.Bool("batchstats", false, "print per-batch throughput to stderr")
 		shardStats  = flag.Bool("shardstats", false, "print the full per-shard throughput table to stderr")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the scan to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile (taken after the scan) to this file")
 	)
 	flag.Parse()
 
@@ -216,6 +225,42 @@ func main() {
 	cfg.SourceChunk = *chunk
 	cfg.SinkQueueDepth = *sinkQueue
 	s := scan.New(w.Net, cfg)
+
+	// Profiling hooks: probe-hot-path regressions are easiest to diagnose
+	// against a real scan shape, so the scan loop is profiled right here
+	// instead of by editing benchmarks. The CPU profile starts after
+	// world generation — the scan is what the flag is for — and is
+	// flushed through the cleanup chain so error exits keep it too.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			die("creating cpu profile: %v\n", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die("starting cpu profile: %v\n", err)
+		}
+		prev := cleanup
+		cleanup = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			prev()
+		}
+	}
+	writeMemProfile := func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating mem profile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // surface live heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "writing mem profile: %v\n", err)
+		}
+	}
 
 	out, err := scan.NewWriter(os.Stdout)
 	if err != nil {
@@ -309,6 +354,7 @@ func main() {
 		}
 	}
 	printShardSummary(os.Stderr, stats.PerShard, *shardStats)
+	writeMemProfile()
 	cleanup()
 }
 

@@ -169,6 +169,30 @@ func Overlap(names []string, sets []ip6.Set) [][]float64 {
 	return out
 }
 
+// OverlapSorted is Overlap over frozen sorted shard sets: every cell is a
+// pair of per-shard merge walks instead of hashing one set against
+// another, and no flat set copies are ever materialized. Intersections
+// are symmetric, so each pair is walked once and normalized per row.
+func OverlapSorted(names []string, sets []*ip6.SortedShardSet) [][]float64 {
+	n := len(sets)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			common := sets[i].IntersectCount(sets[j])
+			if sets[i].Len() > 0 {
+				out[i][j] = 100 * float64(common) / float64(sets[i].Len())
+			}
+			if sets[j].Len() > 0 {
+				out[j][i] = 100 * float64(common) / float64(sets[j].Len())
+			}
+		}
+	}
+	return out
+}
+
 // PrefixLenCDF computes the distribution of prefix lengths (Figure 5) as
 // cumulative fractions per length 0..128.
 func PrefixLenCDF(prefixes []ip6.Prefix) []float64 {

@@ -511,8 +511,13 @@ func (s *Service) InputByFeed() map[string]int { return s.inputByFeed }
 
 // InputSeen returns every address ever accumulated as input (the
 // cumulative hitlist input, before filters), merged from its shards into
-// a fresh flat set.
+// a fresh flat set. Callers that only need membership should use
+// InputSeenHas and skip the copy.
 func (s *Service) InputSeen() ip6.Set { return s.inputSeen.Merge() }
+
+// InputSeenHas reports whether a was ever accumulated as input, without
+// materializing the merged set.
+func (s *Service) InputSeenHas(a ip6.Addr) bool { return s.inputSeen.Has(a) }
 
 // Network returns the world the service operates on.
 func (s *Service) Network() *netmodel.Network { return s.net }

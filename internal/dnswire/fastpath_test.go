@@ -1,0 +1,186 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+
+	"hitlist6/internal/ip6"
+)
+
+// TestAppendReplyMatchesEncode pins the single-allocation fast encoder to
+// the generic Reply+Encode path byte for byte, across the reply shapes
+// the network model and the GFW injector emit.
+func TestAppendReplyMatchesEncode(t *testing.T) {
+	aaaa := ip6.MustParseAddr("2001:db8::1234")
+	a4 := []byte{31, 13, 94, 37}
+	cases := []struct {
+		name    string
+		qname   string
+		hdr     Header
+		ansType Type
+		ttl     uint32
+		rdata   []byte
+	}{
+		{"refused", "www.google.com", Header{ID: 0x4242, Response: true, RecursionDesired: true, RCode: RCodeRefused}, 0, 0, nil},
+		{"notimp", "x.example.org", Header{ID: 1, Response: true, RCode: RCodeNotImp}, 0, 0, nil},
+		{"ra-no-answer", "a.b.c.example", Header{ID: 7, Response: true, RecursionDesired: true, RecursionAvailable: true}, 0, 0, nil},
+		{"injected-a", "www.google.com", Header{ID: 0xbeef, Response: true, RecursionDesired: true, RecursionAvailable: true}, TypeA, 173, a4},
+		{"injected-aaaa", "maps.google.com", Header{ID: 0xffff, Response: true, RecursionAvailable: true}, TypeAAAA, 60, aaaa[:]},
+		{"open-resolver", "h0123.hitlist-exp.example", Header{ID: 9, Response: true, RecursionDesired: true, RecursionAvailable: true}, TypeAAAA, 300, aaaa[:]},
+		{"root-question", "", Header{ID: 2, Response: true}, TypeA, 5, a4},
+	}
+	for _, tc := range cases {
+		q := Question{Name: NormalizeName(tc.qname), Type: TypeAAAA, Class: ClassIN}
+
+		ref := &Message{Header: tc.hdr, Questions: []Question{q}}
+		if tc.ansType != 0 {
+			rr := RR{Name: q.Name, Type: tc.ansType, TTL: tc.ttl}
+			switch tc.ansType {
+			case TypeA:
+				copy(rr.A[:], tc.rdata)
+			case TypeAAAA:
+				copy(rr.AAAA[:], tc.rdata)
+			}
+			ref.Answers = append(ref.Answers, rr)
+		}
+		want, err := ref.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", tc.name, err)
+		}
+
+		got, err := AppendReply(nil, tc.hdr, q, tc.ansType, tc.ttl, tc.rdata)
+		if err != nil {
+			t.Fatalf("%s: AppendReply: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: wires differ\n fast: %x\n slow: %x", tc.name, got, want)
+		}
+
+		// The fast wire must round-trip through the full decoder.
+		if _, err := Decode(got); err != nil {
+			t.Errorf("%s: decoding fast wire: %v", tc.name, err)
+		}
+	}
+}
+
+// TestAppendReplyAppends: AppendReply must append to a non-empty dst
+// without disturbing existing bytes, and the message must stay
+// self-contained (pointers are message-relative).
+func TestAppendReplyAppends(t *testing.T) {
+	q := Question{Name: "www.example.com", Type: TypeAAAA, Class: ClassIN}
+	hdr := Header{ID: 5, Response: true}
+	first, err := AppendReply(nil, hdr, q, TypeA, 60, []byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := AppendReply(append([]byte(nil), first...), hdr, q, TypeA, 60, []byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(both[:len(first)], first) || !bytes.Equal(both[len(first):], first) {
+		t.Fatal("AppendReply disturbed dst or emitted non-self-contained message")
+	}
+}
+
+// TestVisitAnswersMatchesDecode pins the zero-allocation answer walker to
+// the full decoder on every answer shape classification reads.
+func TestVisitAnswersMatchesDecode(t *testing.T) {
+	teredo := ip6.TeredoAddr(ip6.IPv4{65, 54, 227, 120}, ip6.IPv4{31, 13, 94, 37})
+	build := func(rrs ...RR) []byte {
+		r := NewQuery(3, "www.google.com", TypeAAAA).Reply()
+		r.Answers = rrs
+		w, err := r.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	wires := [][]byte{
+		build(),
+		build(RR{Name: "www.google.com", Type: TypeA, TTL: 60, A: ip6.IPv4{1, 2, 3, 4}}),
+		build(RR{Name: "www.google.com", Type: TypeAAAA, TTL: 60, AAAA: teredo}),
+		build(
+			RR{Name: "www.google.com", Type: TypeAAAA, TTL: 60, AAAA: ip6.MustParseAddr("2607:f8b0::2004")},
+			RR{Name: "www.google.com", Type: TypeA, TTL: 60, A: ip6.IPv4{142, 250, 1, 1}},
+		),
+		build(RR{Name: "www.google.com", Type: TypeCNAME, TTL: 0, Target: "localhost"}),
+	}
+	for i, wire := range wires {
+		m, err := Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []RR
+		if err := VisitAnswers(wire, func(ty Type, aaaa ip6.Addr) bool {
+			got = append(got, RR{Type: ty, AAAA: aaaa})
+			return true
+		}); err != nil {
+			t.Fatalf("wire %d: VisitAnswers: %v", i, err)
+		}
+		if len(got) != len(m.Answers) {
+			t.Fatalf("wire %d: %d visited answers, Decode saw %d", i, len(got), len(m.Answers))
+		}
+		for j := range got {
+			if got[j].Type != m.Answers[j].Type {
+				t.Errorf("wire %d answer %d: type %v vs %v", i, j, got[j].Type, m.Answers[j].Type)
+			}
+			if m.Answers[j].Type == TypeAAAA && got[j].AAAA != m.Answers[j].AAAA {
+				t.Errorf("wire %d answer %d: AAAA %v vs %v", i, j, got[j].AAAA, m.Answers[j].AAAA)
+			}
+		}
+	}
+
+	// Garbage must error, as Decode does.
+	if err := VisitAnswers([]byte{1, 2, 3}, func(Type, ip6.Addr) bool { return true }); err == nil {
+		t.Error("VisitAnswers accepted garbage")
+	}
+}
+
+// TestDecodeIntoReuses: DecodeInto must fully reset the scratch message
+// between calls.
+func TestDecodeIntoReuses(t *testing.T) {
+	var m Message
+	w1, _ := NewQuery(1, "a.example.com", TypeAAAA).Encode()
+	r2 := NewQuery(2, "b.example.net", TypeAAAA).Reply()
+	r2.Answers = append(r2.Answers, RR{Name: "b.example.net", Type: TypeAAAA, TTL: 9, AAAA: ip6.MustParseAddr("2001:db8::9")})
+	w2, _ := r2.Encode()
+
+	if err := DecodeInto(w2, &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeInto(w1, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 0 || len(m.Questions) != 1 || m.Questions[0].Name != "a.example.com" || m.Header.ID != 1 {
+		t.Fatalf("scratch not reset: %+v", m)
+	}
+	// DecodeInto and Decode agree.
+	ref, err := Decode(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeInto(w2, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Header != ref.Header || len(m.Answers) != len(ref.Answers) || m.Answers[0] != ref.Answers[0] {
+		t.Fatalf("DecodeInto diverges from Decode: %+v vs %+v", m, *ref)
+	}
+}
+
+// TestVisitAnswersBadPointer: forward/self compression pointers are
+// rejected, as Decode rejects them — a malformed message must not
+// contribute classification evidence.
+func TestVisitAnswersBadPointer(t *testing.T) {
+	// Header: ID 1, QD=0, AN=1; answer name is a forward pointer.
+	msg := []byte{
+		0, 1, 0x80, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+		0xc0, 0xff, // pointer past the end of the message
+		0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 1, 2, 3, 4,
+	}
+	if err := VisitAnswers(msg, func(Type, ip6.Addr) bool { return true }); err == nil {
+		t.Fatal("forward pointer accepted")
+	}
+	if _, err := Decode(msg); err == nil {
+		t.Fatal("Decode accepted the same message — parity check broken")
+	}
+}

@@ -267,8 +267,22 @@ func appendRR(buf []byte, rr RR, table map[string]int) ([]byte, error) {
 
 // Decode parses a wire-format DNS message.
 func Decode(msg []byte) (*Message, error) {
+	out := new(Message)
+	if err := DecodeInto(msg, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto parses a wire-format DNS message into out, reusing out's
+// section slices across calls — the steady-state low-allocation variant of
+// Decode for loops that parse many messages into one scratch Message. On
+// error out is left in an undefined state; the strings placed into out
+// still allocate (they are new per call), but the per-message Message and
+// slice-header allocations of Decode are gone.
+func DecodeInto(msg []byte, out *Message) error {
 	if len(msg) < 12 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	id := binary.BigEndian.Uint16(msg[0:])
 	flags := binary.BigEndian.Uint16(msg[2:])
@@ -277,26 +291,30 @@ func Decode(msg []byte) (*Message, error) {
 	ns := int(binary.BigEndian.Uint16(msg[8:]))
 	ar := int(binary.BigEndian.Uint16(msg[10:]))
 	if qd+an+ns+ar > 4096 {
-		return nil, ErrTooManyRecords
+		return ErrTooManyRecords
 	}
-	out := &Message{Header: headerFromFlags(id, flags)}
+	out.Header = headerFromFlags(id, flags)
+	out.Questions = out.Questions[:0]
+	out.Answers = out.Answers[:0]
+	out.Authority = out.Authority[:0]
+	out.Additional = out.Additional[:0]
 	off := 12
 	var err error
 	for i := 0; i < qd; i++ {
 		var q Question
 		q.Name, off, err = parseName(msg, off)
 		if err != nil {
-			return nil, fmt.Errorf("question %d: %w", i, err)
+			return fmt.Errorf("question %d: %w", i, err)
 		}
 		if off+4 > len(msg) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
 		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
 		off += 4
 		out.Questions = append(out.Questions, q)
 	}
-	for _, sec := range []struct {
+	for _, sec := range [...]struct {
 		n    int
 		dst  *[]RR
 		name string
@@ -305,12 +323,158 @@ func Decode(msg []byte) (*Message, error) {
 			var rr RR
 			rr, off, err = parseRR(msg, off)
 			if err != nil {
-				return nil, fmt.Errorf("%s %d: %w", sec.name, i, err)
+				return fmt.Errorf("%s %d: %w", sec.name, i, err)
 			}
 			*sec.dst = append(*sec.dst, rr)
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// AppendReply appends the wire form of a minimal reply to a
+// single-question query: header h, the question q echoed, and — when
+// ansType is non-zero — exactly one answer record named after the
+// question, of that type, carrying rdata (4 bytes for A, 16 for AAAA).
+// The output is byte-for-byte identical to building the same message with
+// Reply/Encode (including the compression pointer for the answer name),
+// but costs a single allocation and no compression table. It is the
+// hot-path encoder behind the network model's DNS answers and the GFW
+// injector, where per-probe Encode calls dominated the allocation
+// profile.
+func AppendReply(dst []byte, h Header, q Question, ansType Type, ttl uint32, rdata []byte) ([]byte, error) {
+	size := 12 + len(q.Name) + 2 + 4
+	if ansType != 0 {
+		size += 2 + 2 + 2 + 4 + 2 + len(rdata)
+	}
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	start := len(dst)
+	dst = dst[:start+12]
+	binary.BigEndian.PutUint16(dst[start:], h.ID)
+	binary.BigEndian.PutUint16(dst[start+2:], h.flags())
+	binary.BigEndian.PutUint16(dst[start+4:], 1)
+	an := uint16(0)
+	if ansType != 0 {
+		an = 1
+	}
+	binary.BigEndian.PutUint16(dst[start+6:], an)
+	binary.BigEndian.PutUint16(dst[start+8:], 0)
+	binary.BigEndian.PutUint16(dst[start+10:], 0)
+	var err error
+	dst, err = AppendName(dst, q.Name)
+	if err != nil {
+		return nil, fmt.Errorf("question %q: %w", q.Name, err)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(q.Type))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(q.Class))
+	if ansType != 0 {
+		if NormalizeName(q.Name) == "" {
+			// The root name never enters the compression table; Encode
+			// writes it out as a bare terminator.
+			dst = append(dst, 0)
+		} else {
+			// Compression pointer to the question name, which always sits
+			// at offset 12 of the message — exactly what Encode emits for
+			// an answer named after the question.
+			dst = append(dst, 0xc0, 0x0c)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(ansType))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(ClassIN))
+		dst = binary.BigEndian.AppendUint32(dst, ttl)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(rdata)))
+		dst = append(dst, rdata...)
+	}
+	return dst, nil
+}
+
+// VisitAnswers walks the answer section of a wire-format message without
+// allocating: record names are skipped rather than decoded, and only the
+// RR type and AAAA rdata — the fields GFW-injection classification reads —
+// are extracted. fn returning false stops the walk. Validation is
+// shallower than Decode's: section bounds, label lengths and pointer
+// direction are checked, but compression pointers are not followed (the
+// pointed-to labels go unvalidated), and the authority and additional
+// sections are not parsed at all — a malformed message can therefore
+// yield answers here that Decode would reject wholesale.
+func VisitAnswers(msg []byte, fn func(t Type, aaaa ip6.Addr) bool) error {
+	if len(msg) < 12 {
+		return ErrTruncated
+	}
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+	if qd+an+ns+ar > 4096 {
+		return ErrTooManyRecords
+	}
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		if off, err = skipName(msg, off); err != nil {
+			return fmt.Errorf("question %d: %w", i, err)
+		}
+		if off+4 > len(msg) {
+			return ErrTruncated
+		}
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		if off, err = skipName(msg, off); err != nil {
+			return fmt.Errorf("answer %d: %w", i, err)
+		}
+		if off+10 > len(msg) {
+			return ErrTruncated
+		}
+		t := Type(binary.BigEndian.Uint16(msg[off:]))
+		rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+		off += 10
+		if off+rdlen > len(msg) {
+			return ErrTruncated
+		}
+		var aaaa ip6.Addr
+		if t == TypeAAAA {
+			if rdlen != 16 {
+				return fmt.Errorf("dnswire: AAAA rdata length %d", rdlen)
+			}
+			copy(aaaa[:], msg[off:])
+		}
+		if !fn(t, aaaa) {
+			return nil
+		}
+		off += rdlen
+	}
+	return nil
+}
+
+// skipName advances past a possibly compressed name without decoding it.
+// Pointers are bounds- and direction-checked (forward/self pointers are
+// invalid, as in parseName) but not followed.
+func skipName(msg []byte, off int) (int, error) {
+	for {
+		if off >= len(msg) {
+			return 0, ErrTruncated
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			return off + 1, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return 0, ErrTruncated
+			}
+			if ptr := int(b&0x3f)<<8 | int(msg[off+1]); ptr >= off {
+				return 0, ErrBadPointer
+			}
+			return off + 2, nil
+		case b&0xc0 != 0:
+			return 0, fmt.Errorf("dnswire: reserved label type %#x", b&0xc0)
+		default:
+			off += 1 + int(b)
+		}
+	}
 }
 
 func parseRR(msg []byte, off int) (RR, int, error) {

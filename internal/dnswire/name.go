@@ -35,9 +35,11 @@ func NormalizeName(name string) string {
 	return strings.ToLower(name)
 }
 
-// appendName encodes name (dot-separated, optionally ending in a dot) into
-// buf in uncompressed wire form. An empty name encodes the root.
-func appendName(buf []byte, name string) ([]byte, error) {
+// AppendName encodes name (dot-separated, optionally ending in a dot) into
+// buf in uncompressed wire form. An empty name encodes the root. It is the
+// building block of the fast reply encoders (AppendReply), which skip the
+// compression table of the generic Encode path.
+func AppendName(buf []byte, name string) ([]byte, error) {
 	name = NormalizeName(name)
 	if name == "" {
 		return append(buf, 0), nil

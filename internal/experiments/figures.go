@@ -279,18 +279,20 @@ func sortInts(xs []int) {
 }
 
 // Figure7 prints the overlap matrix between new-source responsive sets.
+// The matrix is computed from the frozen sorted-shard sets by per-shard
+// merge walks (analysis.OverlapSorted) — no flat set copies, no hashing.
 func Figure7(ctx context.Context, s *Suite, w io.Writer) error {
 	res, err := s.NewSources(ctx)
 	if err != nil {
 		return err
 	}
 	names := make([]string, len(res.Sources))
-	sets := make([]ip6.Set, len(res.Sources))
+	sets := make([]*ip6.SortedShardSet, len(res.Sources))
 	for i, src := range res.Sources {
 		names[i] = src.Name
-		sets[i] = src.Any
+		sets[i] = src.AnySorted
 	}
-	m := analysis.Overlap(names, sets)
+	m := analysis.OverlapSorted(names, sets)
 	fmt.Fprintf(w, "Figure 7 — overlap between responsive addresses from new sources (%% of row)\n\n")
 	printMatrix(w, names, m)
 	return nil

@@ -11,6 +11,7 @@ import (
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/rng"
+	"hitlist6/internal/scan"
 	"hitlist6/internal/tga"
 	"hitlist6/internal/tga/dc"
 	"hitlist6/internal/tga/sixgan"
@@ -108,6 +109,9 @@ type SourceEval struct {
 	// Responsive per protocol plus the union.
 	Responsive map[netmodel.Protocol]ip6.Set
 	Any        ip6.Set
+	// AnySorted is the frozen sorted-shard form of Any; the overlap
+	// matrix (Figure 7) is computed from it by per-shard merge walks.
+	AnySorted *ip6.SortedShardSet
 	// GFWFiltered counts injection-classified DNS results removed.
 	GFWFiltered int
 }
@@ -164,9 +168,19 @@ func (s *Suite) newSources(ctx context.Context) (*NewSourcesResult, error) {
 	passive.AddSlice(s.World.DETAddrs)
 	raws = append(raws, rawSource{name: "Passive", addrs: passive.Sorted()})
 
-	// The 30-day-unresponsive pool, cleaned from GFW-injection addresses.
-	pool := s.Svc.UnresponsivePool().Diff(s.Svc.Tracker().InjectedSeen())
-	raws = append(raws, rawSource{name: "Unresponsive", addrs: pool.Sorted(), rescan: true})
+	// The 30-day-unresponsive pool, cleaned from GFW-injection addresses —
+	// filtered in one pass against the tracker's sharded evidence instead
+	// of materializing the merged injection set and a diff copy.
+	unresp := s.Svc.UnresponsivePool()
+	tracker := s.Svc.Tracker()
+	pool := make([]ip6.Addr, 0, unresp.Len())
+	for a := range unresp {
+		if !tracker.InjectedSeenHas(a) {
+			pool = append(pool, a)
+		}
+	}
+	ip6.SortAddrs(pool)
+	raws = append(raws, rawSource{name: "Unresponsive", addrs: pool, rescan: true})
 
 	// Target generation on the December 2021 responsive seeds.
 	gens := []struct {
@@ -185,18 +199,13 @@ func (s *Suite) newSources(ctx context.Context) (*NewSourcesResult, error) {
 
 	res := &NewSourcesResult{UnionAny: ip6.NewSet(0)}
 	scanner := s.Svc.Scanner()
-	known := s.Svc.InputSeen()
 	aliased := s.Svc.AliasedPrefixes()
 
 	for _, raw := range raws {
 		ev := SourceEval{
 			Name:       raw.name,
 			Candidates: len(raw.addrs),
-			Responsive: make(map[netmodel.Protocol]ip6.Set),
-			Any:        ip6.NewSet(0),
-		}
-		for _, p := range allProtocols() {
-			ev.Responsive[p] = ip6.NewSet(0)
+			Responsive: make(map[netmodel.Protocol]ip6.Set, netmodel.NumProtocols),
 		}
 		candASes := map[int]bool{}
 		var targets []ip6.Addr
@@ -208,7 +217,7 @@ func (s *Suite) newSources(ctx context.Context) (*NewSourcesResult, error) {
 				candASes[as.ASN] = true
 			}
 			if raw.name != "Unresponsive" {
-				if known.Has(a) {
+				if s.Svc.InputSeenHas(a) {
 					continue
 				}
 				ev.New++
@@ -224,27 +233,47 @@ func (s *Suite) newSources(ctx context.Context) (*NewSourcesResult, error) {
 		ev.CandidateASes = len(candASes)
 
 		// Scan; aggregate two rounds a week apart (the pool only once).
+		// Results stream straight into sharded accumulators — the old
+		// path materialized the full targets × protocols result slice
+		// per round, which dominated the evaluation's footprint.
 		days := []int{worldgen.EndDay, worldgen.EndDay + 7}
 		if raw.rescan {
 			days = days[:1]
 		}
+		var respSh [netmodel.NumProtocols]*ip6.ShardedSet
+		for _, p := range allProtocols() {
+			respSh[p] = ip6.NewShardedSet()
+		}
+		anySh := ip6.NewShardedSet()
+		var filtered [ip6.AddrShards]int
 		for _, day := range days {
-			results, _, err := scanner.Scan(ctx, targets, allProtocols(), day)
+			_, err := scanner.StreamFrom(ctx, scan.SliceSource(targets), allProtocols(), day, func(b *scan.Batch) error {
+				for i := range b.Results {
+					r := &b.Results[i]
+					if !r.Success {
+						continue
+					}
+					if r.Proto == netmodel.UDP53 && gfw.ClassifyResult(*r).Injected() {
+						filtered[b.Shard]++
+						continue
+					}
+					respSh[r.Proto].AddToShard(b.Shard, r.Target)
+					anySh.AddToShard(b.Shard, r.Target)
+				}
+				return nil
+			})
 			if err != nil {
 				return nil, fmt.Errorf("scanning source %s: %w", raw.name, err)
 			}
-			for _, r := range results {
-				if !r.Success {
-					continue
-				}
-				if r.Proto == netmodel.UDP53 && gfw.ClassifyResult(r).Injected() {
-					ev.GFWFiltered++
-					continue
-				}
-				ev.Responsive[r.Proto].Add(r.Target)
-				ev.Any.Add(r.Target)
-			}
 		}
+		for _, c := range filtered {
+			ev.GFWFiltered += c
+		}
+		for _, p := range allProtocols() {
+			ev.Responsive[p] = respSh[p].Merge()
+		}
+		ev.Any = anySh.Merge()
+		ev.AnySorted = ip6.FreezeSorted(anySh)
 		res.UnionAny.AddAll(ev.Any)
 		res.Sources = append(res.Sources, ev)
 	}

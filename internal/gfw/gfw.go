@@ -41,25 +41,34 @@ type Classification struct {
 func (c Classification) Injected() bool { return c.AForAAAA || c.Teredo }
 
 // ClassifyMessages inspects raw wire-format responses to a AAAA query.
+// It runs on dnswire.VisitAnswers — record types and AAAA rdata are read
+// straight off the wire without decoding full messages — so the service
+// digest and the source evaluations classify every DNS result without
+// per-message allocations.
 func ClassifyMessages(msgs [][]byte) Classification {
 	c := Classification{Responses: len(msgs), MultiResponse: len(msgs) > 1}
 	for _, wire := range msgs {
-		m, err := dnswire.Decode(wire)
-		if err != nil {
-			continue
-		}
-		hasA, hasRealAAAA := false, false
-		for _, rr := range m.Answers {
-			switch rr.Type {
+		hasA, hasRealAAAA, teredo := false, false, false
+		err := dnswire.VisitAnswers(wire, func(t dnswire.Type, aaaa ip6.Addr) bool {
+			switch t {
 			case dnswire.TypeA:
 				hasA = true
 			case dnswire.TypeAAAA:
-				if rr.AAAA.IsTeredo() {
-					c.Teredo = true
+				if aaaa.IsTeredo() {
+					teredo = true
 				} else {
 					hasRealAAAA = true
 				}
 			}
+			return true
+		})
+		if err != nil {
+			// Undecodable messages contribute no evidence, as when the
+			// full decoder rejected them.
+			continue
+		}
+		if teredo {
+			c.Teredo = true
 		}
 		if hasA && !hasRealAAAA {
 			c.AForAAAA = true
@@ -231,8 +240,13 @@ func (t *Tracker) InjectedOnlySharded() *ip6.ShardedSet {
 // InjectedSeen returns every address that ever showed injection evidence,
 // including those that are real hosts on other protocols (which the paper
 // keeps in the hitlist). The returned set is a merged copy; callers that
-// only need the cardinality should use InjectedSeenLen.
+// only need the cardinality should use InjectedSeenLen, and membership
+// checks should go through InjectedSeenHas.
 func (t *Tracker) InjectedSeen() ip6.Set { return t.injectedSeen.Merge() }
+
+// InjectedSeenHas reports whether a ever showed injection evidence,
+// without materializing the merged copy.
+func (t *Tracker) InjectedSeenHas(a ip6.Addr) bool { return t.injectedSeen.Has(a) }
 
 // InjectedSeenLen returns the size of the injection-evidence set without
 // materializing a merged copy.

@@ -9,12 +9,34 @@ import "sort"
 // The implementation keeps one hash map per populated prefix length, so a
 // lookup costs at most one map access per distinct length in the table
 // (BGP-style tables populate a handful of lengths). This is simpler and,
-// for our workloads, faster than a pointer-chasing trie.
+// for our workloads, faster than a pointer-chasing trie. Tables that stop
+// changing can additionally be frozen (Freeze) into a flat sorted segment
+// index, which turns every lookup into one cache-friendly binary search
+// with no 16-byte-key hashing at all — the form the probe hot path reads.
 type PrefixMap[T any] struct {
 	byLen   [129]map[Addr]T
 	lens    []int // populated lengths, descending (longest first)
 	entries int
+
+	// idx is the frozen lookup index; nil until Freeze, dropped by any
+	// mutation. Lookup/Contains prefer it when live.
+	idx *prefixIndex[T]
 }
+
+// prefixIndex is the frozen longest-prefix-match form of a PrefixMap: the
+// address space cut into half-open segments, each labeled with the
+// longest covering prefix at that point (noMatch when uncovered).
+// starts is sorted ascending and always begins at ::, so the segment for
+// an address is the one whose start is the greatest lower bound — a
+// single binary search over a packed address array.
+type prefixIndex[T any] struct {
+	starts []Addr
+	vals   []T
+	bits   []uint8 // matched prefix length, noMatch for uncovered gaps
+}
+
+// noMatch marks an uncovered segment (valid prefix lengths are 0..128).
+const noMatch = 0xff
 
 // NewPrefixMap returns an empty PrefixMap.
 func NewPrefixMap[T any]() *PrefixMap[T] { return &PrefixMap[T]{} }
@@ -32,8 +54,10 @@ func (m *PrefixMap[T]) MaxBits() int {
 	return m.lens[0] // lens is kept sorted descending
 }
 
-// Insert adds or replaces the value for prefix p.
+// Insert adds or replaces the value for prefix p. Mutation drops a
+// frozen index.
 func (m *PrefixMap[T]) Insert(p Prefix, v T) {
+	m.idx = nil
 	b := p.Bits()
 	if m.byLen[b] == nil {
 		m.byLen[b] = make(map[Addr]T)
@@ -60,7 +84,8 @@ func (m *PrefixMap[T]) Get(p Prefix) (T, bool) {
 	return v, true
 }
 
-// Delete removes prefix p; it reports whether it was present.
+// Delete removes prefix p; it reports whether it was present. Mutation
+// drops a frozen index.
 func (m *PrefixMap[T]) Delete(p Prefix) bool {
 	b := p.Bits()
 	if m.byLen[b] == nil {
@@ -69,6 +94,7 @@ func (m *PrefixMap[T]) Delete(p Prefix) bool {
 	if _, ok := m.byLen[b][p.Addr()]; !ok {
 		return false
 	}
+	m.idx = nil
 	delete(m.byLen[b], p.Addr())
 	m.entries--
 	return true
@@ -76,6 +102,9 @@ func (m *PrefixMap[T]) Delete(p Prefix) bool {
 
 // Lookup returns the longest prefix containing a and its value.
 func (m *PrefixMap[T]) Lookup(a Addr) (Prefix, T, bool) {
+	if idx := m.idx; idx != nil {
+		return idx.lookup(a)
+	}
 	for _, b := range m.lens {
 		masked := mask(a, b)
 		if v, ok := m.byLen[b][masked]; ok {
@@ -84,6 +113,123 @@ func (m *PrefixMap[T]) Lookup(a Addr) (Prefix, T, bool) {
 	}
 	var zero T
 	return Prefix{}, zero, false
+}
+
+// Freeze builds the flat sorted segment index so subsequent Lookup and
+// Contains calls are single binary searches instead of per-length map
+// probes. Results are identical either way; freezing is purely a read-
+// throughput optimization for tables that have stopped changing (the
+// network model's alias rules and BGP view after world seal). Any Insert
+// or Delete drops the index; Freeze again after a mutation batch. Freeze
+// must not race with concurrent lookups.
+func (m *PrefixMap[T]) Freeze() {
+	type entry struct {
+		p Prefix
+		v T
+	}
+	entries := make([]entry, 0, m.entries)
+	for _, b := range m.lens {
+		for a, v := range m.byLen[b] {
+			entries = append(entries, entry{Prefix{addr: a, bits: uint8(b)}, v})
+		}
+	}
+	// Outer prefixes first at equal starts, so a nested prefix pushed
+	// later overrides its parent's segment.
+	sort.Slice(entries, func(i, j int) bool {
+		if c := entries[i].p.addr.Compare(entries[j].p.addr); c != 0 {
+			return c < 0
+		}
+		return entries[i].p.bits < entries[j].p.bits
+	})
+
+	idx := &prefixIndex[T]{}
+	var zero T
+	emit := func(start Addr, v T, bits uint8) {
+		if n := len(idx.starts); n > 0 && idx.starts[n-1] == start {
+			// A segment of length zero (nested prefix starting exactly at
+			// its parent's start, or coinciding pop boundaries): the later
+			// state wins.
+			idx.vals[n-1], idx.bits[n-1] = v, bits
+			return
+		}
+		idx.starts = append(idx.starts, start)
+		idx.vals = append(idx.vals, v)
+		idx.bits = append(idx.bits, bits)
+	}
+	emit(Addr{}, zero, noMatch)
+
+	type frame struct {
+		e   entry
+		end Addr // last covered address
+	}
+	var stack []frame
+	resume := func() {
+		// Pop the deepest active prefix and resume its parent (or the
+		// uncovered gap) just past its range — unless it covers the very
+		// top of the space, where nothing follows.
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.end == (Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) {
+			return
+		}
+		next := f.end.Next()
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			emit(next, top.e.v, top.e.p.bits)
+		} else {
+			emit(next, zero, noMatch)
+		}
+	}
+	for _, e := range entries {
+		for len(stack) > 0 && stack[len(stack)-1].end.Less(e.p.addr) {
+			resume()
+		}
+		stack = append(stack, frame{e, lastAddrOf(e.p)})
+		emit(e.p.addr, e.v, e.p.bits)
+	}
+	for len(stack) > 0 {
+		resume()
+	}
+	m.idx = idx
+}
+
+// lastAddrOf returns the numerically last address covered by p.
+func lastAddrOf(p Prefix) Addr {
+	a := p.addr
+	bits := int(p.bits)
+	for i := range a {
+		left := bits - i*8
+		switch {
+		case left >= 8:
+		case left <= 0:
+			a[i] = 0xff
+		default:
+			a[i] |= 0xff >> left
+		}
+	}
+	return a
+}
+
+// lookup finds the segment covering a: the greatest start ≤ a.
+func (idx *prefixIndex[T]) lookup(a Addr) (Prefix, T, bool) {
+	ahi, alo := a.Hi(), a.Lo()
+	i, j := 0, len(idx.starts)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		shi := idx.starts[m].Hi()
+		if shi < ahi || (shi == ahi && idx.starts[m].Lo() <= alo) {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	seg := i - 1 // starts[0] is ::, so seg >= 0
+	b := idx.bits[seg]
+	if b == noMatch {
+		var zero T
+		return Prefix{}, zero, false
+	}
+	return Prefix{addr: mask(a, int(b)), bits: b}, idx.vals[seg], true
 }
 
 // LookupAll returns every prefix containing a, longest first.
@@ -100,6 +246,10 @@ func (m *PrefixMap[T]) LookupAll(a Addr) []Prefix {
 
 // Contains reports whether any prefix in the map covers a.
 func (m *PrefixMap[T]) Contains(a Addr) bool {
+	if idx := m.idx; idx != nil {
+		_, _, ok := idx.lookup(a)
+		return ok
+	}
 	for _, b := range m.lens {
 		if _, ok := m.byLen[b][mask(a, b)]; ok {
 			return true
@@ -158,6 +308,10 @@ func (s *PrefixSet) Match(a Addr) (Prefix, bool) {
 
 // Len returns the number of prefixes.
 func (s *PrefixSet) Len() int { return s.m.Len() }
+
+// Freeze builds the flat segment index behind Contains/Match; any Add or
+// Delete drops it (see PrefixMap.Freeze).
+func (s *PrefixSet) Freeze() { s.m.Freeze() }
 
 // Prefixes returns all prefixes in stable order.
 func (s *PrefixSet) Prefixes() []Prefix { return s.m.Prefixes() }

@@ -1,0 +1,75 @@
+package ip6
+
+// SortedShardSet is a frozen address set stored as sorted per-shard
+// slices — the read-only, cache-friendly form of a ShardedSet. Building
+// it costs one sort per shard; after that, set algebra runs as linear
+// merge walks over packed arrays with no hashing and no allocation,
+// which is what the overlap matrices (Figures 7 and 10) want: the old
+// path materialized flat map copies of every set just to count
+// intersections.
+type SortedShardSet struct {
+	shards [AddrShards][]Addr
+	total  int
+}
+
+// FreezeSorted builds the sorted form of s. The result is independent of
+// s (the addresses are copied), so s may keep growing afterwards.
+func FreezeSorted(s *ShardedSet) *SortedShardSet {
+	out := &SortedShardSet{}
+	n := s.Len()
+	buf := make([]Addr, 0, n) // one backing array shared by all shards
+	for sh := 0; sh < AddrShards; sh++ {
+		start := len(buf)
+		for a := range s.Shard(sh) {
+			buf = append(buf, a)
+		}
+		shard := buf[start:len(buf):len(buf)]
+		SortAddrs(shard)
+		out.shards[sh] = shard
+	}
+	out.total = n
+	return out
+}
+
+// Len returns the total cardinality.
+func (s *SortedShardSet) Len() int { return s.total }
+
+// Shard returns shard i's sorted members; treat as read-only.
+func (s *SortedShardSet) Shard(i int) []Addr { return s.shards[i] }
+
+// IntersectCount returns |s ∩ o| by per-shard sorted merge walks,
+// allocating nothing. Shards partition the address space identically on
+// both sides (ShardOf is canonical), so shards can be intersected
+// pairwise.
+func (s *SortedShardSet) IntersectCount(o *SortedShardSet) int {
+	n := 0
+	for sh := 0; sh < AddrShards; sh++ {
+		a, b := s.shards[sh], o.shards[sh]
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch c := a[i].Compare(b[j]); {
+			case c < 0:
+				i++
+			case c > 0:
+				j++
+			default:
+				n++
+				i++
+				j++
+			}
+		}
+	}
+	return n
+}
+
+// Walk visits every member in canonical order (shard by shard, sorted
+// within each shard); fn returning false stops the walk.
+func (s *SortedShardSet) Walk(fn func(Addr) bool) {
+	for sh := 0; sh < AddrShards; sh++ {
+		for _, a := range s.shards[sh] {
+			if !fn(a) {
+				return
+			}
+		}
+	}
+}

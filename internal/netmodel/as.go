@@ -111,6 +111,11 @@ func (t *ASTable) Announce(p ip6.Prefix, as *AS, fromDay int) {
 	t.m.Insert(p, as)
 }
 
+// Freeze seals the table's longest-prefix index into its flat sorted
+// form (see ip6.PrefixMap.Freeze); Announce drops it again. Network.Seal
+// calls this so per-probe AS attribution is a binary search.
+func (t *ASTable) Freeze() { t.m.Freeze() }
+
 // Lookup returns the origin AS of addr, or nil if unrouted.
 func (t *ASTable) Lookup(addr ip6.Addr) *AS {
 	_, as, ok := t.m.Lookup(addr)

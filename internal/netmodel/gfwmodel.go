@@ -122,8 +122,10 @@ func (g *GFWModel) ActiveAt(day int) bool {
 // Inject returns the forged wire-format responses for a query towards
 // target, or nil when the injector stays silent. Multiple injectors on the
 // path produce two or three answers, as the paper observed ("ZMap
-// accumulated two or three responses for each scanned address").
-func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message, day int) [][]byte {
+// accumulated two or three responses for each scanned address"). txid is
+// the per-probe transaction ID the forged replies echo; query may be a
+// shared read-only template (its Header.ID is ignored).
+func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message, txid uint16, day int) [][]byte {
 	if targetAS == nil || !g.AffectedASNs[targetAS.ASN] {
 		return nil
 	}
@@ -140,30 +142,33 @@ func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message,
 		// answer at all, not even a DNS error.
 		return nil
 	}
+	hdr := dnswire.Header{
+		ID:                 txid,
+		Response:           true,
+		RecursionDesired:   query.Header.RecursionDesired,
+		RecursionAvailable: true,
+		RCode:              dnswire.RCodeNoError,
+	}
 	n := 2 + int(rng.Mix(g.seed, target.Hi(), target.Lo(), uint64(day), 0x6f3)%2)
 	out := make([][]byte, 0, n)
 	for i := 0; i < n; i++ {
 		h := rng.Mix(g.seed, target.Hi(), target.Lo(), uint64(day), uint64(i), 0x9a1)
-		reply := query.Reply()
-		reply.Header.RecursionAvailable = true
-		reply.Header.RCode = dnswire.RCodeNoError
+		ttl := 60 + uint32(h%240)
+		var wire []byte
+		var err error
 		switch era.Mode {
 		case InjectA:
 			// An A record answering an AAAA question: the signature of
-			// the first two events.
-			reply.Answers = append(reply.Answers, dnswire.RR{
-				Name: q.Name, Type: dnswire.TypeA, TTL: 60 + uint32(h%240),
-				A: g.WrongIPv4s[h%uint64(len(g.WrongIPv4s))],
-			})
+			// the first two events. One allocation per forged message —
+			// the old Reply+Encode pair burned six on the same bytes.
+			a := g.WrongIPv4s[h%uint64(len(g.WrongIPv4s))]
+			wire, err = g.forge(hdr, query, dnswire.TypeA, ttl, a[:])
 		case InjectTeredo:
 			server := g.TeredoServers[h%uint64(len(g.TeredoServers))]
 			client := g.WrongIPv4s[(h>>8)%uint64(len(g.WrongIPv4s))]
-			reply.Answers = append(reply.Answers, dnswire.RR{
-				Name: q.Name, Type: dnswire.TypeAAAA, TTL: 60 + uint32(h%240),
-				AAAA: ip6.TeredoAddr(server, client),
-			})
+			aaaa := ip6.TeredoAddr(server, client)
+			wire, err = g.forge(hdr, query, dnswire.TypeAAAA, ttl, aaaa[:])
 		}
-		wire, err := reply.Encode()
 		if err != nil {
 			// The forged reply is built from validated parts; failing to
 			// encode indicates a programming error.
@@ -172,4 +177,24 @@ func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message,
 		out = append(out, wire)
 	}
 	return out
+}
+
+// forge encodes one injected reply: the AppendReply fast path for the
+// single-question queries every scanner sends, the generic encoder
+// (byte-identical for this shape) for anything else.
+func (g *GFWModel) forge(hdr dnswire.Header, query *dnswire.Message, ansType dnswire.Type, ttl uint32, rdata []byte) ([]byte, error) {
+	q := query.Questions[0]
+	if len(query.Questions) == 1 {
+		return dnswire.AppendReply(nil, hdr, q, ansType, ttl, rdata)
+	}
+	reply := &dnswire.Message{Header: hdr, Questions: query.Questions}
+	rr := dnswire.RR{Name: q.Name, Type: ansType, TTL: ttl}
+	switch ansType {
+	case dnswire.TypeA:
+		copy(rr.A[:], rdata)
+	case dnswire.TypeAAAA:
+		copy(rr.AAAA[:], rdata)
+	}
+	reply.Answers = append(reply.Answers, rr)
+	return reply.Encode()
 }

@@ -1,0 +1,84 @@
+package netmodel
+
+import (
+	"sort"
+
+	"hitlist6/internal/ip6"
+)
+
+// hostIndex is the sealed, read-only form of the host table: hosts
+// partitioned into the canonical ip6.AddrShards shards and sorted by
+// address within each shard, with the 16-byte keys packed contiguously so
+// a per-probe lookup is a cache-friendly binary search over one shard's
+// key array instead of hashing a 16-byte map key. The scan engine probes
+// one shard per worker at a time, so consecutive lookups hit the same
+// small key range.
+//
+// The index is built once by Network.Seal after world assembly and
+// invalidated by AddHost; an unsealed network falls back to the map.
+type hostIndex struct {
+	addrs [ip6.AddrShards][]ip6.Addr
+	hosts [ip6.AddrShards][]*Host
+}
+
+// buildHostIndex freezes the host map into the shard-aligned sorted form.
+func buildHostIndex(hosts map[ip6.Addr]*Host) *hostIndex {
+	idx := &hostIndex{}
+	var counts [ip6.AddrShards]int
+	for a := range hosts {
+		counts[ip6.ShardOf(a)]++
+	}
+	// One backing array per field, shared across shards, exactly sized.
+	abuf := make([]ip6.Addr, 0, len(hosts))
+	hbuf := make([]*Host, 0, len(hosts))
+	off := 0
+	for sh := range idx.addrs {
+		end := off + counts[sh]
+		idx.addrs[sh] = abuf[off:off:end]
+		idx.hosts[sh] = hbuf[off:off:end]
+		off = end
+	}
+	for a, h := range hosts {
+		sh := ip6.ShardOf(a)
+		idx.addrs[sh] = append(idx.addrs[sh], a)
+		idx.hosts[sh] = append(idx.hosts[sh], h)
+	}
+	for sh := range idx.addrs {
+		sort.Sort(&shardSorter{addrs: idx.addrs[sh], hosts: idx.hosts[sh]})
+	}
+	return idx
+}
+
+// lookup returns the host registered at a, or nil. shard must be
+// ip6.ShardOf(a).
+func (idx *hostIndex) lookup(shard int, a ip6.Addr) *Host {
+	addrs := idx.addrs[shard]
+	hi, lo := a.Hi(), a.Lo()
+	i, j := 0, len(addrs)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		mhi := addrs[m].Hi()
+		if mhi < hi || (mhi == hi && addrs[m].Lo() < lo) {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	if i < len(addrs) && addrs[i] == a {
+		return idx.hosts[shard][i]
+	}
+	return nil
+}
+
+// shardSorter sorts one shard's parallel addr/host slices by address.
+type shardSorter struct {
+	addrs []ip6.Addr
+	hosts []*Host
+}
+
+func (s *shardSorter) Len() int           { return len(s.addrs) }
+func (s *shardSorter) Less(i, j int) bool { return s.addrs[i].Less(s.addrs[j]) }
+func (s *shardSorter) Swap(i, j int) {
+	s.addrs[i], s.addrs[j] = s.addrs[j], s.addrs[i]
+	s.hosts[i], s.hosts[j] = s.hosts[j], s.hosts[i]
+}

@@ -1,7 +1,9 @@
 package netmodel
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hitlist6/internal/dnswire"
 	"hitlist6/internal/ip6"
@@ -29,6 +31,16 @@ type Probe struct {
 	Port    uint16 // TCP destination port
 	Payload []byte // DNS query wire bytes for DNSQuery
 	MTU     uint16 // MTU announced in PacketTooBig
+
+	// Query, when non-nil, is the parsed form of the DNS query and lets
+	// the network skip decoding Payload — the scanner sets it from a
+	// per-qname template so the probe hot path never re-parses the same
+	// wire bytes. The message is shared across probes and must be treated
+	// as read-only; TxID carries the per-probe transaction ID the reply
+	// echoes (Query.Header.ID is ignored). When Query is nil the query is
+	// decoded from Payload as always, with the ID taken from the wire.
+	Query *dnswire.Message
+	TxID  uint16
 }
 
 // RespKind is the wire-level response type.
@@ -94,17 +106,27 @@ type Network struct {
 	OurZone string
 
 	hosts   map[ip6.Addr]*Host
+	hostIdx *hostIndex
 	aliases *ip6.PrefixMap[*AliasRule]
 	pmtu    *pmtuCache
 
 	nsmu  sync.Mutex
 	nslog []NSQuery
 
-	probemu sync.Mutex
-	probes  uint64
+	// probes counts served probes on shard-striped padded atomics: the
+	// scan engine works one shard per worker at a time, so concurrent
+	// workers increment disjoint cache lines and the old global mutex's
+	// contention is gone. ProbeCount aggregates the stripes on read.
+	probes [ip6.AddrShards]probeStripe
 
 	// transit caches the backbone ASes for path synthesis.
 	transit []*AS
+}
+
+// probeStripe is one padded counter stripe (its own cache line).
+type probeStripe struct {
+	n atomic.Uint64
+	_ [56]byte
 }
 
 // NewNetwork builds an empty world over the given AS table.
@@ -120,7 +142,40 @@ func NewNetwork(seed uint64, table *ASTable) *Network {
 }
 
 // AddHost registers a host. Later registrations of the same address win.
-func (n *Network) AddHost(h *Host) { n.hosts[h.Addr] = h }
+// Adding a host invalidates a previous Seal.
+func (n *Network) AddHost(h *Host) {
+	n.hosts[h.Addr] = h
+	n.hostIdx = nil
+}
+
+// Seal freezes the world's lookup structures for probing: the host table
+// into a shard-aligned sorted index (binary search over packed 16-byte
+// keys instead of map hashing), and the alias-rule and BGP prefix tables
+// into flat sorted segment indexes (ip6.PrefixMap.Freeze). Responses are
+// bit-identical either way; sealing is purely a probe-throughput
+// optimization. Call it once world assembly is done (the world generator
+// does); AddHost drops the host seal and any table mutation drops its
+// own frozen index, so a resumed build simply falls back to the map
+// paths until resealed. Seal must not race with concurrent probes.
+func (n *Network) Seal() {
+	n.hostIdx = buildHostIndex(n.hosts)
+	n.aliases.Freeze()
+	if n.AS != nil {
+		n.AS.Freeze()
+	}
+}
+
+// Sealed reports whether the frozen host index is live.
+func (n *Network) Sealed() bool { return n.hostIdx != nil }
+
+// lookupHost resolves the host registered at a, through the sealed index
+// when one is live. shard must be ip6.ShardOf(a).
+func (n *Network) lookupHost(shard int, a ip6.Addr) *Host {
+	if idx := n.hostIdx; idx != nil {
+		return idx.lookup(shard, a)
+	}
+	return n.hosts[a]
+}
 
 // AddAlias registers an aliased (fully responsive) prefix rule.
 func (n *Network) AddAlias(r *AliasRule) { n.aliases.Insert(r.Prefix, r) }
@@ -145,12 +200,19 @@ func (n *Network) WalkHosts(fn func(*Host) bool) {
 }
 
 // AliasRules returns all registered alias rules (ground truth, for
-// scoring detection quality in tests and for the world generator).
+// scoring detection quality in tests and for the world generator),
+// ordered by prefix. The stable order matters: consumers draw random
+// indexes into the list (the world generator's DET source, the ablation
+// harness), and the old map-order walk made those draws — and therefore
+// several evaluation artifacts — differ from run to run.
 func (n *Network) AliasRules() []*AliasRule {
 	out := make([]*AliasRule, 0, n.aliases.Len())
 	n.aliases.Walk(func(_ ip6.Prefix, r *AliasRule) bool {
 		out = append(out, r)
 		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return ip6.ComparePrefix(out[i].Prefix, out[j].Prefix) < 0
 	})
 	return out
 }
@@ -165,11 +227,14 @@ func (n *Network) AliasRuleFor(addr ip6.Addr, day int) (*AliasRule, bool) {
 }
 
 // ProbeCount returns how many probes the network has served — the load
-// measure ethics sections care about.
+// measure ethics sections care about. It aggregates the per-shard counter
+// stripes on read.
 func (n *Network) ProbeCount() uint64 {
-	n.probemu.Lock()
-	defer n.probemu.Unlock()
-	return n.probes
+	var total uint64
+	for i := range n.probes {
+		total += n.probes[i].n.Load()
+	}
+	return total
 }
 
 // ResetPMTU clears all poisoned PMTU caches (between TBT runs).
@@ -200,7 +265,7 @@ func (n *Network) TrueResponds(target ip6.Addr, p Protocol, day int) bool {
 	if r, ok := n.AliasRuleFor(target, day); ok && r.Protos.Has(p) {
 		return true
 	}
-	if h, ok := n.hosts[target]; ok && h.RespondsTo(p, day) {
+	if h := n.lookupHost(ip6.ShardOf(target), target); h != nil && h.RespondsTo(p, day) {
 		return true
 	}
 	if p == UDP53 && n.GFW != nil && n.GFW.ActiveAt(day) {
@@ -211,32 +276,61 @@ func (n *Network) TrueResponds(target ip6.Addr, p Protocol, day int) bool {
 	return false
 }
 
+// resolution is the outcome of the single per-probe target lookup: the
+// active alias rule covering the target (if any) and the registered host
+// at the exact address (if any). Every probe handler reads from it, so
+// the alias radix walk and the host lookup happen exactly once per probe
+// instead of once per handler-internal check.
+type resolution struct {
+	rule *AliasRule
+	host *Host
+}
+
+// responds mirrors the pre-resolution respondsToProto check.
+func (r resolution) responds(proto Protocol, day int) bool {
+	if r.rule != nil && r.rule.Protos.Has(proto) {
+		return true
+	}
+	return r.host != nil && r.host.RespondsTo(proto, day)
+}
+
+// resolve performs the one alias + host lookup of a probe. shard must be
+// ip6.ShardOf(target).
+func (n *Network) resolve(target ip6.Addr, shard, day int) resolution {
+	var res resolution
+	if _, r, ok := n.aliases.Lookup(target); ok && r.activeAt(day) {
+		res.rule = r
+	}
+	res.host = n.lookupHost(shard, target)
+	return res
+}
+
 // Probe sends one probe into the world and returns the response.
 // It is safe for concurrent use.
 func (n *Network) Probe(p Probe) Response {
-	n.probemu.Lock()
-	n.probes++
-	n.probemu.Unlock()
+	shard := ip6.ShardOf(p.Target)
+	n.probes[shard].n.Add(1)
 
+	res := n.resolve(p.Target, shard, p.Day)
 	switch p.Kind {
 	case EchoRequest:
-		return n.probeEcho(p)
+		return n.probeEcho(p, res)
 	case TCPSYN:
-		return n.probeTCP(p)
+		return n.probeTCP(p, res)
 	case DNSQuery:
-		return n.probeDNS(p)
+		return n.probeDNS(p, res)
 	case QUICInitial:
-		return n.probeQUIC(p)
+		return n.probeQUIC(p, res)
 	case PacketTooBig:
-		return n.probePTB(p)
+		return n.probePTB(p, res)
 	}
 	return Response{}
 }
 
 // effectiveMTU returns the responder's current PMTU towards us and the
 // cache key, honoring poisoned caches.
-func (n *Network) effectiveMTU(target ip6.Addr, day int) (uint16, pmtuKey, bool) {
-	if r, ok := n.AliasRuleFor(target, day); ok {
+func (n *Network) effectiveMTU(target ip6.Addr, day int, res resolution) (uint16, pmtuKey, bool) {
+	if r := res.rule; r != nil {
 		key := pmtuKey{prefix: r.Prefix, backend: r.BackendOf(target)}
 		if mtu, ok := n.pmtu.get(key, day); ok {
 			return mtu, key, true
@@ -247,7 +341,7 @@ func (n *Network) effectiveMTU(target ip6.Addr, day int) (uint16, pmtuKey, bool)
 		}
 		return mtu, key, true
 	}
-	if h, ok := n.hosts[target]; ok {
+	if h := res.host; h != nil {
 		key := pmtuKey{host: target}
 		if mtu, ok := n.pmtu.get(key, day); ok {
 			return mtu, key, true
@@ -261,31 +355,31 @@ func (n *Network) effectiveMTU(target ip6.Addr, day int) (uint16, pmtuKey, bool)
 	return 0, pmtuKey{}, false
 }
 
-func (n *Network) probeEcho(p Probe) Response {
-	if !n.respondsToProto(p.Target, ICMP, p.Day) {
+func (n *Network) probeEcho(p Probe, res resolution) Response {
+	if !res.responds(ICMP, p.Day) {
 		return Response{}
 	}
-	mtu, _, _ := n.effectiveMTU(p.Target, p.Day)
+	mtu, _, _ := n.effectiveMTU(p.Target, p.Day, res)
 	frag := p.Size > 0 && p.Size+48 > int(mtu) // 40 B IPv6 + 8 B ICMPv6 headers
 	return Response{Kind: RespEchoReply, Fragmented: frag}
 }
 
-func (n *Network) probePTB(p Probe) Response {
+func (n *Network) probePTB(p Probe, res resolution) Response {
 	// Packet Too Big poisons the responder's PMTU cache; no reply.
-	if !n.respondsToProto(p.Target, ICMP, p.Day) {
+	if !res.responds(ICMP, p.Day) {
 		return Response{}
 	}
 	mtu := p.MTU
 	if mtu < 1280 {
 		mtu = 1280
 	}
-	if _, key, ok := n.effectiveMTU(p.Target, p.Day); ok {
+	if _, key, ok := n.effectiveMTU(p.Target, p.Day, res); ok {
 		n.pmtu.set(key, mtu, p.Day)
 	}
 	return Response{}
 }
 
-func (n *Network) probeTCP(p Probe) Response {
+func (n *Network) probeTCP(p Probe, res resolution) Response {
 	var proto Protocol
 	switch p.Port {
 	case 80:
@@ -295,10 +389,10 @@ func (n *Network) probeTCP(p Probe) Response {
 	default:
 		return Response{}
 	}
-	if r, ok := n.AliasRuleFor(p.Target, p.Day); ok && r.Protos.Has(proto) {
+	if r := res.rule; r != nil && r.Protos.Has(proto) {
 		return Response{Kind: RespSynAck, FP: r.FingerprintFor(p.Target)}
 	}
-	if h, ok := n.hosts[p.Target]; ok {
+	if h := res.host; h != nil {
 		if h.RespondsTo(proto, p.Day) {
 			return Response{Kind: RespSynAck, FP: h.FP}
 		}
@@ -310,34 +404,37 @@ func (n *Network) probeTCP(p Probe) Response {
 	return Response{}
 }
 
-func (n *Network) probeQUIC(p Probe) Response {
-	if n.respondsToProto(p.Target, UDP443, p.Day) {
+func (n *Network) probeQUIC(p Probe, res resolution) Response {
+	if res.responds(UDP443, p.Day) {
 		return Response{Kind: RespQUIC}
 	}
 	return Response{}
 }
 
-func (n *Network) respondsToProto(target ip6.Addr, proto Protocol, day int) bool {
-	if r, ok := n.AliasRuleFor(target, day); ok && r.Protos.Has(proto) {
-		return true
+func (n *Network) probeDNS(p Probe, res resolution) Response {
+	query := p.Query
+	txid := p.TxID
+	if query == nil {
+		// Compatibility path for hand-built probes carrying only wire
+		// bytes: decode once, take the transaction ID from the wire.
+		q, err := dnswire.Decode(p.Payload)
+		if err != nil {
+			return Response{}
+		}
+		query = q
+		txid = q.Header.ID
 	}
-	h, ok := n.hosts[target]
-	return ok && h.RespondsTo(proto, day)
-}
-
-func (n *Network) probeDNS(p Probe) Response {
-	query, err := dnswire.Decode(p.Payload)
-	if err != nil || len(query.Questions) == 0 {
+	if len(query.Questions) == 0 {
 		return Response{}
 	}
 	var resp Response
 
 	// GFW injection happens on the path, before and regardless of the
 	// target itself.
-	targetAS := n.AS.Lookup(p.Target)
 	if n.GFW != nil {
-		if injected := n.GFW.Inject(p.Target, targetAS, query, p.Day); len(injected) > 0 {
-			resp.DNS = append(resp.DNS, injected...)
+		targetAS := n.AS.Lookup(p.Target)
+		if injected := n.GFW.Inject(p.Target, targetAS, query, txid, p.Day); len(injected) > 0 {
+			resp.DNS = injected
 			resp.InjectedCount = len(injected)
 			resp.Kind = RespDNS
 		}
@@ -345,22 +442,19 @@ func (n *Network) probeDNS(p Probe) Response {
 
 	// The target's own answer, if it serves DNS.
 	behavior := DNSNone
-	var answerer ip6.Addr
-	if r, ok := n.AliasRuleFor(p.Target, p.Day); ok && r.Protos.Has(UDP53) {
+	if r := res.rule; r != nil && r.Protos.Has(UDP53) {
 		behavior = r.DNS
 		if behavior == DNSNone {
 			behavior = DNSRefusing
 		}
-		answerer = p.Target
-	} else if h, ok := n.hosts[p.Target]; ok && h.RespondsTo(UDP53, p.Day) {
+	} else if h := res.host; h != nil && h.RespondsTo(UDP53, p.Day) {
 		behavior = h.DNS
 		if behavior == DNSNone {
 			behavior = DNSRefusing
 		}
-		answerer = p.Target
 	}
 	if behavior != DNSNone {
-		if wire := n.answerDNS(answerer, behavior, query, p.Day); wire != nil {
+		if wire := n.answerDNS(p.Target, behavior, query, txid, p.Day); wire != nil {
 			resp.DNS = append(resp.DNS, wire)
 			resp.Kind = RespDNS
 		}
@@ -376,61 +470,95 @@ func syntheticAAAA(qname string) ip6.Addr {
 	return ip6.AddrFromUint64s(0x2a0e_b107_0000_0000|h>>40, h)
 }
 
-func (n *Network) answerDNS(src ip6.Addr, behavior DNSBehavior, query *dnswire.Message, day int) []byte {
+func (n *Network) answerDNS(src ip6.Addr, behavior DNSBehavior, query *dnswire.Message, txid uint16, day int) []byte {
 	q := query.Questions[0]
-	reply := query.Reply()
+	// replyHeader is the header every branch shares; AppendReply takes it
+	// directly for the single-allocation fast paths, the slow branches
+	// copy it into a full Message.
+	hdr := dnswire.Header{
+		ID:               txid,
+		Response:         true,
+		RecursionDesired: query.Header.RecursionDesired,
+	}
 	inOurZone := n.OurZone != "" && nameInZone(q.Name, n.OurZone)
 	switch behavior {
 	case DNSRefusing:
-		reply.Header.RCode = dnswire.RCodeRefused
-	case DNSOpenResolver:
-		reply.Header.RecursionAvailable = true
-		if q.Type == dnswire.TypeAAAA {
-			reply.Answers = append(reply.Answers, dnswire.RR{
-				Name: q.Name, Type: dnswire.TypeAAAA, TTL: 300, AAAA: syntheticAAAA(q.Name),
-			})
-		}
+		hdr.RCode = dnswire.RCodeRefused
+		return n.replyWire(query, hdr, 0, 0, nil)
+	case DNSOpenResolver, DNSProxy:
+		hdr.RecursionAvailable = true
 		if inOurZone {
-			// Recursion reaches our authoritative server from the
-			// resolver's own address.
-			n.recordNSQuery(src, dnswire.NormalizeName(q.Name))
+			logged := src
+			if behavior == DNSProxy {
+				// The recursion exits through a different interface: the
+				// query source at our name server does not match the
+				// probed target.
+				logged[15] ^= 0x5a
+				logged[14] ^= 0x01
+			}
+			n.recordNSQuery(logged, dnswire.NormalizeName(q.Name))
 		}
-	case DNSProxy:
-		reply.Header.RecursionAvailable = true
 		if q.Type == dnswire.TypeAAAA {
-			reply.Answers = append(reply.Answers, dnswire.RR{
-				Name: q.Name, Type: dnswire.TypeAAAA, TTL: 300, AAAA: syntheticAAAA(q.Name),
-			})
+			aaaa := syntheticAAAA(q.Name)
+			return n.replyWire(query, hdr, dnswire.TypeAAAA, 300, aaaa[:])
 		}
-		if inOurZone {
-			// The recursion exits through a different interface: the
-			// query source at our name server does not match the probed
-			// target.
-			egress := src
-			egress[15] ^= 0x5a
-			egress[14] ^= 0x01
-			n.recordNSQuery(egress, dnswire.NormalizeName(q.Name))
-		}
+		return n.replyWire(query, hdr, 0, 0, nil)
 	case DNSReferral:
-		// Upward referral to the root zone.
-		reply.Header.RCode = dnswire.RCodeNoError
+		// Upward referral to the root zone; multi-record authority
+		// sections go through the generic encoder.
+		reply := &dnswire.Message{Header: hdr, Questions: query.Questions}
 		reply.Authority = append(reply.Authority,
 			dnswire.RR{Name: "", Type: dnswire.TypeNS, TTL: 518400, Target: "a.root-servers.net"},
 			dnswire.RR{Name: "", Type: dnswire.TypeNS, TTL: 518400, Target: "b.root-servers.net"},
 		)
+		return encodeReply(reply)
 	case DNSBroken:
 		// Incorrect status codes or referrals to localhost.
 		if rng.Mix(src.Hi(), src.Lo(), uint64(day), 0xb40c)%2 == 0 {
-			reply.Header.RCode = dnswire.RCodeNotImp
-		} else {
-			reply.Answers = append(reply.Answers, dnswire.RR{
-				Name: q.Name, Type: dnswire.TypeCNAME, TTL: 0, Target: "localhost",
-			})
+			hdr.RCode = dnswire.RCodeNotImp
+			return n.replyWire(query, hdr, 0, 0, nil)
 		}
-	default:
-		return nil
+		reply := &dnswire.Message{Header: hdr, Questions: query.Questions}
+		reply.Answers = append(reply.Answers, dnswire.RR{
+			Name: q.Name, Type: dnswire.TypeCNAME, TTL: 0, Target: "localhost",
+		})
+		return encodeReply(reply)
 	}
-	wire, err := reply.Encode()
+	return nil
+}
+
+// replyWire encodes a reply to query: header hdr, the question section
+// echoed, and (when ansType != 0) one address answer named after the
+// first question. Single-question queries — every query the scanner
+// sends — take the one-allocation dnswire.AppendReply fast path;
+// anything else falls back to the generic encoder, whose output the fast
+// path matches byte for byte. Invalid names panic as the old Encode path
+// did (they were parsed off the wire, so failure is a programming error).
+func (n *Network) replyWire(query *dnswire.Message, hdr dnswire.Header, ansType dnswire.Type, ttl uint32, rdata []byte) []byte {
+	if len(query.Questions) == 1 {
+		wire, err := dnswire.AppendReply(nil, hdr, query.Questions[0], ansType, ttl, rdata)
+		if err != nil {
+			panic("netmodel: encoding DNS answer: " + err.Error())
+		}
+		return wire
+	}
+	reply := &dnswire.Message{Header: hdr, Questions: query.Questions}
+	if ansType != 0 {
+		rr := dnswire.RR{Name: query.Questions[0].Name, Type: ansType, TTL: ttl}
+		switch ansType {
+		case dnswire.TypeA:
+			copy(rr.A[:], rdata)
+		case dnswire.TypeAAAA:
+			copy(rr.AAAA[:], rdata)
+		}
+		reply.Answers = append(reply.Answers, rr)
+	}
+	return encodeReply(reply)
+}
+
+// encodeReply is the generic-path encoder with the same panic contract.
+func encodeReply(m *dnswire.Message) []byte {
+	wire, err := m.Encode()
 	if err != nil {
 		panic("netmodel: encoding DNS answer: " + err.Error())
 	}

@@ -90,7 +90,7 @@ func (n *Network) Traceroute(target ip6.Addr, day, maxHops int) []Hop {
 	}
 
 	// The target itself, when it answers ICMP (alias rules included).
-	if ttl <= maxHops && n.respondsToProto(target, ICMP, day) {
+	if ttl <= maxHops && n.resolve(target, ip6.ShardOf(target), day).responds(ICMP, day) {
 		hops = append(hops, Hop{TTL: ttl, Addr: target, Responded: true})
 	}
 

@@ -1,0 +1,111 @@
+package netmodel
+
+import (
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/rng"
+)
+
+// probeSample builds a deterministic mix of probe targets: registered
+// hosts, aliased addresses, dark addresses inside announced space, and
+// unrouted space.
+func probeSample(net *Network) []ip6.Addr {
+	targets := []ip6.Addr{
+		ip6.MustParseAddr("2001:4d00::80"),   // web host
+		ip6.MustParseAddr("2001:4d00::53"),   // DNS host
+		ip6.MustParseAddr("2001:4d00::f1"),   // flaky host
+		ip6.MustParseAddr("2001:4d00::dead"), // dark, routed
+		ip6.MustParseAddr("3fff::1"),         // unrouted
+		ip6.MustParseAddr("240e::1234"),      // GFW space, no host
+	}
+	r := rng.NewStream(7, "seal-test")
+	for _, pfx := range []string{"2600:9000:1::/48", "2602:1111:0:1::/64", "240e::/20", "2001:4d00::/32"} {
+		p := ip6.MustParsePrefix(pfx)
+		for i := 0; i < 16; i++ {
+			targets = append(targets, p.RandomAddr(r))
+		}
+	}
+	return targets
+}
+
+// TestSealedProbesMatchMapPath pins the frozen host index (and the frozen
+// alias/AS prefix indexes Seal builds alongside it) to the map path: every
+// probe must produce a byte-identical response sealed or unsealed.
+func TestSealedProbesMatchMapPath(t *testing.T) {
+	run := func(net *Network) []Response {
+		var out []Response
+		for _, target := range probeSample(net) {
+			for _, day := range []int{0, 10, 150, 350} {
+				out = append(out,
+					net.Probe(Probe{Kind: EchoRequest, Target: target, Day: day, Size: 64}),
+					net.Probe(Probe{Kind: TCPSYN, Target: target, Day: day, Port: 80}),
+					net.Probe(Probe{Kind: TCPSYN, Target: target, Day: day, Port: 443}),
+					net.Probe(Probe{Kind: QUICInitial, Target: target, Day: day, Port: 443}),
+					net.Probe(dnsProbe(t, target, day, "www.google.com")),
+					net.Probe(dnsProbe(t, target, day, "abc.hitlist-exp.example")),
+				)
+			}
+		}
+		return out
+	}
+
+	unsealed := run(testWorld(t))
+	sealedNet := testWorld(t)
+	sealedNet.Seal()
+	if !sealedNet.Sealed() {
+		t.Fatal("Seal did not take")
+	}
+	sealed := run(sealedNet)
+
+	if len(unsealed) != len(sealed) {
+		t.Fatalf("response counts differ: %d vs %d", len(unsealed), len(sealed))
+	}
+	for i := range unsealed {
+		a, b := unsealed[i], sealed[i]
+		if a.Kind != b.Kind || a.Fragmented != b.Fragmented || a.FP != b.FP ||
+			a.InjectedCount != b.InjectedCount || len(a.DNS) != len(b.DNS) {
+			t.Fatalf("probe %d: responses diverge: %+v vs %+v", i, a, b)
+		}
+		for j := range a.DNS {
+			if string(a.DNS[j]) != string(b.DNS[j]) {
+				t.Fatalf("probe %d message %d: wire bytes diverge\n%x\n%x", i, j, a.DNS[j], b.DNS[j])
+			}
+		}
+	}
+}
+
+// TestSealInvalidatedByAddHost: hosts registered after a Seal must be
+// visible (the seal drops back to the map path).
+func TestSealInvalidatedByAddHost(t *testing.T) {
+	net := testWorld(t)
+	net.Seal()
+	late := ip6.MustParseAddr("2001:4d00::1a7e")
+	net.AddHost(&Host{Addr: late, Protos: ProtoSetOf(ICMP), BornDay: 0, DeathDay: Forever,
+		UptimePermille: 1000, MTU: 1500})
+	if net.Sealed() {
+		t.Fatal("AddHost did not drop the seal")
+	}
+	if r := net.Probe(Probe{Kind: EchoRequest, Target: late, Day: 5, Size: 8}); r.Kind != RespEchoReply {
+		t.Fatalf("late host invisible after seal invalidation: %+v", r)
+	}
+	// Resealing indexes the new host too.
+	net.Seal()
+	if r := net.Probe(Probe{Kind: EchoRequest, Target: late, Day: 5, Size: 8}); r.Kind != RespEchoReply {
+		t.Fatalf("late host invisible after reseal: %+v", r)
+	}
+}
+
+// TestStripedProbeCounter: the striped counter must aggregate exactly.
+func TestStripedProbeCounter(t *testing.T) {
+	net := testWorld(t)
+	r := rng.NewStream(3, "counter-test")
+	p := ip6.MustParsePrefix("2001:4d00::/32")
+	const n = 500
+	for i := 0; i < n; i++ {
+		net.Probe(Probe{Kind: EchoRequest, Target: p.RandomAddr(r), Day: 1, Size: 8})
+	}
+	if got := net.ProbeCount(); got != n {
+		t.Fatalf("ProbeCount = %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,107 @@
+package scan
+
+import (
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+// The alloc guards pin the probe hot path: a ProbeOne against the sealed
+// world must not allocate at all for ICMP/TCP/QUIC (response structs are
+// values, lookups are binary searches, counters are striped atomics), and
+// stays within a small constant for UDP/53, where responses necessarily
+// carry freshly encoded wire bytes. CI runs these with the ordinary test
+// job, so a regression on the innermost loop fails the build instead of
+// only drifting the benchmarks.
+
+// allocScanner builds a sealed test world and a loss-free scanner.
+func allocScanner(t testing.TB) *Scanner {
+	t.Helper()
+	n := testNet(t)
+	n.Seal()
+	cfg := DefaultConfig(1)
+	cfg.LossRate = 0
+	return New(n, cfg)
+}
+
+func probeAllocs(t *testing.T, s *Scanner, target ip6.Addr, proto netmodel.Protocol) float64 {
+	t.Helper()
+	var sink Result
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = s.ProbeOne(target, proto, 5)
+	})
+	_ = sink
+	return allocs
+}
+
+func TestProbeOneAllocFree(t *testing.T) {
+	s := allocScanner(t)
+	web := ip6.MustParseAddr("2001:100::80")      // ICMP+TCP+QUIC responder
+	aliased := ip6.MustParseAddr("2001:100:a::b") // aliased /64
+	dark := ip6.MustParseAddr("2001:100::dead")   // routed, silent
+
+	for _, tc := range []struct {
+		name   string
+		target ip6.Addr
+		proto  netmodel.Protocol
+	}{
+		{"icmp-responder", web, netmodel.ICMP},
+		{"icmp-aliased", aliased, netmodel.ICMP},
+		{"icmp-dark", dark, netmodel.ICMP},
+		{"tcp443-responder", web, netmodel.TCP443},
+		{"tcp80-aliased", aliased, netmodel.TCP80},
+		{"tcp80-dark", dark, netmodel.TCP80},
+		{"quic-responder", web, netmodel.UDP443},
+		{"quic-dark", dark, netmodel.UDP443},
+		{"dns-silent", dark, netmodel.UDP53},
+	} {
+		if got := probeAllocs(t, s, tc.target, tc.proto); got != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, got)
+		}
+	}
+}
+
+func TestProbeOneDNSAllocBounded(t *testing.T) {
+	s := allocScanner(t)
+	// A refusing DNS responder: the reply wire plus the response slice.
+	if got := probeAllocs(t, s, ip6.MustParseAddr("2001:100::53"), netmodel.UDP53); got > 3 {
+		t.Errorf("dns-responder: %v allocs/op, want <= 3", got)
+	}
+	// A GFW-injected ghost: two or three forged wires plus the slice.
+	if got := probeAllocs(t, s, ip6.MustParseAddr("240e::1234"), netmodel.UDP53); got > 5 {
+		t.Errorf("dns-injected: %v allocs/op, want <= 5", got)
+	}
+}
+
+// TestProbeOneSealedEquivalence cross-checks the guard's world: sealed
+// and unsealed scanners must produce identical results for every probe
+// the guards time.
+func TestProbeOneSealedEquivalence(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.LossRate = 0
+	plain := New(testNet(t), cfg)
+	sealed := allocScanner(t)
+	targets := []ip6.Addr{
+		ip6.MustParseAddr("2001:100::80"),
+		ip6.MustParseAddr("2001:100::53"),
+		ip6.MustParseAddr("2001:100:a::b"),
+		ip6.MustParseAddr("2001:100::dead"),
+		ip6.MustParseAddr("240e::1234"),
+	}
+	for _, target := range targets {
+		for _, proto := range allProtos() {
+			a := plain.ProbeOne(target, proto, 5)
+			b := sealed.ProbeOne(target, proto, 5)
+			if a.Success != b.Success || a.Kind != b.Kind || a.FP != b.FP ||
+				a.Attempts != b.Attempts || len(a.DNS) != len(b.DNS) {
+				t.Fatalf("%v/%v: sealed result diverges: %+v vs %+v", target, proto, a, b)
+			}
+			for i := range a.DNS {
+				if string(a.DNS[i]) != string(b.DNS[i]) {
+					t.Fatalf("%v/%v: DNS wire %d diverges", target, proto, i)
+				}
+			}
+		}
+	}
+}

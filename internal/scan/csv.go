@@ -49,17 +49,23 @@ type AnswerSummary struct {
 // across messages, which is how multi-injector responses become visible in
 // a single row.
 func SummarizeDNS(msgs [][]byte) (string, []AnswerSummary) {
+	var scratch dnswire.Message
+	return summarizeDNS(msgs, &scratch, nil)
+}
+
+// summarizeDNS is SummarizeDNS decoding into a caller-held scratch message
+// and appending to a caller-held answer buffer — the reusable form the CSV
+// writer runs per row.
+func summarizeDNS(msgs [][]byte, scratch *dnswire.Message, out []AnswerSummary) (string, []AnswerSummary) {
 	var rcode string
-	var out []AnswerSummary
 	for i, wire := range msgs {
-		m, err := dnswire.Decode(wire)
-		if err != nil {
+		if err := dnswire.DecodeInto(wire, scratch); err != nil {
 			continue
 		}
 		if i == 0 {
-			rcode = m.Header.RCode.String()
+			rcode = scratch.Header.RCode.String()
 		}
-		for _, a := range m.Answers {
+		for _, a := range scratch.Answers {
 			var v string
 			switch a.Type {
 			case dnswire.TypeA:
@@ -81,6 +87,13 @@ func SummarizeDNS(msgs [][]byte) (string, []AnswerSummary) {
 type Writer struct {
 	w  *csv.Writer
 	bw *bufio.Writer
+
+	// Per-row scratch, reused across Write calls (a Writer is not safe
+	// for concurrent use anyway: rows interleave).
+	scratch dnswire.Message
+	answers []AnswerSummary
+	parts   []string
+	row     [8]string
 }
 
 // NewWriter creates a CSV writer and emits the header.
@@ -93,17 +106,21 @@ func NewWriter(out io.Writer) (*Writer, error) {
 	return &Writer{w: w, bw: bw}, nil
 }
 
-// Write emits one result row.
+// Write emits one result row. The Writer's scratch buffers are reused
+// across rows, so Write is not safe for concurrent use (it never was:
+// rows would interleave).
 func (w *Writer) Write(r Result) error {
-	rcode, answers := "", []AnswerSummary(nil)
+	rcode, answers := "", w.answers[:0]
 	if r.Proto == netmodel.UDP53 && len(r.DNS) > 0 {
-		rcode, answers = SummarizeDNS(r.DNS)
+		rcode, answers = summarizeDNS(r.DNS, &w.scratch, answers)
 	}
-	parts := make([]string, 0, len(answers))
+	w.answers = answers[:0]
+	parts := w.parts[:0]
 	for _, a := range answers {
 		parts = append(parts, a.Type.String()+":"+a.Value)
 	}
-	row := []string{
+	w.parts = parts[:0]
+	w.row = [8]string{
 		r.Target.String(),
 		r.Proto.String(),
 		strconv.Itoa(r.Day),
@@ -113,7 +130,7 @@ func (w *Writer) Write(r Result) error {
 		rcode,
 		strings.Join(parts, ";"),
 	}
-	if err := w.w.Write(row); err != nil {
+	if err := w.w.Write(w.row[:]); err != nil {
 		return fmt.Errorf("scan: writing CSV row: %w", err)
 	}
 	return nil

@@ -136,6 +136,16 @@ type Scanner struct {
 	net *netmodel.Network
 	cfg Config
 
+	// dnsQuery/dnsWire are the precomputed DNS probe template for the
+	// fixed-QName configuration: the query is encoded and parsed once at
+	// construction, and every UDP/53 probe carries the shared parsed
+	// message plus its per-probe transaction ID (netmodel.Probe.Query /
+	// TxID) instead of paying a NewQuery+Encode+Decode round trip. Both
+	// are read-only after New. With QNameFor set (per-target qnames) the
+	// template is nil and probes build their query per call.
+	dnsQuery *dnswire.Message
+	dnsWire  []byte
+
 	// bufPool recycles batch result buffers across Stream calls; sinks
 	// must not retain batches, which is what makes this reuse sound.
 	bufPool sync.Pool
@@ -157,7 +167,21 @@ func New(net *netmodel.Network, cfg Config) *Scanner {
 	if cfg.RatePPS <= 0 {
 		cfg.RatePPS = 100_000
 	}
-	return &Scanner{net: net, cfg: cfg}
+	s := &Scanner{net: net, cfg: cfg}
+	if cfg.QNameFor == nil {
+		// An unencodable QName leaves the template nil; the per-probe
+		// path then reports it exactly as before (panic on first UDP/53
+		// probe), so template construction never changes behavior.
+		if wire, err := dnswire.NewQuery(0, cfg.QName, dnswire.TypeAAAA).Encode(); err == nil {
+			// Parse the template back from its own wire bytes so the
+			// shared message is exactly what netmodel used to decode per
+			// probe.
+			if q, err := dnswire.Decode(wire); err == nil {
+				s.dnsQuery, s.dnsWire = q, wire
+			}
+		}
+	}
+	return s
 }
 
 // Config returns the scanner's configuration.
@@ -255,17 +279,27 @@ func (s *Scanner) buildProbe(target ip6.Addr, proto netmodel.Protocol, day int) 
 	case netmodel.UDP443:
 		return netmodel.Probe{Kind: netmodel.QUICInitial, Target: target, Day: day, Port: 443}
 	case netmodel.UDP53:
+		txid := uint16(rng.Mix(s.cfg.Seed, target.Hi(), target.Lo(), uint64(day)))
+		if s.dnsQuery != nil {
+			// Template fast path: the shared parsed query plus the
+			// per-probe transaction ID. Payload carries the template wire
+			// bytes (transaction ID zero) for generic consumers; the
+			// network reads Query/TxID and never re-parses them.
+			return netmodel.Probe{
+				Kind: netmodel.DNSQuery, Target: target, Day: day,
+				Payload: s.dnsWire, Query: s.dnsQuery, TxID: txid,
+			}
+		}
 		qname := s.cfg.QName
 		if s.cfg.QNameFor != nil {
 			qname = s.cfg.QNameFor(target)
 		}
-		txid := uint16(rng.Mix(s.cfg.Seed, target.Hi(), target.Lo(), uint64(day)))
 		q := dnswire.NewQuery(txid, qname, dnswire.TypeAAAA)
 		wire, err := q.Encode()
 		if err != nil {
 			panic(fmt.Sprintf("scan: building DNS query for %q: %v", qname, err))
 		}
-		return netmodel.Probe{Kind: netmodel.DNSQuery, Target: target, Day: day, Payload: wire}
+		return netmodel.Probe{Kind: netmodel.DNSQuery, Target: target, Day: day, Payload: wire, Query: q, TxID: txid}
 	}
 	panic(fmt.Sprintf("scan: unknown protocol %v", proto))
 }

@@ -219,6 +219,9 @@ func Generate(p Params) (*World, error) {
 	w.buildSchedule(p)
 	w.buildBlocklist(p)
 	w.buildNewSources(p)
+	// World assembly is done: freeze the host table into the
+	// shard-aligned sorted index so per-probe lookups skip map hashing.
+	w.Net.Seal()
 	return w, nil
 }
 
