@@ -25,6 +25,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -118,6 +119,10 @@ func main() {
 	fmt.Fprintf(w, "%-34s %26s %26s %26s\n", "benchmark", "ns/op (base→cur Δ)", "B/op (base→cur Δ)", "allocs/op (base→cur Δ)")
 	failed := false
 	var added []string
+	// Geomean of the per-benchmark ns/op ratios: the one-line trajectory
+	// summary (negative = faster overall) printed under the table.
+	var logSum float64
+	logN := 0
 	for _, name := range order {
 		c := cur[name]
 		b, ok := base[name]
@@ -132,6 +137,10 @@ func main() {
 				return "-"
 			}
 			return fmt.Sprintf("%.3g→%.3g %s", bv, cv, delta(bv, cv))
+		}
+		if b.hasNS && c.hasNS && b.ns > 0 && c.ns > 0 {
+			logSum += math.Log(c.ns / b.ns)
+			logN++
 		}
 		mark := ""
 		if *threshold >= 0 && b.hasNS && c.hasNS && b.ns > 0 &&
@@ -153,6 +162,10 @@ func main() {
 	sort.Strings(gone)
 	for _, name := range gone {
 		fmt.Fprintf(w, "%-34s %26s\n", strings.TrimPrefix(name, "Benchmark"), "(missing from current)")
+	}
+	if logN > 0 {
+		fmt.Fprintf(w, "geomean ns/op delta: %+.1f%% across %d benchmark(s)\n",
+			100*(math.Exp(logSum/float64(logN))-1), logN)
 	}
 	if len(added) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d benchmark(s) missing from the baseline (treated as additions, not failures): %s — refresh bench-baseline.txt\n",

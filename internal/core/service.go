@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"hitlist6/internal/apd"
+	"hitlist6/internal/fleet"
 	"hitlist6/internal/gfw"
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
@@ -71,6 +72,17 @@ type Config struct {
 	// package default). A throughput knob only; outputs do not depend on
 	// it.
 	ScanBatchSize int
+
+	// FleetWorkers, when > 1, runs the main scan as a fleet of that many
+	// scanner nodes (internal/fleet) instead of the single in-process
+	// scanner, seeding each scan's shard assignment with the previous
+	// scan's per-shard timing. Records, snapshots, and digests are
+	// bit-identical for any value — a deployment/wall-clock knob only.
+	FleetWorkers int
+
+	// FleetFaultHook injects worker failures into fleet-backed scans
+	// (tests and recovery drills). Ignored unless FleetWorkers > 1.
+	FleetFaultHook fleet.FaultHook
 
 	// TGAFeed, when set, closes the paper's Section 6 loop inside the
 	// pipeline: after each scan the feed streams candidate addresses
@@ -206,6 +218,11 @@ type Service struct {
 	detector *apd.Detector
 	feeds    []*sources.Feed
 	block    *ip6.PrefixSet
+
+	// fleet is non-nil when FleetWorkers > 1: the main scan runs across
+	// it instead of scanner (which still serves APD and TGA probing).
+	fleet     *fleet.Coordinator
+	lastFleet fleet.Result
 
 	scanIndex int
 
@@ -408,6 +425,9 @@ func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blockl
 	if blocklist == nil {
 		blocklist = ip6.NewPrefixSet()
 	}
+	// The blocklist is admission-read-only from here on; freeze it so
+	// every ingest-time Contains runs on the flat index.
+	blocklist.Freeze()
 	scfg := scan.DefaultConfig(cfg.Seed)
 	scfg.Workers = cfg.ScanWorkers
 	scfg.BatchSize = cfg.ScanBatchSize
@@ -446,6 +466,13 @@ func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blockl
 		s.everResp[i] = s.newCumulativeSet()
 	}
 	s.detector = apd.NewDetector(s.scanner, apd.DefaultConfig())
+	if cfg.FleetWorkers > 1 {
+		s.fleet = fleet.New(net, fleet.Config{
+			Workers:   cfg.FleetWorkers,
+			Scan:      scfg,
+			FaultHook: cfg.FleetFaultHook,
+		})
+	}
 	return s
 }
 
@@ -492,6 +519,10 @@ func (s *Service) Scanner() *scan.Scanner { return s.scanner }
 
 // AliasedPrefixes returns the current aliased prefix set.
 func (s *Service) AliasedPrefixes() *ip6.PrefixSet { return s.aliased }
+
+// LastFleet returns the most recent fleet-backed scan's per-worker
+// result (zero value when FleetWorkers <= 1 or before the first scan).
+func (s *Service) LastFleet() fleet.Result { return s.lastFleet }
 
 // Records returns all per-scan records so far.
 func (s *Service) Records() []*ScanRecord { return s.records }
@@ -598,6 +629,12 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 			return nil, err
 		}
 	}
+	// APD was the last mutation point for the aliased set this scan:
+	// re-freeze it (and the blocklist, a no-op unless a caller touched
+	// it) so the admission filters below and next scan's ingest run
+	// Contains on the flat index instead of the map path.
+	s.aliased.Freeze()
+	s.block.Freeze()
 	rec.AliasedPrefixes = s.aliased.Len()
 
 	// 4. 30-day filter: eviction runs as a per-shard sweep over the
@@ -614,11 +651,27 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	// first (ShardStats nanos, descending) so stragglers overlap the
 	// cheap tail instead of serializing after it. Purely a wall-clock
 	// knob — per-shard outputs are dispatch-order-invariant.
-	s.applyDispatchOrder()
 	digests := make([]*shardDigest, ip6.AddrShards)
-	stats, err := s.scanner.StreamFrom(ctx, scan.ShardSlices(s.scanShards), s.cfg.Protocols, day, s.digestSink(digests))
-	if err != nil {
-		return nil, fmt.Errorf("core: scanning: %w", err)
+	var stats scan.Stats
+	if s.fleet != nil {
+		// Fleet-backed scan: the previous scan's shard timing seeds the
+		// LPT assignment (the fleet's generalization of the dispatch
+		// order below), and the digest sink receives the same batches a
+		// single-process run would deliver.
+		s.fleet.SetShardProfile(s.lastShardStats)
+		fres, err := s.fleet.Scan(ctx, scan.ShardSlices(s.scanShards), s.cfg.Protocols, day, s.digestSink(digests))
+		if err != nil {
+			return nil, fmt.Errorf("core: scanning: %w", err)
+		}
+		s.lastFleet = fres
+		stats = fres.Stats
+	} else {
+		s.applyDispatchOrder()
+		var err error
+		stats, err = s.scanner.StreamFrom(ctx, scan.ShardSlices(s.scanShards), s.cfg.Protocols, day, s.digestSink(digests))
+		if err != nil {
+			return nil, fmt.Errorf("core: scanning: %w", err)
+		}
 	}
 	rec.ProbesSent += stats.ProbesSent
 	rec.ShardStats = stats.PerShard

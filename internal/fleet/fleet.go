@@ -1,0 +1,549 @@
+// Package fleet runs a scan as a coordinated fleet of scanner nodes —
+// the horizontally-split deployment shape of the hitlist methodology's
+// single-box ZMapv6 runs.
+//
+// A Coordinator partitions the 64 canonical shards across N worker
+// "nodes". Each node is goroutine-confined with process-like isolation:
+// it owns an independent scan.Scanner, pulls one shard at a time from
+// the shared ShardedSource, and shares no mutable scan state with its
+// peers — the only cross-node structures are the coordinator's
+// scheduling queues and the merged statistics, both mutex-guarded.
+// Because the engine's per-shard batch sequence depends only on the
+// shard's target sequence (never on which scanner probes it, see
+// internal/scan), and because a node delivers a shard's batches to the
+// consumer sink only after the whole shard completed, fleet output is
+// bit-identical to a single-process run for any node count: consumers
+// see the same batches, same-shard calls sequential and in Seq order,
+// exactly as the scan.Sink contract promises.
+//
+// Scheduling is LPT assignment plus work-stealing: shards are assigned
+// to nodes longest-processing-time-first using the previous scan's
+// per-shard wall-clock profile (SetShardProfile, generalizing the
+// engine's slowest-first adaptive dispatch), and a node that drains its
+// own queue steals the cheapest queued shard from the most loaded peer.
+// Scheduling moves shards between nodes, never inside them, so it can
+// reorder wall-clock completion but not one byte of output.
+//
+// Robustness: a node killed mid-scan (Config.FaultHook, standing in for
+// a crashed fleet member) discards its buffered partial shard — the
+// buffered-delivery design makes partial work state-neutral, mirroring
+// the engine's abort-atomicity — and the coordinator re-issues the
+// unfinished shard, plus everything still queued on the dead node, to
+// the survivors via fresh ShardSource cursors. Output stays
+// bit-identical as long as one node survives.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/scan"
+)
+
+// FaultPoint identifies one injection opportunity: Batch is -1 when the
+// worker picks the shard up, otherwise the shard-local batch Seq just
+// buffered.
+type FaultPoint struct {
+	Worker int
+	Shard  int
+	Batch  int
+}
+
+// FaultHook is the injectable failure knob: called at every FaultPoint,
+// a non-nil return kills that worker node on the spot (its in-progress
+// shard is discarded unfinished and re-issued to the survivors). It is
+// invoked concurrently from worker goroutines.
+type FaultHook func(FaultPoint) error
+
+// ErrWorkerKilled is a convenience error for FaultHooks; any non-nil
+// hook error has the same effect.
+var ErrWorkerKilled = errors.New("fleet: worker killed")
+
+// errKilled is the internal sentinel a dying node's sink returns to
+// abort its stream without failing the whole fleet.
+var errKilled = errors.New("fleet: node killed by fault hook")
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Workers is the node count; values < 1 mean 1.
+	Workers int
+
+	// Scan configures every node's scanner. SinkQueueDepth and Workers
+	// are overridden per node (each node probes its one shard inline).
+	Scan scan.Config
+
+	// FaultHook, when set, injects worker failures (tests, drills).
+	FaultHook FaultHook
+}
+
+// WorkerStats summarizes one node's share of a fleet scan.
+type WorkerStats struct {
+	// Shards is how many shards this node completed.
+	Shards int
+	// Steals counts shards taken from another node's queue.
+	Steals int
+	// Probes is the probe count across the node's completed shards.
+	Probes uint64
+	// Nanos is wall-clock probe time across the node's completed
+	// shards (nondeterministic, like scan.ShardStats.Nanos).
+	Nanos int64
+	// Failed reports the node was killed by the fault hook.
+	Failed bool
+}
+
+// Result is the outcome of one fleet scan.
+type Result struct {
+	// Stats is the merged scan statistics — identical to what a
+	// single-process StreamFrom over the same source returns, except for
+	// the nondeterministic ShardStats.Nanos.
+	Stats scan.Stats
+	// Workers holds per-node accounting, indexed by worker.
+	Workers []WorkerStats
+	// Reissued counts shards re-issued after a node death.
+	Reissued int
+}
+
+// Coordinator owns a fleet of scanner nodes. It is not safe for
+// concurrent Scan calls.
+type Coordinator struct {
+	cfg   Config
+	nodes []*scan.Scanner
+
+	profMu sync.Mutex
+	prof   []scan.ShardStats
+}
+
+// New builds a fleet coordinator over the given network: Config.Workers
+// independent scanner nodes sharing nothing but the world they probe.
+func New(net *netmodel.Network, cfg Config) *Coordinator {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	nodeCfg := cfg.Scan
+	// One node probes one shard at a time and buffers its own batches;
+	// intra-node parallelism and sink decoupling would only add idle
+	// goroutines.
+	nodeCfg.Workers = 1
+	nodeCfg.SinkQueueDepth = 0
+	c := &Coordinator{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		c.nodes = append(c.nodes, scan.New(net, nodeCfg))
+	}
+	return c
+}
+
+// SetShardProfile seeds the next Scan's LPT assignment with a previous
+// scan's per-shard wall-clock profile (scan.Stats.PerShard): expensive
+// shards are assigned first and spread across nodes, which is what
+// makes stealing rare instead of constant. Profiles of the wrong length
+// are ignored; nil clears. Purely a wall-clock knob — assignment never
+// affects outputs.
+func (c *Coordinator) SetShardProfile(prev []scan.ShardStats) {
+	c.profMu.Lock()
+	defer c.profMu.Unlock()
+	if prev == nil {
+		c.prof = nil
+		return
+	}
+	if len(prev) != ip6.AddrShards {
+		return
+	}
+	c.prof = append(c.prof[:0], prev...)
+}
+
+// shardResult is one completed shard's buffered output: batch copies in
+// Seq order plus the node stream's statistics.
+type shardResult struct {
+	batches []scan.Batch
+	stats   scan.Stats
+}
+
+// fleetRun is the state of one Scan call.
+type fleetRun struct {
+	c      *Coordinator
+	ctx    context.Context
+	cancel context.CancelFunc
+	protos []netmodel.Protocol
+	day    int
+	sink   scan.Sink
+
+	// srcMu serializes every ShardSource call: lazily-partitioned
+	// sources build their plans on first use and are not race-safe.
+	srcMu   sync.Mutex
+	src     scan.ShardedSource
+	pending [ip6.AddrShards]scan.TargetSource // planned first-use cursors
+	sizes   [ip6.AddrShards]int
+
+	// mu guards all scheduling and accounting state below. 64 shards
+	// make queue operations rare relative to probing, so one central
+	// lock never contends measurably.
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queues     [][]int // per-node shard deque, most expensive first
+	load       []int64 // per-node queued (not in-flight) estimated cost
+	cost       [ip6.AddrShards]int64
+	alive      []bool
+	aliveN     int
+	incomplete int // shards not yet completed
+	reissued   int
+	stopping   bool
+	err        error
+	wstats     []WorkerStats
+
+	probes, responses, successes, batches uint64
+	perShard                              [ip6.AddrShards]scan.ShardStats
+}
+
+// Scan probes every (target, protocol) pair of src across the fleet and
+// delivers results to sink under the scan.Sink contract (concurrent
+// across shards, sequential and Seq-ordered within a shard, batches not
+// retained). Batches for a shard are delivered only once the shard
+// completed on some node, so a killed node leaves no partial trace. If
+// src implements io.Closer it is closed when the scan ends, on every
+// path. The returned Result.Stats equals a single-process run's Stats
+// up to the nondeterministic per-shard Nanos.
+func (c *Coordinator) Scan(ctx context.Context, src scan.ShardedSource, protos []netmodel.Protocol, day int, sink scan.Sink) (Result, error) {
+	res := Result{Workers: make([]WorkerStats, len(c.nodes))}
+	if src != nil {
+		defer func() {
+			if cl, ok := src.(io.Closer); ok {
+				cl.Close()
+			}
+		}()
+	}
+	rate := c.nodes[0].Config().RatePPS
+	if src == nil || len(protos) == 0 {
+		res.Stats.PerShard = make([]scan.ShardStats, ip6.AddrShards)
+		return res, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &fleetRun{
+		c: c, ctx: runCtx, cancel: cancel,
+		protos: protos, day: day, sink: sink,
+		src:    src,
+		queues: make([][]int, len(c.nodes)),
+		load:   make([]int64, len(c.nodes)),
+		alive:  make([]bool, len(c.nodes)),
+		aliveN: len(c.nodes),
+		wstats: res.Workers,
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+
+	// Plan: one serial pass collects every shard's first-use cursor (so
+	// the no-failure path calls ShardSource exactly once per shard, like
+	// the engine) and its size when the source knows it.
+	sizer, _ := src.(scan.ShardSizer)
+	var shards []int
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		r.sizes[sh] = -1
+		if f := src.ShardSource(sh); f != nil {
+			r.pending[sh] = f
+			if sizer != nil {
+				r.sizes[sh] = sizer.ShardLen(sh)
+			}
+			shards = append(shards, sh)
+		}
+	}
+	r.incomplete = len(shards)
+	if r.incomplete == 0 {
+		res.Stats.PerShard = make([]scan.ShardStats, ip6.AddrShards)
+		return res, nil
+	}
+
+	// Estimate per-shard cost: previous-scan wall nanos when a profile
+	// is set and saw the shard, target count otherwise, 1 as the floor.
+	// Estimates only steer assignment; being wrong costs steals, not
+	// correctness.
+	c.profMu.Lock()
+	prof := r.c.prof
+	c.profMu.Unlock()
+	for _, sh := range shards {
+		cost := int64(1)
+		if prof != nil && prof[sh].Nanos > 0 {
+			cost = prof[sh].Nanos
+		} else if r.sizes[sh] > 0 {
+			cost = int64(r.sizes[sh])
+		}
+		r.cost[sh] = cost
+	}
+
+	// LPT assignment: most expensive shard first, each to the least
+	// loaded node (ties to the lowest index — deterministic, though
+	// nothing downstream depends on it).
+	sort.Slice(shards, func(i, j int) bool {
+		if r.cost[shards[i]] != r.cost[shards[j]] {
+			return r.cost[shards[i]] > r.cost[shards[j]]
+		}
+		return shards[i] < shards[j]
+	})
+	for _, sh := range shards {
+		best := 0
+		for w := 1; w < len(r.load); w++ {
+			if r.load[w] < r.load[best] {
+				best = w
+			}
+		}
+		r.queues[best] = append(r.queues[best], sh)
+		r.load[best] += r.cost[sh]
+	}
+
+	var wg sync.WaitGroup
+	for w := range c.nodes {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(w)
+		}(w)
+	}
+	wg.Wait()
+
+	res.Stats = scan.Stats{
+		ProbesSent: r.probes,
+		Responses:  r.responses,
+		Successes:  r.successes,
+		Batches:    r.batches,
+	}
+	res.Stats.EstimatedSeconds = float64(res.Stats.ProbesSent) / float64(rate)
+	res.Stats.PerShard = append([]scan.ShardStats(nil), r.perShard[:]...)
+	res.Reissued = r.reissued
+	if r.err != nil {
+		return res, r.err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// worker is one node's loop: pull a shard, scan it into a local buffer,
+// deliver atomically, repeat. It exits when every shard completed, the
+// fleet is stopping, or the fault hook kills it.
+func (r *fleetRun) worker(w int) {
+	hook := r.c.cfg.FaultHook
+	for {
+		sh, ok := r.nextShard(w)
+		if !ok {
+			return
+		}
+		if hook != nil {
+			if err := hook(FaultPoint{Worker: w, Shard: sh, Batch: -1}); err != nil {
+				r.die(w, sh)
+				return
+			}
+		}
+		out, err := r.scanShard(w, sh)
+		if err != nil {
+			if errors.Is(err, errKilled) {
+				r.die(w, sh)
+				return
+			}
+			r.fail(err)
+			return
+		}
+		if err := r.deliver(out); err != nil {
+			r.fail(err)
+			return
+		}
+		r.complete(w, sh, out.stats)
+	}
+}
+
+// nextShard pops the worker's own queue, steals from the most loaded
+// peer when empty, and otherwise waits: unfinished shards in flight on
+// other nodes may yet be re-issued here if their node dies.
+func (r *fleetRun) nextShard(w int) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.stopping || r.incomplete == 0 {
+			return 0, false
+		}
+		if q := r.queues[w]; len(q) > 0 {
+			sh := q[0]
+			r.queues[w] = q[1:]
+			r.load[w] -= r.cost[sh]
+			return sh, true
+		}
+		victim := -1
+		for v := range r.queues {
+			if v == w || len(r.queues[v]) == 0 {
+				continue
+			}
+			if victim < 0 || r.load[v] > r.load[victim] {
+				victim = v
+			}
+		}
+		if victim >= 0 {
+			// Steal from the tail: the victim's cheapest queued shard,
+			// leaving its expensive head where the LPT seed put it.
+			q := r.queues[victim]
+			sh := q[len(q)-1]
+			r.queues[victim] = q[:len(q)-1]
+			r.load[victim] -= r.cost[sh]
+			r.wstats[w].Steals++
+			return sh, true
+		}
+		r.cond.Wait()
+	}
+}
+
+// takeSource hands out shard sh's cursor: the planned first-use one, or
+// a fresh ShardSource call on re-issue after a node death.
+func (r *fleetRun) takeSource(sh int) scan.TargetSource {
+	r.srcMu.Lock()
+	defer r.srcMu.Unlock()
+	if f := r.pending[sh]; f != nil {
+		r.pending[sh] = nil
+		return f
+	}
+	return r.src.ShardSource(sh)
+}
+
+// singleShard exposes one shard's cursor as a ShardedSource, so a node
+// scans it through the engine's exact sharded batch machinery.
+type singleShard struct {
+	sh   int
+	feed scan.TargetSource
+	size int
+}
+
+func (s singleShard) Next(buf []ip6.Addr) (int, error) { return s.feed.Next(buf) }
+
+func (s singleShard) ShardSource(sh int) scan.TargetSource {
+	if sh == s.sh {
+		return s.feed
+	}
+	return nil
+}
+
+func (s singleShard) ShardLen(sh int) int {
+	if sh == s.sh {
+		return s.size
+	}
+	return 0
+}
+
+// scanShard runs shard sh to completion on node w's scanner, buffering
+// batch copies locally. Nothing reaches the consumer sink until the
+// shard finished — the abort-atomicity that makes node deaths
+// state-neutral. Result copies are shallow: the engine pools batch
+// buffers but never the per-probe DNS payloads, so the copied rows stay
+// valid after the batch buffer is recycled.
+func (r *fleetRun) scanShard(w, sh int) (*shardResult, error) {
+	feed := r.takeSource(sh)
+	if feed == nil {
+		// Shard sources are deterministic: a shard planned non-empty
+		// cannot come back empty on re-issue.
+		return nil, fmt.Errorf("fleet: shard %d source vanished on re-issue", sh)
+	}
+	hook := r.c.cfg.FaultHook
+	out := &shardResult{}
+	st, err := r.c.nodes[w].StreamFrom(r.ctx, singleShard{sh: sh, feed: feed, size: r.sizes[sh]},
+		r.protos, r.day, func(b *scan.Batch) error {
+			cp := scan.Batch{Shard: b.Shard, Seq: b.Seq, Stats: b.Stats}
+			cp.Results = append([]scan.Result(nil), b.Results...)
+			out.batches = append(out.batches, cp)
+			if hook != nil {
+				if err := hook(FaultPoint{Worker: w, Shard: sh, Batch: b.Seq}); err != nil {
+					return errKilled
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out.stats = st
+	return out, nil
+}
+
+// deliver forwards a completed shard's buffered batches to the consumer
+// sink, in Seq order. Other shards may be delivering concurrently —
+// exactly the concurrency the scan.Sink contract grants.
+func (r *fleetRun) deliver(out *shardResult) error {
+	for i := range out.batches {
+		if err := r.sink(&out.batches[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// complete merges a finished shard's statistics.
+func (r *fleetRun) complete(w, sh int, st scan.Stats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wstats[w].Shards++
+	r.wstats[w].Probes += st.ProbesSent
+	r.wstats[w].Nanos += st.PerShard[sh].Nanos
+	r.probes += st.ProbesSent
+	r.responses += st.Responses
+	r.successes += st.Successes
+	r.batches += st.Batches
+	r.perShard[sh] = st.PerShard[sh]
+	r.incomplete--
+	if r.incomplete == 0 {
+		r.cond.Broadcast()
+	}
+}
+
+// die removes a killed node: its unfinished shard and queued shards are
+// re-issued to the least loaded survivors. With no survivors left the
+// scan fails — there is nobody to finish the work.
+func (r *fleetRun) die(w, sh int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wstats[w].Failed = true
+	r.alive[w] = false
+	r.aliveN--
+	orphans := append([]int{sh}, r.queues[w]...)
+	r.queues[w] = nil
+	r.load[w] = 0
+	if r.aliveN == 0 {
+		r.failLocked(fmt.Errorf("fleet: all %d workers killed with %d shards unfinished", len(r.alive), r.incomplete))
+		return
+	}
+	for _, osh := range orphans {
+		best := -1
+		for v := range r.queues {
+			if !r.alive[v] {
+				continue
+			}
+			if best < 0 || r.load[v] < r.load[best] {
+				best = v
+			}
+		}
+		r.queues[best] = append(r.queues[best], osh)
+		r.load[best] += r.cost[osh]
+		r.reissued++
+	}
+	r.cond.Broadcast()
+}
+
+// fail records the first error and stops the fleet: waiters wake, and
+// in-flight node streams abort through the cancelled context.
+func (r *fleetRun) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failLocked(err)
+}
+
+func (r *fleetRun) failLocked(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.stopping = true
+	r.cancel()
+	r.cond.Broadcast()
+}

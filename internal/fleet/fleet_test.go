@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/rng"
+	"hitlist6/internal/scan"
+	"hitlist6/internal/worldgen"
+)
+
+// The shared test world: generated once per binary, probed read-only by
+// every test (the network is sealed after generation).
+var (
+	worldOnce sync.Once
+	worldNet  *netmodel.Network
+	worldErr  error
+	testAddrs []ip6.Addr
+)
+
+var testProtos = []netmodel.Protocol{netmodel.ICMP, netmodel.TCP443, netmodel.TCP80, netmodel.UDP443, netmodel.UDP53}
+
+func testWorld(t *testing.T) (*netmodel.Network, []ip6.Addr) {
+	t.Helper()
+	worldOnce.Do(func() {
+		w, err := worldgen.Generate(worldgen.Params{
+			Seed: 17, Scale: 1.0 / 10000, TailASes: 48, ScanIntervalDays: 7,
+		})
+		if err != nil {
+			worldErr = err
+			return
+		}
+		worldNet = w.Net
+		r := rng.NewStream(17, "fleet-test-targets")
+		prefixes := w.Net.AS.AnnouncedPrefixes()
+		testAddrs = make([]ip6.Addr, 4096)
+		for i := range testAddrs {
+			testAddrs[i] = prefixes[r.Intn(len(prefixes))].RandomAddr(r)
+		}
+	})
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return worldNet, testAddrs
+}
+
+// collector accumulates batch copies per shard — the canonical-merge
+// consumer shape every real sink follows.
+type collector struct {
+	mu      sync.Mutex
+	batches map[int][]scan.Batch
+}
+
+func newCollector() *collector { return &collector{batches: make(map[int][]scan.Batch)} }
+
+func (c *collector) sink(b *scan.Batch) error {
+	cp := scan.Batch{Shard: b.Shard, Seq: b.Seq, Stats: b.Stats}
+	cp.Results = append([]scan.Result(nil), b.Results...)
+	c.mu.Lock()
+	c.batches[b.Shard] = append(c.batches[b.Shard], cp)
+	c.mu.Unlock()
+	return nil
+}
+
+// stripNanos zeroes the nondeterministic wall-clock field so stats
+// compare deterministically.
+func stripNanos(st scan.Stats) scan.Stats {
+	out := st
+	out.PerShard = append([]scan.ShardStats(nil), st.PerShard...)
+	for i := range out.PerShard {
+		out.PerShard[i].Nanos = 0
+	}
+	return out
+}
+
+// singleRun is the single-process reference every fleet run must match
+// byte for byte.
+func singleRun(t *testing.T) (*collector, scan.Stats) {
+	t.Helper()
+	net, addrs := testWorld(t)
+	s := scan.New(net, scan.DefaultConfig(17))
+	ref := newCollector()
+	st, err := s.StreamFrom(context.Background(), scan.SliceSource(addrs).(scan.ShardedSource), testProtos, 100, ref.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, st
+}
+
+func requireSameBatches(t *testing.T, want, got *collector, label string) {
+	t.Helper()
+	if len(got.batches) != len(want.batches) {
+		t.Fatalf("%s: %d shards with output, want %d", label, len(got.batches), len(want.batches))
+	}
+	for sh, wb := range want.batches {
+		gb := got.batches[sh]
+		if !reflect.DeepEqual(wb, gb) {
+			t.Fatalf("%s: shard %d batches diverge (%d vs %d batches)", label, sh, len(gb), len(wb))
+		}
+	}
+}
+
+// TestFleetMatchesSingleScanner pins the equivalence invariant: for any
+// node count — including more nodes than shards — the fleet delivers
+// exactly the batches of a single-process run, and the merged stats
+// match up to wall-clock nanos.
+func TestFleetMatchesSingleScanner(t *testing.T) {
+	net, addrs := testWorld(t)
+	ref, refStats := singleRun(t)
+	for _, workers := range []int{1, 2, 4, 8, 67} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			coord := New(net, Config{Workers: workers, Scan: scan.DefaultConfig(17)})
+			got := newCollector()
+			res, err := coord.Scan(context.Background(), scan.SliceSource(addrs).(scan.ShardedSource), testProtos, 100, got.sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameBatches(t, ref, got, fmt.Sprintf("workers=%d", workers))
+			if !reflect.DeepEqual(stripNanos(refStats), stripNanos(res.Stats)) {
+				t.Fatalf("workers=%d: stats diverge:\n ref %+v\n got %+v", workers, stripNanos(refStats), stripNanos(res.Stats))
+			}
+			shards := 0
+			for _, ws := range res.Workers {
+				shards += ws.Shards
+			}
+			if shards != len(ref.batches) {
+				t.Fatalf("workers=%d: worker stats cover %d shards, want %d", workers, shards, len(ref.batches))
+			}
+		})
+	}
+}
+
+// TestFleetWorkerKilledMidShard kills the first node to buffer a batch,
+// right after it did: the shard must be re-issued and the output must
+// stay byte-identical — nothing from the dead node's partial run leaks.
+// (The victim is "whoever gets there first", not a fixed index: on a
+// single-CPU box some worker goroutines may never be scheduled before
+// the others drain the queue.)
+func TestFleetWorkerKilledMidShard(t *testing.T) {
+	net, addrs := testWorld(t)
+	ref, _ := singleRun(t)
+	victim := atomic.Int32{}
+	victim.Store(-1)
+	hook := func(p FaultPoint) error {
+		if p.Batch >= 0 && victim.CompareAndSwap(-1, int32(p.Worker)) {
+			return ErrWorkerKilled
+		}
+		return nil
+	}
+	coord := New(net, Config{Workers: 4, Scan: scan.DefaultConfig(17), FaultHook: hook})
+	got := newCollector()
+	res, err := coord.Scan(context.Background(), scan.SliceSource(addrs).(scan.ShardedSource), testProtos, 100, got.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := victim.Load()
+	if w < 0 {
+		t.Fatal("fault hook never fired")
+	}
+	if !res.Workers[w].Failed {
+		t.Fatalf("worker %d not marked failed", w)
+	}
+	if res.Reissued < 1 {
+		t.Fatalf("Reissued = %d, want >= 1", res.Reissued)
+	}
+	requireSameBatches(t, ref, got, "kill mid-shard")
+}
+
+// TestFleetWorkerKilledAtPickup kills the first node to pick a shard
+// up, before it starts scanning — the other fault point — and expects
+// the same re-issue path.
+func TestFleetWorkerKilledAtPickup(t *testing.T) {
+	net, addrs := testWorld(t)
+	ref, _ := singleRun(t)
+	victim := atomic.Int32{}
+	victim.Store(-1)
+	hook := func(p FaultPoint) error {
+		if p.Batch < 0 && victim.CompareAndSwap(-1, int32(p.Worker)) {
+			return ErrWorkerKilled
+		}
+		return nil
+	}
+	coord := New(net, Config{Workers: 3, Scan: scan.DefaultConfig(17), FaultHook: hook})
+	got := newCollector()
+	res, err := coord.Scan(context.Background(), scan.SliceSource(addrs).(scan.ShardedSource), testProtos, 100, got.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := victim.Load()
+	if w < 0 {
+		t.Fatal("fault hook never fired")
+	}
+	if !res.Workers[w].Failed || res.Reissued < 1 {
+		t.Fatalf("want worker %d failed with re-issues, got %+v reissued=%d", w, res.Workers[w], res.Reissued)
+	}
+	requireSameBatches(t, ref, got, "kill at pickup")
+}
+
+// TestFleetAllWorkersKilled verifies the no-survivors case fails loudly
+// instead of returning partial output as complete.
+func TestFleetAllWorkersKilled(t *testing.T) {
+	net, addrs := testWorld(t)
+	hook := func(p FaultPoint) error { return ErrWorkerKilled }
+	coord := New(net, Config{Workers: 3, Scan: scan.DefaultConfig(17), FaultHook: hook})
+	_, err := coord.Scan(context.Background(), scan.SliceSource(addrs).(scan.ShardedSource), testProtos, 100, func(*scan.Batch) error { return nil })
+	if err == nil {
+		t.Fatal("scan succeeded with every worker killed")
+	}
+}
+
+// TestFleetStealsUnderSkewedProfile seeds a deliberately lying profile:
+// one shard claims to dwarf everything, so LPT parks the rest on the
+// other nodes and the first node must steal once its "huge" shard turns
+// out cheap. Verifies stealing really happens and never affects output.
+func TestFleetStealsUnderSkewedProfile(t *testing.T) {
+	net, addrs := testWorld(t)
+	ref, _ := singleRun(t)
+	coord := New(net, Config{Workers: 4, Scan: scan.DefaultConfig(17)})
+	prof := make([]scan.ShardStats, ip6.AddrShards)
+	for i := range prof {
+		prof[i].Nanos = 1
+	}
+	prof[ip6.ShardOf(addrs[0])].Nanos = 1 << 40
+	coord.SetShardProfile(prof)
+	got := newCollector()
+	res, err := coord.Scan(context.Background(), scan.SliceSource(addrs).(scan.ShardedSource), testProtos, 100, got.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steals := 0
+	for _, ws := range res.Workers {
+		steals += ws.Steals
+	}
+	if steals == 0 {
+		t.Fatal("skewed profile produced no steals")
+	}
+	requireSameBatches(t, ref, got, "steals")
+}
+
+// TestFleetEmptySource: nothing to scan is a clean no-op.
+func TestFleetEmptySource(t *testing.T) {
+	net, _ := testWorld(t)
+	coord := New(net, Config{Workers: 4, Scan: scan.DefaultConfig(17)})
+	res, err := coord.Scan(context.Background(), scan.SliceSource(nil).(scan.ShardedSource), testProtos, 100,
+		func(*scan.Batch) error { return errors.New("sink must not be called") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProbesSent != 0 || len(res.Stats.PerShard) != ip6.AddrShards {
+		t.Fatalf("unexpected stats %+v", res.Stats)
+	}
+}
+
+// TestFleetSinkErrorFailsScan: a consumer error is a real failure, not
+// a node death — it aborts the whole fleet.
+func TestFleetSinkErrorFailsScan(t *testing.T) {
+	net, addrs := testWorld(t)
+	coord := New(net, Config{Workers: 2, Scan: scan.DefaultConfig(17)})
+	sinkErr := errors.New("consumer broke")
+	_, err := coord.Scan(context.Background(), scan.SliceSource(addrs).(scan.ShardedSource), testProtos, 100,
+		func(*scan.Batch) error { return sinkErr })
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v, want %v", err, sinkErr)
+	}
+}
+
+// TestFleetContextCancelled: a cancelled context surfaces as the scan
+// error.
+func TestFleetContextCancelled(t *testing.T) {
+	net, addrs := testWorld(t)
+	coord := New(net, Config{Workers: 2, Scan: scan.DefaultConfig(17)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := coord.Scan(ctx, scan.SliceSource(addrs).(scan.ShardedSource), testProtos, 100,
+		func(*scan.Batch) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

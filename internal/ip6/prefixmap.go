@@ -122,7 +122,14 @@ func (m *PrefixMap[T]) Lookup(a Addr) (Prefix, T, bool) {
 // network model's alias rules and BGP view after world seal). Any Insert
 // or Delete drops the index; Freeze again after a mutation batch. Freeze
 // must not race with concurrent lookups.
+//
+// Freezing an already-frozen map is a no-op, so callers can re-freeze
+// unconditionally after each mutation window (the service does, every
+// scan) without paying a rebuild when nothing changed.
 func (m *PrefixMap[T]) Freeze() {
+	if m.idx != nil {
+		return
+	}
 	type entry struct {
 		p Prefix
 		v T

@@ -1,0 +1,39 @@
+package ip6
+
+import "testing"
+
+// TestFreezeIdempotent pins the re-freeze contract the service relies
+// on: freezing a frozen map keeps the existing index (no rebuild),
+// mutations drop it, and the next Freeze picks the mutation up.
+func TestFreezeIdempotent(t *testing.T) {
+	s := NewPrefixSet()
+	s.Add(MustParsePrefix("2001:db8::/32"))
+	s.Add(MustParsePrefix("2600:9000::/28"))
+	s.Freeze()
+	idx := s.m.idx
+	if idx == nil {
+		t.Fatal("Freeze left no index")
+	}
+	s.Freeze()
+	if s.m.idx != idx {
+		t.Fatal("re-freeze of an unchanged set rebuilt the index")
+	}
+	if !s.Contains(MustParseAddr("2001:db8::1")) {
+		t.Fatal("frozen lookup missed a member")
+	}
+
+	s.Add(MustParsePrefix("fd00::/8"))
+	if s.m.idx != nil {
+		t.Fatal("mutation did not drop the index")
+	}
+	if !s.Contains(MustParseAddr("fd00::1")) || !s.Contains(MustParseAddr("2001:db8::1")) {
+		t.Fatal("map-path lookup wrong after mutation")
+	}
+	s.Freeze()
+	if s.m.idx == nil || s.m.idx == idx {
+		t.Fatal("freeze after mutation did not build a fresh index")
+	}
+	if !s.Contains(MustParseAddr("fd00::1")) || s.Contains(MustParseAddr("9999::1")) {
+		t.Fatal("rebuilt index lookup wrong")
+	}
+}

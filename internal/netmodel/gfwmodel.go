@@ -1,6 +1,9 @@
 package netmodel
 
 import (
+	"encoding/binary"
+	"sync"
+
 	"hitlist6/internal/dnswire"
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/rng"
@@ -52,6 +55,36 @@ type GFWModel struct {
 	TeredoServers []ip6.IPv4
 
 	seed uint64
+
+	// templates caches one encoded reply per (question, flags, answer
+	// type): injection re-encodes the same handful of censored qnames
+	// millions of times, so forging becomes one copy with the ID, TTL
+	// and rdata patched in place. Keyed by injectKey.
+	templates sync.Map
+
+	// noTemplates disables the cache (the equivalence test's knob for
+	// the always-encode reference path).
+	noTemplates bool
+}
+
+// injectKey identifies one cached forged-reply template. Everything the
+// encoded bytes depend on is in the key except ID, TTL and rdata, which
+// are patched per injection (rdata length is fixed by ansType).
+type injectKey struct {
+	name    string
+	qtype   dnswire.Type
+	qclass  dnswire.Class
+	rd      bool
+	ansType dnswire.Type
+}
+
+// injectTemplate is the cached encoding plus its patch offsets. The ID
+// lives at offset 0; the answer's TTL and rdata sit at fixed trailing
+// offsets because the record is the last thing AppendReply emits.
+type injectTemplate struct {
+	wire   []byte
+	ttlOff int
+	rdOff  int
 }
 
 // NewGFWModel builds an injector with the default forged-address pools.
@@ -179,13 +212,16 @@ func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message,
 	return out
 }
 
-// forge encodes one injected reply: the AppendReply fast path for the
-// single-question queries every scanner sends, the generic encoder
+// forge encodes one injected reply: the cached-template fast path for
+// the single-question queries every scanner sends, the generic encoder
 // (byte-identical for this shape) for anything else.
 func (g *GFWModel) forge(hdr dnswire.Header, query *dnswire.Message, ansType dnswire.Type, ttl uint32, rdata []byte) ([]byte, error) {
 	q := query.Questions[0]
 	if len(query.Questions) == 1 {
-		return dnswire.AppendReply(nil, hdr, q, ansType, ttl, rdata)
+		if g.noTemplates {
+			return dnswire.AppendReply(nil, hdr, q, ansType, ttl, rdata)
+		}
+		return g.forgeFromTemplate(hdr, q, ansType, ttl, rdata)
 	}
 	reply := &dnswire.Message{Header: hdr, Questions: query.Questions}
 	rr := dnswire.RR{Name: q.Name, Type: ansType, TTL: ttl}
@@ -197,4 +233,31 @@ func (g *GFWModel) forge(hdr dnswire.Header, query *dnswire.Message, ansType dns
 	}
 	reply.Answers = append(reply.Answers, rr)
 	return reply.Encode()
+}
+
+// forgeFromTemplate copies the cached encoding for this question shape
+// and patches the three per-injection fields in place. AppendReply lays
+// the message out as header (ID at 0, flags at 2), question, then a
+// single answer whose TTL(4), rdlen(2), rdata trail the buffer — so the
+// patch offsets are len-relative constants captured at template build.
+func (g *GFWModel) forgeFromTemplate(hdr dnswire.Header, q dnswire.Question, ansType dnswire.Type, ttl uint32, rdata []byte) ([]byte, error) {
+	key := injectKey{name: q.Name, qtype: q.Type, qclass: q.Class, rd: hdr.RecursionDesired, ansType: ansType}
+	v, ok := g.templates.Load(key)
+	if !ok {
+		proto := hdr
+		proto.ID = 0
+		tw, err := dnswire.AppendReply(nil, proto, q, ansType, 0, make([]byte, len(rdata)))
+		if err != nil {
+			return nil, err
+		}
+		rdOff := len(tw) - len(rdata)
+		v, _ = g.templates.LoadOrStore(key, &injectTemplate{wire: tw, ttlOff: rdOff - 6, rdOff: rdOff})
+	}
+	t := v.(*injectTemplate)
+	wire := make([]byte, len(t.wire))
+	copy(wire, t.wire)
+	binary.BigEndian.PutUint16(wire, hdr.ID)
+	binary.BigEndian.PutUint32(wire[t.ttlOff:], ttl)
+	copy(wire[t.rdOff:], rdata)
+	return wire, nil
 }

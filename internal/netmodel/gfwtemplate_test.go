@@ -1,0 +1,105 @@
+package netmodel
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hitlist6/internal/dnswire"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/rng"
+)
+
+// injectModels builds two identically-configured injectors: one on the
+// template fast path, one pinned to the full-encode reference path.
+func injectModels() (tpl, ref *GFWModel) {
+	mk := func() *GFWModel {
+		g := NewGFWModel(7)
+		g.AffectedASNs[4134] = true
+		g.BlockedDomains["google.com"] = true
+		g.BlockedDomains["facebook.com"] = true
+		g.Eras = []InjectionEra{
+			{StartDay: 0, EndDay: 100, Mode: InjectA},
+			{StartDay: 100, EndDay: 200, Mode: InjectTeredo},
+		}
+		return g
+	}
+	tpl, ref = mk(), mk()
+	ref.noTemplates = true
+	return tpl, ref
+}
+
+// TestInjectTemplateMatchesEncode pins the template patching against the
+// full AppendReply encode, byte for byte, across both injection eras,
+// blocked subdomains, recursion-flag variants, and many (target, txid,
+// day) combinations — every field the patch must get right.
+func TestInjectTemplateMatchesEncode(t *testing.T) {
+	tpl, ref := injectModels()
+	as := &AS{ASN: 4134}
+	qnames := []string{"www.google.com", "google.com", "m.facebook.com", "a.b.facebook.com"}
+	r := rng.NewStream(7, "gfw-template-test")
+	for _, day := range []int{5, 60, 99, 100, 150, 199} {
+		for _, qname := range qnames {
+			for _, rd := range []bool{true, false} {
+				for i := 0; i < 16; i++ {
+					target := ip6.AddrFromUint64s(r.Uint64(), r.Uint64())
+					txid := uint16(r.Uint64())
+					q := dnswire.NewQuery(txid, qname, dnswire.TypeAAAA)
+					q.Header.RecursionDesired = rd
+					got := tpl.Inject(target, as, q, txid, day)
+					want := ref.Inject(target, as, q, txid, day)
+					if len(got) != len(want) {
+						t.Fatalf("day=%d q=%s rd=%v: %d forged messages, want %d", day, qname, rd, len(got), len(want))
+					}
+					for j := range want {
+						if !bytes.Equal(got[j], want[j]) {
+							t.Fatalf("day=%d q=%s rd=%v target=%s msg %d:\n tpl %x\n ref %x",
+								day, qname, rd, target, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInjectTemplateConcurrent hammers one injector from many
+// goroutines: the template cache must stay consistent under concurrent
+// first-use and reuse (the scan engine injects from parallel workers).
+func TestInjectTemplateConcurrent(t *testing.T) {
+	tpl, ref := injectModels()
+	as := &AS{ASN: 4134}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.NewStream(uint64(g), "gfw-template-conc")
+			for i := 0; i < 500; i++ {
+				target := ip6.AddrFromUint64s(r.Uint64(), r.Uint64())
+				txid := uint16(r.Uint64())
+				day := int(r.Uint64() % 200)
+				q := dnswire.NewQuery(txid, "www.google.com", dnswire.TypeAAAA)
+				got := tpl.Inject(target, as, q, txid, day)
+				want := ref.Inject(target, as, q, txid, day)
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("goroutine %d: count mismatch", g)
+					return
+				}
+				for j := range want {
+					if !bytes.Equal(got[j], want[j]) {
+						errs <- fmt.Errorf("goroutine %d: byte mismatch at msg %d", g, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
