@@ -12,12 +12,14 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"hitlist6/internal/core"
+	"hitlist6/internal/dnswire"
 	"hitlist6/internal/experiments"
 	"hitlist6/internal/fleet"
 	"hitlist6/internal/hlfile"
@@ -25,6 +27,7 @@ import (
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/rng"
 	"hitlist6/internal/scan"
+	"hitlist6/internal/serve"
 	"hitlist6/internal/worldgen"
 	"hitlist6/internal/yarrp"
 )
@@ -305,5 +308,148 @@ func BenchmarkGFWSpikeDetection(b *testing.B) {
 		b.ReportMetric(float64(total), "injected-results")
 		b.ReportMetric(float64(published), "published-injected")
 		b.ReportMetric(float64(injectedOnly), "filter-list")
+	}
+}
+
+// BenchmarkServeQPS measures the lock-free serving hot paths at full
+// parallelism against a published snapshot: the DNS sub-benchmark drives
+// DNSResponder.Respond (the zero-alloc wire path ServeUDP loops run),
+// the HTTP sub-benchmark drives the JSON handler end to end. The qps
+// metric is queries per wall-clock second across all client goroutines.
+func BenchmarkServeQPS(b *testing.B) {
+	r := rng.NewStream(42, "serve-bench")
+	members := ip6.NewShardedSet()
+	addrs := make([]ip6.Addr, 1<<17)
+	for i := range addrs {
+		addrs[i] = ip6.AddrFromUint64s(0x2001_0000_0000_0000|r.Uint64()&0xffff_ffff, r.Uint64())
+		members.Add(addrs[i])
+	}
+	var perProto [netmodel.NumProtocols]*ip6.SortedShardSet
+	h := serve.NewHandle()
+	h.Publish(serve.NewSnapshot(100, ip6.FreezeSorted(members), perProto, nil, nil))
+
+	// Query workload: alternate members and uniform-random misses.
+	queries := make([]ip6.Addr, 1024)
+	for i := range queries {
+		if i%2 == 0 {
+			queries[i] = addrs[r.Intn(len(addrs))]
+		} else {
+			queries[i] = ip6.AddrFromUint64s(r.Uint64(), r.Uint64())
+		}
+	}
+
+	b.Run("dns", func(b *testing.B) {
+		responder := serve.NewDNSResponder(h, "hitlist6.serve")
+		wires := make([][]byte, len(queries))
+		for i, a := range queries {
+			w, err := dnswire.NewQuery(uint16(i), responder.QueryName(a, "live"), dnswire.TypeA).Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			wires[i] = w
+		}
+		var next atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var sc serve.Scratch
+			dst := make([]byte, 0, 512)
+			i := int(next.Add(1)) * 31
+			for pb.Next() {
+				dst = responder.Respond(wires[i%len(wires)], dst[:0], &sc)
+				if dst == nil {
+					b.Fatal("responder dropped a valid query")
+				}
+				i++
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+
+	b.Run("http", func(b *testing.B) {
+		handler := serve.NewHTTPHandler(h)
+		urls := make([]string, len(queries))
+		for i, a := range queries {
+			urls[i] = "/v1/query?addr=" + a.String()
+		}
+		var next atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(next.Add(1)) * 31
+			for pb.Next() {
+				req := httptest.NewRequest("GET", urls[i%len(urls)], nil)
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					b.Fatalf("HTTP %d", rec.Code)
+				}
+				i++
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+}
+
+// BenchmarkServeUnderScan measures query latency while the timeline
+// advances underneath: a writer goroutine runs scans (each finalization
+// publishing a fresh snapshot with one atomic swap) while the parallel
+// clients hammer QueryHandle.Lookup. The contract under test: readers
+// never lock, so the advancing timeline costs them nothing.
+func BenchmarkServeUnderScan(b *testing.B) {
+	wp := worldgen.Params{Seed: 42, Scale: 1.0 / 5000, TailASes: 64, ScanIntervalDays: 7}
+	w, err := worldgen.Generate(wp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feeds := w.BuildFeeds(yarrp.New(w.Net, yarrp.Config{Seed: 42}))
+	cfg := core.DefaultConfig(42)
+	cfg.ServeSnapshots = true
+	svc := core.NewService(cfg, w.Net, feeds, w.Blocklist)
+	defer svc.Close()
+	if _, err := svc.RunScan(context.Background(), w.ScanDays[0]); err != nil {
+		b.Fatal(err)
+	}
+	h := svc.QueryHandle()
+
+	r := rng.NewStream(42, "serve-under-scan")
+	prefixes := w.Net.AS.AnnouncedPrefixes()
+	queries := make([]ip6.Addr, 1024)
+	for i := range queries {
+		queries[i] = prefixes[r.Intn(len(prefixes))].RandomAddr(r)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i < len(w.ScanDays); i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := svc.RunScan(context.Background(), w.ScanDays[i]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) * 31
+		for pb.Next() {
+			if _, ok := h.Lookup(queries[i%len(queries)]); !ok {
+				b.Fatal("no snapshot published")
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	close(done)
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	if snap := h.Current(); snap != nil {
+		b.ReportMetric(float64(snap.Generation), "snapshots")
 	}
 }

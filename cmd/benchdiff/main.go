@@ -35,6 +35,12 @@ import (
 type row struct {
 	ns, bytes, allocs float64
 	hasNS, hasB, hasA bool
+	// extras holds per-benchmark custom metrics (b.ReportMetric units
+	// like qps, results/s or steals) keyed by unit. They are
+	// informational: printed under the benchmark's row and summarized
+	// with the geomean line, never gated on — custom units carry no
+	// universal better/worse direction.
+	extras map[string]float64
 }
 
 func parseBench(path string) (map[string]row, []string, error) {
@@ -76,6 +82,11 @@ func parseBench(path string) (map[string]row, []string, error) {
 				r.bytes, r.hasB = v, true
 			case "allocs/op":
 				r.allocs, r.hasA = v, true
+			default:
+				if r.extras == nil {
+					r.extras = make(map[string]float64)
+				}
+				r.extras[fields[i+1]] = v
 			}
 		}
 		rows[name] = r
@@ -123,6 +134,9 @@ func main() {
 	// summary (negative = faster overall) printed under the table.
 	var logSum float64
 	logN := 0
+	// Per-unit geomeans of the custom metrics, reported alongside.
+	extraLog := make(map[string]float64)
+	extraN := make(map[string]int)
 	for _, name := range order {
 		c := cur[name]
 		b, ok := base[name]
@@ -152,6 +166,40 @@ func main() {
 			cell(b.hasNS && c.hasNS, b.ns, c.ns),
 			cell(b.hasB && c.hasB, b.bytes, c.bytes),
 			cell(b.hasA && c.hasA, b.allocs, c.allocs), mark)
+		// Custom metrics ride along informationally under the row; a unit
+		// present on only one side still prints, with "-" for the other.
+		if len(b.extras) > 0 || len(c.extras) > 0 {
+			units := make(map[string]bool)
+			for u := range b.extras {
+				units[u] = true
+			}
+			for u := range c.extras {
+				units[u] = true
+			}
+			sorted := make([]string, 0, len(units))
+			for u := range units {
+				sorted = append(sorted, u)
+			}
+			sort.Strings(sorted)
+			parts := make([]string, 0, len(sorted))
+			for _, u := range sorted {
+				bv, bok := b.extras[u]
+				cv, cok := c.extras[u]
+				switch {
+				case bok && cok:
+					parts = append(parts, fmt.Sprintf("%s %.3g→%.3g %s", u, bv, cv, delta(bv, cv)))
+					if bv > 0 && cv > 0 {
+						extraLog[u] += math.Log(cv / bv)
+						extraN[u]++
+					}
+				case cok:
+					parts = append(parts, fmt.Sprintf("%s -→%.3g", u, cv))
+				default:
+					parts = append(parts, fmt.Sprintf("%s %.3g→-", u, bv))
+				}
+			}
+			fmt.Fprintf(w, "%-34s   metrics: %s\n", "", strings.Join(parts, ", "))
+		}
 	}
 	var gone []string
 	for name := range base {
@@ -164,8 +212,22 @@ func main() {
 		fmt.Fprintf(w, "%-34s %26s\n", strings.TrimPrefix(name, "Benchmark"), "(missing from current)")
 	}
 	if logN > 0 {
-		fmt.Fprintf(w, "geomean ns/op delta: %+.1f%% across %d benchmark(s)\n",
-			100*(math.Exp(logSum/float64(logN))-1), logN)
+		summary := ""
+		if len(extraN) > 0 {
+			units := make([]string, 0, len(extraN))
+			for u := range extraN {
+				units = append(units, u)
+			}
+			sort.Strings(units)
+			parts := make([]string, 0, len(units))
+			for _, u := range units {
+				parts = append(parts, fmt.Sprintf("%s %+.1f%%", u,
+					100*(math.Exp(extraLog[u]/float64(extraN[u]))-1)))
+			}
+			summary = fmt.Sprintf("; metrics (informational): %s", strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(w, "geomean ns/op delta: %+.1f%% across %d benchmark(s)%s\n",
+			100*(math.Exp(logSum/float64(logN))-1), logN, summary)
 	}
 	if len(added) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d benchmark(s) missing from the baseline (treated as additions, not failures): %s — refresh bench-baseline.txt\n",

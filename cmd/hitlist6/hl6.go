@@ -19,14 +19,19 @@ import (
 //	hitlist6 hl6 convert -in targets.txt -out targets.hl6   # CSV/text → .hl6
 //	hitlist6 hl6 synth -n 2000000 -out big.hl6              # synthetic file
 //	hitlist6 hl6 info targets.hl6                            # header summary
+//	hitlist6 hl6 sample -n 500 -miss 500 big.hl6             # query workload
+//	hitlist6 hl6 check -in addrs.txt big.hl6                 # offline truth
 //
 // convert reads one address per line (or per CSV row; -col picks the
 // column), streams it through the bounded-memory writer, and emits the
 // sorted sharded binary file zmap6sim -hitlist and sources.HitlistFile
-// scan without materialization.
+// scan without materialization. sample and check are the serve smoke
+// pair: sample draws a deterministic mixed member/non-member workload,
+// check answers it offline in the exact "addr,live" shape
+// `hitlist6serve query` prints, so the two outputs diff byte for byte.
 func hl6Main(args []string) {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hitlist6 hl6 convert|synth|info ...")
+		fmt.Fprintln(os.Stderr, "usage: hitlist6 hl6 convert|synth|info|sample|check ...")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -36,8 +41,12 @@ func hl6Main(args []string) {
 		hl6Synth(args[1:])
 	case "info":
 		hl6Info(args[1:])
+	case "sample":
+		hl6Sample(args[1:])
+	case "check":
+		hl6Check(args[1:])
 	default:
-		fmt.Fprintf(os.Stderr, "unknown hl6 subcommand %q (want convert, synth or info)\n", args[0])
+		fmt.Fprintf(os.Stderr, "unknown hl6 subcommand %q (want convert, synth, info, sample or check)\n", args[0])
 		os.Exit(2)
 	}
 }
@@ -188,6 +197,116 @@ func hl6Info(args []string) {
 	fmt.Printf("shards:          %d (%d non-empty)\n", ip6.AddrShards, nonEmpty)
 	fmt.Printf("shard sizes:     min=%d max=%d\n", minLen, maxLen)
 	fmt.Printf("mmap:            %v\n", r.Mapped())
+}
+
+// hl6Sample prints a deterministic query workload drawn from a .hl6:
+// -n member addresses (uniform flat-index draws, so big shards weigh
+// proportionally) interleaved with -miss uniform-random non-members,
+// one address per line. Feed the output to `hitlist6serve query` and
+// `hl6 check` to compare served answers against offline truth.
+func hl6Sample(args []string) {
+	fs := flag.NewFlagSet("hl6 sample", flag.ExitOnError)
+	var (
+		n    = fs.Int("n", 500, "member addresses to draw")
+		miss = fs.Int("miss", 500, "non-member addresses to draw")
+		seed = fs.Uint64("seed", 42, "draw seed")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hitlist6 hl6 sample [-n N] [-miss M] [-seed S] file.hl6")
+		os.Exit(2)
+	}
+	r, err := hlfile.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	set, err := r.SortedSet()
+	if err != nil {
+		fatal(err)
+	}
+	if set.Len() == 0 && *n > 0 {
+		fatal(fmt.Errorf("hl6 sample: %s is empty, cannot draw members", fs.Arg(0)))
+	}
+	rs := rng.NewStream(*seed, "hl6-sample")
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for hits, misses := *n, *miss; hits > 0 || misses > 0; {
+		// Interleave so the served workload alternates answer kinds
+		// instead of a positive block followed by a negative block.
+		if hits > 0 {
+			idx := rs.Intn(set.Len())
+			for sh := 0; sh < ip6.AddrShards; sh++ {
+				if run := set.Shard(sh); idx < len(run) {
+					fmt.Fprintln(out, run[idx].String())
+					break
+				} else {
+					idx -= len(run)
+				}
+			}
+			hits--
+		}
+		if misses > 0 {
+			// Uniform 128-bit draws collide with any realistic hitlist
+			// with negligible probability; reject the draw if it does.
+			a := ip6.AddrFromUint64s(rs.Uint64(), rs.Uint64())
+			for set.Has(a) {
+				a = ip6.AddrFromUint64s(rs.Uint64(), rs.Uint64())
+			}
+			fmt.Fprintln(out, a.String())
+			misses--
+		}
+	}
+}
+
+// hl6Check answers a query workload offline: for each input address it
+// prints "addr,live" with live = hitlist membership — the ground truth
+// the serve smoke test diffs `hitlist6serve query` output against.
+// Addresses print in canonical ip6 form, matching the query client.
+func hl6Check(args []string) {
+	fs := flag.NewFlagSet("hl6 check", flag.ExitOnError)
+	in := fs.String("in", "-", "input file, one address per line ('-' = stdin)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hitlist6 hl6 check [-in addrs.txt] file.hl6")
+		os.Exit(2)
+	}
+	r, err := hlfile.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	set, err := r.SortedSet()
+	if err != nil {
+		fatal(err)
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	sc := bufio.NewScanner(src)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := ip6.ParseAddr(line)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "%s,%v\n", a.String(), set.Has(a))
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -30,12 +30,19 @@
 // profile starts after world generation), so probe-hot-path regressions
 // are diagnosable against a real scan shape without editing benchmarks.
 //
+// -serve ADDR attaches the hitlist-as-a-service layer after the scan:
+// the distinct-responder set (implies -distinct) freezes into a
+// serve.Snapshot answered over DNS on ADDR until SIGINT/SIGTERM. The
+// signal exit runs the same cleanup chain as a normal exit, so
+// -cpuprofile flushes a valid profile either way.
+//
 // Usage:
 //
 //	zmap6sim -targets addrs.txt -protocols ICMP,UDP/53 -day 1376 > scan.csv
 //	zmap6sim -hitlist targets.hl6 -spill /tmp/spill -membudget 64 > scan.csv
 //	zmap6sim -sample 10000 -batchstats > scan.csv
 //	zmap6sim -sample 100000 -cpuprofile cpu.out -memprofile mem.out > /dev/null
+//	zmap6sim -sample 100000 -serve :5353 > scan.csv
 package main
 
 import (
@@ -45,13 +52,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"hitlist6/internal/fleet"
 	"hitlist6/internal/hlfile"
@@ -59,6 +69,7 @@ import (
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/rng"
 	"hitlist6/internal/scan"
+	"hitlist6/internal/serve"
 	"hitlist6/internal/worldgen"
 )
 
@@ -150,8 +161,13 @@ func main() {
 		shardStats  = flag.Bool("shardstats", false, "print the full per-shard throughput table to stderr")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the scan to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (taken after the scan) to this file")
+		serveAddr   = flag.String("serve", "", "after the scan, answer liveness queries for the distinct-responder set over DNS on this UDP address until SIGINT/SIGTERM (implies -distinct)")
+		serveZone   = flag.String("servezone", "hitlist6.serve", "DNS zone for -serve")
 	)
 	flag.Parse()
+	if *serveAddr != "" && *spillDir == "" {
+		*distinct = true
+	}
 
 	wp := worldgen.TimelineParams(*seed)
 	wp.Scale = *scale
@@ -457,6 +473,42 @@ func main() {
 	printShardSummary(os.Stderr, stats.PerShard, *shardStats)
 	if fleetRes != nil {
 		printFleetSummary(os.Stderr, *fleetRes)
+	}
+	// -serve attach mode: freeze the responder set into a snapshot and
+	// answer DNS liveness queries until a signal arrives. The signal only
+	// breaks the wait — the function still falls through to the shared
+	// exit tail below, so the cleanup chain (CPU profile flush, spill
+	// scratch release) runs exactly as on a plain exit.
+	if *serveAddr != "" {
+		conn, err := net.ListenPacket("udp", *serveAddr)
+		if err != nil {
+			die("listening for -serve: %v\n", err)
+		}
+		var shards [ip6.AddrShards][]ip6.Addr
+		for sh := 0; sh < ip6.AddrShards; sh++ {
+			responders.WalkShard(sh, func(a ip6.Addr) bool {
+				shards[sh] = append(shards[sh], a)
+				return true
+			})
+			ip6.SortAddrs(shards[sh])
+		}
+		h := serve.NewHandle()
+		var perProto [netmodel.NumProtocols]*ip6.SortedShardSet
+		h.Publish(serve.NewSnapshot(*day, ip6.SortedFromShards(shards), perProto, nil, nil))
+		responder := serve.NewDNSResponder(h, *serveZone)
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				if err := serve.ServeUDP(conn, responder); err != nil {
+					fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				}
+			}()
+		}
+		fmt.Fprintf(os.Stderr, "serving %d distinct responders over DNS on %s zone %s\n",
+			responders.Len(), conn.LocalAddr(), responder.Zone())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		conn.Close()
 	}
 	writeMemProfile()
 	cleanup()

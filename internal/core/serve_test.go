@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/serve"
+)
+
+// TestServeSnapshotsPublished checks the publish hook end to end on the
+// tiny world: a snapshot appears after the first scan, generations
+// advance with the timeline, and the queryable dimensions (liveness,
+// alias membership, GFW evidence) match the service's own cumulative
+// state.
+func TestServeSnapshotsPublished(t *testing.T) {
+	n, feeds := tinyWorld(t)
+	cfg := DefaultConfig(1)
+	cfg.ServeSnapshots = true
+	s := NewService(cfg, n, feeds, nil)
+	h := s.QueryHandle()
+	if h == nil || h.Current() != nil {
+		t.Fatalf("handle before first scan: %v, current %v", h, h.Current())
+	}
+
+	runDays(t, s, weekly(0, 28))
+	snap := h.Current()
+	if snap == nil {
+		t.Fatal("no snapshot published")
+	}
+	if snap.Day != 28 || snap.Generation != 5 {
+		t.Fatalf("snapshot day=%d gen=%d, want day=28 gen=5", snap.Day, snap.Generation)
+	}
+
+	web := ip6.MustParseAddr("2001:100::80")
+	ans, ok := h.Lookup(web)
+	if !ok || !ans.Live || !ans.Protos.Has(netmodel.ICMP) || !ans.Protos.Has(netmodel.TCP80) {
+		t.Fatalf("web answer = %+v ok=%v", ans, ok)
+	}
+	aliasAddr := ip6.MustParsePrefix("2001:100:a::/64").NthAddr(7)
+	if ans, _ := h.Lookup(aliasAddr); !ans.Aliased || ans.AliasPrefix.Bits() != 64 {
+		t.Fatalf("alias answer = %+v", ans)
+	}
+	if ans, _ := h.Lookup(ip6.MustParseAddr("2001:100::4444")); ans.Live || ans.Aliased || ans.Injected {
+		t.Fatalf("absent answer = %+v", ans)
+	}
+	// The snapshot agrees with the service's own published views.
+	if got, want := snap.Any.Len(), s.Records()[len(s.Records())-1].TotalClean; got != want {
+		t.Fatalf("snapshot Any len = %d, service TotalClean = %d", got, want)
+	}
+}
+
+// TestServeEveryGate checks the ServeEvery downsampling: the first scan
+// always publishes, then every Nth finalization.
+func TestServeEveryGate(t *testing.T) {
+	n, feeds := tinyWorld(t)
+	cfg := DefaultConfig(1)
+	cfg.ServeSnapshots = true
+	cfg.ServeEvery = 3
+	s := NewService(cfg, n, feeds, nil)
+
+	days := weekly(0, 42) // 7 scans → publishes at scans 1, 4, 7
+	var gens []uint64
+	for _, d := range days {
+		runDays(t, s, []int{d})
+		gens = append(gens, s.QueryHandle().Current().Generation)
+	}
+	want := []uint64{1, 1, 1, 2, 2, 2, 3}
+	for i := range want {
+		if gens[i] != want[i] {
+			t.Fatalf("generations after each scan = %v, want %v", gens, want)
+		}
+	}
+}
+
+// TestServeConsistencyUnderScan is the serving layer's race test: N
+// goroutines hammer QueryHandle lookups while the timeline advances
+// through K scans (host death, alias detection, the GFW injection era
+// and the filter deployment all inside the window). Every sampled
+// answer must be internally consistent with exactly one published
+// snapshot — re-deriving the answer from the snapshot of the sampled
+// generation must reproduce it field for field, and generations must
+// advance monotonically per reader. Run under -race this also proves
+// the publish/read path has no data races: published snapshots are
+// independent frozen copies, so scan-side mutation never touches them.
+func TestServeConsistencyUnderScan(t *testing.T) {
+	n, feeds := tinyWorld(t)
+	cfg := DefaultConfig(1)
+	cfg.ServeSnapshots = true
+	cfg.GFWFilterFromDay = 90
+	s := NewService(cfg, n, feeds, nil)
+	h := s.QueryHandle()
+
+	probes := []ip6.Addr{
+		ip6.MustParseAddr("2001:100::80"),                 // stable web host
+		ip6.MustParseAddr("2001:100::81"),                 // dies at day 50
+		ip6.MustParsePrefix("2001:100:a::/64").NthAddr(7), // aliased
+		ip6.MustParseAddr("240e::1"),                      // GFW-injected from day 60
+		ip6.MustParseAddr("240e::2"),
+		ip6.MustParseAddr("2001:100::4444"), // never listed
+	}
+
+	type sample struct {
+		addr ip6.Addr
+		ans  serve.Answer
+	}
+	const readers = 8
+	samples := make([][]sample, readers)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastGen uint64
+			finals := len(probes) // guaranteed post-timeline samples
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					// A few guaranteed samples after the timeline finishes
+					// — the checker never runs on an empty set even when
+					// the scans outpace the scheduler.
+					if finals--; finals < 0 {
+						return
+					}
+				default:
+				}
+				a := probes[i%len(probes)]
+				ans, ok := h.Lookup(a)
+				if !ok {
+					continue // before the first publish
+				}
+				if ans.Generation < lastGen {
+					t.Errorf("reader %d: generation went backwards: %d after %d", r, ans.Generation, lastGen)
+					return
+				}
+				lastGen = ans.Generation
+				// Keep a bounded but churn-covering sample.
+				if len(samples[r]) < 50000 {
+					samples[r] = append(samples[r], sample{a, ans})
+				}
+			}
+		}(r)
+	}
+
+	// Advance the timeline while the readers run, recording every
+	// published snapshot by generation (publishes happen synchronously
+	// inside RunScan, so after it returns Current is this scan's).
+	snaps := make(map[uint64]*serve.Snapshot)
+	for _, d := range weekly(0, 112) {
+		runDays(t, s, []int{d})
+		snap := h.Current()
+		snaps[snap.Generation] = snap
+	}
+	close(done)
+	wg.Wait()
+
+	checked := 0
+	for r := range samples {
+		for _, smp := range samples[r] {
+			snap := snaps[smp.ans.Generation]
+			if snap == nil {
+				t.Fatalf("sampled generation %d was never recorded", smp.ans.Generation)
+			}
+			if want := snap.Lookup(smp.addr); want != smp.ans {
+				t.Fatalf("torn answer for %v at gen %d:\n  sampled %+v\n  snapshot %+v",
+					smp.addr, smp.ans.Generation, smp.ans, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no reader observed a snapshot")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"hitlist6/internal/ip6"
 	"hitlist6/internal/netmodel"
 	"hitlist6/internal/scan"
+	"hitlist6/internal/serve"
 	"hitlist6/internal/sources"
 )
 
@@ -111,6 +112,19 @@ type Config struct {
 	// SpillDir is where spill scratch files live when MemoryBudget is
 	// set; "" creates (and removes at Close) a private temp directory.
 	SpillDir string
+
+	// ServeSnapshots publishes an immutable serve.Snapshot to the
+	// service's QueryHandle at each digest finalization: frozen sorted
+	// copies of the current clean responsive sets, the aliased-prefix
+	// index and the GFW injection-evidence set, swapped in with one
+	// atomic pointer store. Query traffic (internal/serve) keeps reading
+	// the previous snapshot until the swap and never blocks the scan.
+	ServeSnapshots bool
+
+	// ServeEvery publishes only every Nth scan's snapshot (0 or 1 means
+	// every scan). The first scan always publishes, so the handle serves
+	// as soon as data exists.
+	ServeEvery int
 }
 
 // CandidateFeed generates streaming scan candidates from the service's
@@ -285,6 +299,13 @@ type Service struct {
 	records   []*ScanRecord
 	snapshots map[int]*Snapshot
 	snapQueue []int
+
+	// queryHandle is the serving layer's atomic snapshot slot; non-nil
+	// from construction so servers can attach before the first scan
+	// (they answer SERVFAIL until the first publish). serveScans counts
+	// finalizations for the ServeEvery gate.
+	queryHandle *serve.Handle
+	serveScans  int
 }
 
 // routedInput is one ingest candidate routed to its shard: the address,
@@ -455,6 +476,7 @@ func NewService(cfg Config, net *netmodel.Network, feeds []*sources.Feed, blockl
 		routeBuf:     make([][]routedInput, ip6.AddrShards),
 		snapshots:    make(map[int]*Snapshot),
 		snapQueue:    append([]int(nil), cfg.SnapshotDays...),
+		queryHandle:  serve.NewHandle(),
 	}
 	s.inputSeen = s.newCumulativeSet()
 	// gfwInputDrop is only read once the filter deploys, and deployment
@@ -532,6 +554,13 @@ func (s *Service) Snapshots() map[int]*Snapshot { return s.snapshots }
 
 // Tracker exposes cumulative GFW evidence.
 func (s *Service) Tracker() *gfw.Tracker { return s.tracker }
+
+// QueryHandle returns the serving layer's snapshot handle. It is valid
+// from construction — DNS/HTTP servers attach to it before the first
+// scan and start answering from the first published snapshot (with
+// Config.ServeSnapshots set, published inside RunScan's digest
+// finalization). Lookups through it never block the timeline.
+func (s *Service) QueryHandle() *serve.Handle { return s.queryHandle }
 
 // UnresponsivePool returns the 30-day-evicted addresses (empty unless
 // Config.RetainUnresponsive).
@@ -1359,6 +1388,37 @@ func (s *Service) finalizeDigest(digests []*shardDigest, day int, rec *ScanRecor
 		rec.Unresp += d.unresp
 	}
 	s.lastClean = lastClean
+	s.publishServeSnapshot(day)
+}
+
+// publishServeSnapshot builds and publishes the serving layer's immutable
+// snapshot for this scan: frozen sorted copies of the clean responsive
+// sets (any-protocol and per-protocol), a frozen clone of the
+// aliased-prefix index, and the frozen GFW injection-evidence set. The
+// copies are independent of the live state — the timeline mutates on
+// without ever touching a published snapshot — and the publish itself is
+// one atomic pointer swap on the QueryHandle, so concurrent readers see
+// either the whole previous snapshot or the whole new one, never a mix.
+func (s *Service) publishServeSnapshot(day int) {
+	if !s.cfg.ServeSnapshots {
+		return
+	}
+	s.serveScans++
+	// The first scan always publishes; afterwards every ServeEvery-th.
+	if every := s.cfg.ServeEvery; every > 1 && s.serveScans != 1 && (s.serveScans-1)%every != 0 {
+		return
+	}
+	var perProto [netmodel.NumProtocols]*ip6.SortedShardSet
+	for _, p := range s.cfg.Protocols {
+		perProto[p] = ip6.FreezeSorted(s.lastClean[p])
+	}
+	s.queryHandle.Publish(serve.NewSnapshot(
+		day,
+		ip6.FreezeSorted(s.prevRespAny),
+		perProto,
+		s.aliased.Prefixes(),
+		s.tracker.FreezeInjectedSeen(),
+	))
 }
 
 // compactingSeen wraps a round-local spill set as a scan.AddSet that

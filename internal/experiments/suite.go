@@ -181,6 +181,7 @@ func All() []Runner {
 		{"eui64", "EUI-64 composition of the input (Sec. 4.1)", EUI64},
 		{"ablations", "design-choice ablations", Ablations},
 		{"shardbal", "scan-engine shard balance (per-shard probes and probe time)", ShardBalance},
+		{"serve", "hitlist-as-a-service: query consistency while the timeline advances", ServeWhileScanning},
 	}
 }
 

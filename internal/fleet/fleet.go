@@ -437,9 +437,9 @@ func (s singleShard) ShardLen(sh int) int {
 // scanShard runs shard sh to completion on node w's scanner, buffering
 // batch copies locally. Nothing reaches the consumer sink until the
 // shard finished — the abort-atomicity that makes node deaths
-// state-neutral. Result copies are shallow: the engine pools batch
-// buffers but never the per-probe DNS payloads, so the copied rows stay
-// valid after the batch buffer is recycled.
+// state-neutral. The engine recycles batch buffers and their DNS wire
+// arenas together, so the buffered copies deep-copy DNS payloads along
+// with the rows.
 func (r *fleetRun) scanShard(w, sh int) (*shardResult, error) {
 	feed := r.takeSource(sh)
 	if feed == nil {
@@ -453,6 +453,15 @@ func (r *fleetRun) scanShard(w, sh int) (*shardResult, error) {
 		r.protos, r.day, func(b *scan.Batch) error {
 			cp := scan.Batch{Shard: b.Shard, Seq: b.Seq, Stats: b.Stats}
 			cp.Results = append([]scan.Result(nil), b.Results...)
+			for i := range cp.Results {
+				if dns := cp.Results[i].DNS; len(dns) > 0 {
+					deep := make([][]byte, len(dns))
+					for j, w := range dns {
+						deep[j] = append([]byte(nil), w...)
+					}
+					cp.Results[i].DNS = deep
+				}
+			}
 			out.batches = append(out.batches, cp)
 			if hook != nil {
 				if err := hook(FaultPoint{Worker: w, Shard: sh, Batch: b.Seq}); err != nil {

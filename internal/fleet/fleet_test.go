@@ -63,6 +63,17 @@ func newCollector() *collector { return &collector{batches: make(map[int][]scan.
 func (c *collector) sink(b *scan.Batch) error {
 	cp := scan.Batch{Shard: b.Shard, Seq: b.Seq, Stats: b.Stats}
 	cp.Results = append([]scan.Result(nil), b.Results...)
+	// The engine recycles DNS wire buffers with the batch; retained
+	// copies deep-copy the payloads.
+	for i := range cp.Results {
+		if dns := cp.Results[i].DNS; len(dns) > 0 {
+			deep := make([][]byte, len(dns))
+			for j, w := range dns {
+				deep[j] = append([]byte(nil), w...)
+			}
+			cp.Results[i].DNS = deep
+		}
+	}
 	c.mu.Lock()
 	c.batches[b.Shard] = append(c.batches[b.Shard], cp)
 	c.mu.Unlock()

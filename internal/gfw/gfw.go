@@ -252,6 +252,12 @@ func (t *Tracker) InjectedSeenHas(a ip6.Addr) bool { return t.injectedSeen.Has(a
 // materializing a merged copy.
 func (t *Tracker) InjectedSeenLen() int { return t.injectedSeen.Len() }
 
+// FreezeInjectedSeen returns an independent frozen sorted copy of the
+// injection-evidence set — the point-lookup index serve snapshots carry.
+// The tracker keeps accumulating evidence afterwards; the copy does not
+// change.
+func (t *Tracker) FreezeInjectedSeen() *ip6.SortedShardSet { return ip6.FreezeSorted(t.injectedSeen) }
+
 // Stats summarizes the tracker.
 func (t *Tracker) Stats() (injected, injectedOnly, otherProto int) {
 	return t.injectedSeen.Len(), t.InjectedOnly().Len(), t.otherProto.Len()

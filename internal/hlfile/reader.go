@@ -126,6 +126,32 @@ func (r *Reader) readAddrs(idx int64, buf []ip6.Addr) error {
 	return nil
 }
 
+// SortedSet returns the file's addresses as a frozen point-lookup index
+// (the body is already sorted and sharded exactly like
+// ip6.SortedShardSet wants). With mmap every per-shard slice is a
+// zero-copy view into the mapped body — the index of a multi-million
+// address hitlist costs no resident memory beyond the page cache, but
+// it is only valid until Close. Without mmap each shard is read into
+// memory once.
+func (r *Reader) SortedSet() (*ip6.SortedShardSet, error) {
+	var shards [ip6.AddrShards][]ip6.Addr
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		if r.counts[sh] == 0 {
+			continue
+		}
+		if span := r.shardSpan(sh); span != nil {
+			shards[sh] = span
+			continue
+		}
+		buf := make([]ip6.Addr, r.counts[sh])
+		if err := r.readAddrs(r.starts[sh], buf); err != nil {
+			return nil, err
+		}
+		shards[sh] = buf
+	}
+	return ip6.SortedFromShards(shards), nil
+}
+
 // Source returns a fresh TargetSource over the whole file. The returned
 // source implements scan.ShardedSource and scan.ShardSizer, so
 // Scanner.StreamFrom hands each probe worker its shard's run directly;

@@ -31,8 +31,56 @@ func FreezeSorted(s *ShardedSet) *SortedShardSet {
 	return out
 }
 
-// Len returns the total cardinality.
-func (s *SortedShardSet) Len() int { return s.total }
+// SortedFromShards wraps already-sorted per-shard slices — for example
+// the mmap'd spans of a .hl6 file, whose on-disk layout is exactly this
+// partition — as a SortedShardSet without copying. The slices must be
+// sorted ascending, duplicate-free, and partitioned by ShardOf; callers
+// own that invariant (hl6 files carry it by construction).
+func SortedFromShards(shards [AddrShards][]Addr) *SortedShardSet {
+	out := &SortedShardSet{shards: shards}
+	for sh := 0; sh < AddrShards; sh++ {
+		out.total += len(shards[sh])
+	}
+	return out
+}
+
+// Len returns the total cardinality; a nil receiver is an empty set.
+func (s *SortedShardSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// Has reports membership by binary search over the address's canonical
+// shard — the point lookup the serving layer answers queries with. It
+// allocates nothing; a nil receiver is an empty set.
+func (s *SortedShardSet) Has(a Addr) bool {
+	if s == nil {
+		return false
+	}
+	return s.HasInShard(ShardOf(a), a)
+}
+
+// HasInShard is Has when the caller already knows the shard.
+func (s *SortedShardSet) HasInShard(sh int, a Addr) bool {
+	if s == nil {
+		return false
+	}
+	shard := s.shards[sh]
+	hi, lo := a.Hi(), a.Lo()
+	i, j := 0, len(shard)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		mhi, mlo := shard[m].Hi(), shard[m].Lo()
+		if mhi < hi || (mhi == hi && mlo < lo) {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i < len(shard) && shard[i].Hi() == hi && shard[i].Lo() == lo
+}
 
 // Shard returns shard i's sorted members; treat as read-only.
 func (s *SortedShardSet) Shard(i int) []Addr { return s.shards[i] }

@@ -1,0 +1,86 @@
+package netmodel
+
+// WireArena recycles the wire-format DNS reply buffers and the [][]byte
+// response lists the network builds for Probe responses. The streaming
+// scan engine pairs one arena with each result batch: replies for the
+// batch's probes are appended into recycled slots, and when the batch's
+// buffer returns to the pool the arena is Reset and every slot becomes
+// reusable — DNS payloads pool through batch recycling exactly like the
+// Result rows themselves, instead of being freshly heap-allocated per
+// probe and dropped at recycle.
+//
+// The protocol is pairwise: each reply buffer starts from Wire() and is
+// handed back through Seal() once fully appended (the sealed, possibly
+// grown slice replaces the slot so Reset reuses the final backing
+// array); response lists do the same through List()/SealList(). Wire
+// pairs may interleave freely with an open List pair — the two kinds
+// use independent slot cursors — but two Wire (or two List) pairs must
+// not nest. A nil *WireArena is valid everywhere and degrades to plain
+// heap allocation, so call sites never branch on arena presence.
+//
+// An arena is single-goroutine state, like the batch it rides with.
+type WireArena struct {
+	wires [][]byte
+	nw    int
+	lists [][][]byte
+	nl    int
+}
+
+// Wire returns an empty byte slice to append one reply message into,
+// backed by a recycled buffer when one is free. Pair with Seal.
+func (a *WireArena) Wire() []byte {
+	if a == nil {
+		return nil
+	}
+	if a.nw < len(a.wires) {
+		b := a.wires[a.nw][:0]
+		a.nw++
+		return b
+	}
+	a.nw++
+	a.wires = append(a.wires, nil)
+	return nil
+}
+
+// Seal records the final slice of the most recent Wire so Reset can
+// reuse its (possibly grown) backing array, and returns it unchanged.
+func (a *WireArena) Seal(wire []byte) []byte {
+	if a != nil {
+		a.wires[a.nw-1] = wire
+	}
+	return wire
+}
+
+// List returns an empty response list, backed by a recycled slot when
+// one is free. Pair with SealList.
+func (a *WireArena) List() [][]byte {
+	if a == nil {
+		return nil
+	}
+	if a.nl < len(a.lists) {
+		l := a.lists[a.nl][:0]
+		a.nl++
+		return l
+	}
+	a.nl++
+	a.lists = append(a.lists, nil)
+	return nil
+}
+
+// SealList records the final slice of the most recent List and returns
+// it unchanged.
+func (a *WireArena) SealList(l [][]byte) [][]byte {
+	if a != nil {
+		a.lists[a.nl-1] = l
+	}
+	return l
+}
+
+// Reset makes every slot reusable. Only call once every response built
+// from the arena has been fully consumed (or deep-copied): the slices
+// handed out since the previous Reset alias arena memory.
+func (a *WireArena) Reset() {
+	if a != nil {
+		a.nw, a.nl = 0, 0
+	}
+}

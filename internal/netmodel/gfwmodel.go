@@ -159,6 +159,12 @@ func (g *GFWModel) ActiveAt(day int) bool {
 // the per-probe transaction ID the forged replies echo; query may be a
 // shared read-only template (its Header.ID is ignored).
 func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message, txid uint16, day int) [][]byte {
+	return g.injectInto(nil, target, targetAS, query, txid, day)
+}
+
+// injectInto is Inject with the forged replies built from arena slots
+// (nil arena falls back to heap allocation — the public path).
+func (g *GFWModel) injectInto(arena *WireArena, target ip6.Addr, targetAS *AS, query *dnswire.Message, txid uint16, day int) [][]byte {
 	if targetAS == nil || !g.AffectedASNs[targetAS.ASN] {
 		return nil
 	}
@@ -183,7 +189,10 @@ func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message,
 		RCode:              dnswire.RCodeNoError,
 	}
 	n := 2 + int(rng.Mix(g.seed, target.Hi(), target.Lo(), uint64(day), 0x6f3)%2)
-	out := make([][]byte, 0, n)
+	out := arena.List()
+	if out == nil {
+		out = make([][]byte, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		h := rng.Mix(g.seed, target.Hi(), target.Lo(), uint64(day), uint64(i), 0x9a1)
 		ttl := 60 + uint32(h%240)
@@ -195,12 +204,12 @@ func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message,
 			// the first two events. One allocation per forged message —
 			// the old Reply+Encode pair burned six on the same bytes.
 			a := g.WrongIPv4s[h%uint64(len(g.WrongIPv4s))]
-			wire, err = g.forge(hdr, query, dnswire.TypeA, ttl, a[:])
+			wire, err = g.forge(arena, hdr, query, dnswire.TypeA, ttl, a[:])
 		case InjectTeredo:
 			server := g.TeredoServers[h%uint64(len(g.TeredoServers))]
 			client := g.WrongIPv4s[(h>>8)%uint64(len(g.WrongIPv4s))]
 			aaaa := ip6.TeredoAddr(server, client)
-			wire, err = g.forge(hdr, query, dnswire.TypeAAAA, ttl, aaaa[:])
+			wire, err = g.forge(arena, hdr, query, dnswire.TypeAAAA, ttl, aaaa[:])
 		}
 		if err != nil {
 			// The forged reply is built from validated parts; failing to
@@ -209,19 +218,23 @@ func (g *GFWModel) Inject(target ip6.Addr, targetAS *AS, query *dnswire.Message,
 		}
 		out = append(out, wire)
 	}
-	return out
+	return arena.SealList(out)
 }
 
 // forge encodes one injected reply: the cached-template fast path for
 // the single-question queries every scanner sends, the generic encoder
 // (byte-identical for this shape) for anything else.
-func (g *GFWModel) forge(hdr dnswire.Header, query *dnswire.Message, ansType dnswire.Type, ttl uint32, rdata []byte) ([]byte, error) {
+func (g *GFWModel) forge(arena *WireArena, hdr dnswire.Header, query *dnswire.Message, ansType dnswire.Type, ttl uint32, rdata []byte) ([]byte, error) {
 	q := query.Questions[0]
 	if len(query.Questions) == 1 {
 		if g.noTemplates {
-			return dnswire.AppendReply(nil, hdr, q, ansType, ttl, rdata)
+			wire, err := dnswire.AppendReply(arena.Wire(), hdr, q, ansType, ttl, rdata)
+			if err != nil {
+				return nil, err
+			}
+			return arena.Seal(wire), nil
 		}
-		return g.forgeFromTemplate(hdr, q, ansType, ttl, rdata)
+		return g.forgeFromTemplate(arena, hdr, q, ansType, ttl, rdata)
 	}
 	reply := &dnswire.Message{Header: hdr, Questions: query.Questions}
 	rr := dnswire.RR{Name: q.Name, Type: ansType, TTL: ttl}
@@ -240,7 +253,7 @@ func (g *GFWModel) forge(hdr dnswire.Header, query *dnswire.Message, ansType dns
 // the message out as header (ID at 0, flags at 2), question, then a
 // single answer whose TTL(4), rdlen(2), rdata trail the buffer — so the
 // patch offsets are len-relative constants captured at template build.
-func (g *GFWModel) forgeFromTemplate(hdr dnswire.Header, q dnswire.Question, ansType dnswire.Type, ttl uint32, rdata []byte) ([]byte, error) {
+func (g *GFWModel) forgeFromTemplate(arena *WireArena, hdr dnswire.Header, q dnswire.Question, ansType dnswire.Type, ttl uint32, rdata []byte) ([]byte, error) {
 	key := injectKey{name: q.Name, qtype: q.Type, qclass: q.Class, rd: hdr.RecursionDesired, ansType: ansType}
 	v, ok := g.templates.Load(key)
 	if !ok {
@@ -254,8 +267,7 @@ func (g *GFWModel) forgeFromTemplate(hdr dnswire.Header, q dnswire.Question, ans
 		v, _ = g.templates.LoadOrStore(key, &injectTemplate{wire: tw, ttlOff: rdOff - 6, rdOff: rdOff})
 	}
 	t := v.(*injectTemplate)
-	wire := make([]byte, len(t.wire))
-	copy(wire, t.wire)
+	wire := arena.Seal(append(arena.Wire(), t.wire...))
 	binary.BigEndian.PutUint16(wire, hdr.ID)
 	binary.BigEndian.PutUint32(wire[t.ttlOff:], ttl)
 	copy(wire[t.rdOff:], rdata)

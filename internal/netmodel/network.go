@@ -41,6 +41,13 @@ type Probe struct {
 	// decoded from Payload as always, with the ID taken from the wire.
 	Query *dnswire.Message
 	TxID  uint16
+
+	// Arena, when non-nil, recycles the response's DNS wire buffers:
+	// replies are appended into arena slots instead of fresh heap
+	// allocations, and the caller reuses them by Reset once the response
+	// is consumed. The scan engine pairs one arena with each batch; nil
+	// (the default) keeps per-probe heap allocation.
+	Arena *WireArena
 }
 
 // RespKind is the wire-level response type.
@@ -433,7 +440,7 @@ func (n *Network) probeDNS(p Probe, res resolution) Response {
 	// target itself.
 	if n.GFW != nil {
 		targetAS := n.AS.Lookup(p.Target)
-		if injected := n.GFW.Inject(p.Target, targetAS, query, txid, p.Day); len(injected) > 0 {
+		if injected := n.GFW.injectInto(p.Arena, p.Target, targetAS, query, txid, p.Day); len(injected) > 0 {
 			resp.DNS = injected
 			resp.InjectedCount = len(injected)
 			resp.Kind = RespDNS
@@ -454,8 +461,11 @@ func (n *Network) probeDNS(p Probe, res resolution) Response {
 		}
 	}
 	if behavior != DNSNone {
-		if wire := n.answerDNS(p.Target, behavior, query, txid, p.Day); wire != nil {
-			resp.DNS = append(resp.DNS, wire)
+		if wire := n.answerDNS(p.Arena, p.Target, behavior, query, txid, p.Day); wire != nil {
+			if resp.DNS == nil {
+				resp.DNS = p.Arena.List()
+			}
+			resp.DNS = p.Arena.SealList(append(resp.DNS, wire))
 			resp.Kind = RespDNS
 		}
 	}
@@ -470,7 +480,7 @@ func syntheticAAAA(qname string) ip6.Addr {
 	return ip6.AddrFromUint64s(0x2a0e_b107_0000_0000|h>>40, h)
 }
 
-func (n *Network) answerDNS(src ip6.Addr, behavior DNSBehavior, query *dnswire.Message, txid uint16, day int) []byte {
+func (n *Network) answerDNS(arena *WireArena, src ip6.Addr, behavior DNSBehavior, query *dnswire.Message, txid uint16, day int) []byte {
 	q := query.Questions[0]
 	// replyHeader is the header every branch shares; AppendReply takes it
 	// directly for the single-allocation fast paths, the slow branches
@@ -484,7 +494,7 @@ func (n *Network) answerDNS(src ip6.Addr, behavior DNSBehavior, query *dnswire.M
 	switch behavior {
 	case DNSRefusing:
 		hdr.RCode = dnswire.RCodeRefused
-		return n.replyWire(query, hdr, 0, 0, nil)
+		return n.replyWire(arena, query, hdr, 0, 0, nil)
 	case DNSOpenResolver, DNSProxy:
 		hdr.RecursionAvailable = true
 		if inOurZone {
@@ -500,9 +510,9 @@ func (n *Network) answerDNS(src ip6.Addr, behavior DNSBehavior, query *dnswire.M
 		}
 		if q.Type == dnswire.TypeAAAA {
 			aaaa := syntheticAAAA(q.Name)
-			return n.replyWire(query, hdr, dnswire.TypeAAAA, 300, aaaa[:])
+			return n.replyWire(arena, query, hdr, dnswire.TypeAAAA, 300, aaaa[:])
 		}
-		return n.replyWire(query, hdr, 0, 0, nil)
+		return n.replyWire(arena, query, hdr, 0, 0, nil)
 	case DNSReferral:
 		// Upward referral to the root zone; multi-record authority
 		// sections go through the generic encoder.
@@ -516,7 +526,7 @@ func (n *Network) answerDNS(src ip6.Addr, behavior DNSBehavior, query *dnswire.M
 		// Incorrect status codes or referrals to localhost.
 		if rng.Mix(src.Hi(), src.Lo(), uint64(day), 0xb40c)%2 == 0 {
 			hdr.RCode = dnswire.RCodeNotImp
-			return n.replyWire(query, hdr, 0, 0, nil)
+			return n.replyWire(arena, query, hdr, 0, 0, nil)
 		}
 		reply := &dnswire.Message{Header: hdr, Questions: query.Questions}
 		reply.Answers = append(reply.Answers, dnswire.RR{
@@ -530,17 +540,19 @@ func (n *Network) answerDNS(src ip6.Addr, behavior DNSBehavior, query *dnswire.M
 // replyWire encodes a reply to query: header hdr, the question section
 // echoed, and (when ansType != 0) one address answer named after the
 // first question. Single-question queries — every query the scanner
-// sends — take the one-allocation dnswire.AppendReply fast path;
-// anything else falls back to the generic encoder, whose output the fast
-// path matches byte for byte. Invalid names panic as the old Encode path
-// did (they were parsed off the wire, so failure is a programming error).
-func (n *Network) replyWire(query *dnswire.Message, hdr dnswire.Header, ansType dnswire.Type, ttl uint32, rdata []byte) []byte {
+// sends — take the dnswire.AppendReply fast path, appending into a
+// recycled arena slot when one is supplied (one allocation without,
+// zero steady-state with); anything else falls back to the generic
+// encoder, whose output the fast path matches byte for byte. Invalid
+// names panic as the old Encode path did (they were parsed off the
+// wire, so failure is a programming error).
+func (n *Network) replyWire(arena *WireArena, query *dnswire.Message, hdr dnswire.Header, ansType dnswire.Type, ttl uint32, rdata []byte) []byte {
 	if len(query.Questions) == 1 {
-		wire, err := dnswire.AppendReply(nil, hdr, query.Questions[0], ansType, ttl, rdata)
+		wire, err := dnswire.AppendReply(arena.Wire(), hdr, query.Questions[0], ansType, ttl, rdata)
 		if err != nil {
 			panic("netmodel: encoding DNS answer: " + err.Error())
 		}
-		return wire
+		return arena.Seal(wire)
 	}
 	reply := &dnswire.Message{Header: hdr, Questions: query.Questions}
 	if ansType != 0 {

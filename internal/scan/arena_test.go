@@ -1,0 +1,74 @@
+package scan
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+// TestScanDNSDeepCopy pins the batch-recycled DNS payloads: Scan's
+// materialized results must stay byte-identical to an independent
+// per-target ProbeOne reference even after further scans reuse the
+// pooled arenas — i.e. the wrapper really deep-copied the wires out of
+// the recycled buffers rather than aliasing them.
+func TestScanDNSDeepCopy(t *testing.T) {
+	n := testNet(t)
+	// GFW-affected targets: every UDP/53 probe draws 2-3 injected
+	// responses, so DNS payloads appear throughout the result set.
+	p := ip6.MustParsePrefix("240e::/64")
+	targets := make([]ip6.Addr, 64)
+	for i := range targets {
+		targets[i] = p.NthAddr(uint64(i))
+	}
+	targets = append(targets, ip6.MustParseAddr("2001:100::53"))
+
+	cfg := DefaultConfig(7)
+	cfg.BatchSize = 3 // force many flushes → heavy arena recycling
+	cfg.Workers = 4
+	s := New(n, cfg)
+	protos := []netmodel.Protocol{netmodel.UDP53, netmodel.ICMP}
+
+	first, _, err := s.Scan(context.Background(), targets, protos, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An independent reference: ProbeOne allocates DNS on the heap (nil
+	// arena), untouched by any recycling.
+	ref := New(n, cfg)
+	wantDNS := 0
+	for i, tgt := range targets {
+		for j, proto := range protos {
+			want := ref.ProbeOne(tgt, proto, 9)
+			if got := first[i*len(protos)+j]; !reflect.DeepEqual(got, want) {
+				t.Fatalf("target %v proto %v: scanned %+v, reference %+v", tgt, proto, got, want)
+			}
+			wantDNS += len(want.DNS)
+		}
+	}
+	if wantDNS == 0 {
+		t.Fatal("world produced no DNS payloads; the deep-copy path was not exercised")
+	}
+
+	// Snapshot the first scan's DNS bytes, run more scans on the same
+	// scanner (same arena pool), and verify nothing was overwritten.
+	type snap struct{ idx, msg int }
+	saved := make(map[snap][]byte)
+	for i, r := range first {
+		for m, wire := range r.DNS {
+			saved[snap{i, m}] = append([]byte(nil), wire...)
+		}
+	}
+	for day := 10; day < 13; day++ {
+		if _, _, err := s.Scan(context.Background(), targets, protos, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, want := range saved {
+		if got := first[k.idx].DNS[k.msg]; string(got) != string(want) {
+			t.Fatalf("result %d message %d mutated by later scans", k.idx, k.msg)
+		}
+	}
+}

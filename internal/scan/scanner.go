@@ -150,6 +150,12 @@ type Scanner struct {
 	// must not retain batches, which is what makes this reuse sound.
 	bufPool sync.Pool
 
+	// arenaPool recycles the per-batch DNS wire arenas (UDP/53 streams
+	// only). The same no-retention contract covers the payloads: a sink
+	// keeping Result.DNS past its return must deep-copy, as Scan's
+	// materializing wrapper does.
+	arenaPool sync.Pool
+
 	// dispatch is the optional shard hand-out order of the sharded
 	// stream path (SetDispatchOrder); nil means canonical ascending.
 	dispatchMu sync.Mutex
@@ -239,12 +245,23 @@ func (s *Scanner) lost(a ip6.Addr, p netmodel.Protocol, day, attempt int) bool {
 // ProbeOne probes a single target with a single protocol, honoring loss
 // and retries.
 func (s *Scanner) ProbeOne(target ip6.Addr, proto netmodel.Protocol, day int) Result {
+	return s.probeOne(target, proto, day, nil)
+}
+
+// probeOne is ProbeOne with the response's DNS wire buffers drawn from
+// arena slots when one is supplied — the streaming engine's path, which
+// pairs an arena with each batch and recycles both together. The
+// returned Result's DNS slices then alias arena memory and are only
+// valid until the arena resets.
+func (s *Scanner) probeOne(target ip6.Addr, proto netmodel.Protocol, day int, arena *netmodel.WireArena) Result {
 	res := Result{Target: target, Proto: proto, Day: day}
 	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
 		if s.lost(target, proto, day, attempt) {
 			continue
 		}
-		resp := s.net.Probe(s.buildProbe(target, proto, day))
+		pr := s.buildProbe(target, proto, day)
+		pr.Arena = arena
+		resp := s.net.Probe(pr)
 		if resp.Kind == netmodel.RespNone {
 			// Genuine silence: retrying cannot change the outcome, the
 			// world is deterministic within a day.
@@ -315,7 +332,18 @@ func (s *Scanner) Scan(ctx context.Context, targets []ip6.Addr, protos []netmode
 	st, err := s.Stream(ctx, targets, protos, day, func(b *Batch) error {
 		// Batches write disjoint index ranges, so no locking is needed.
 		for i := range b.Results {
-			results[b.OrigIndex(i)] = b.Results[i]
+			r := b.Results[i]
+			if len(r.DNS) > 0 {
+				// The engine recycles the DNS wire buffers together with
+				// the batch; the materialized result set outlives both,
+				// so the payloads are deep-copied out here.
+				dns := make([][]byte, len(r.DNS))
+				for j, w := range r.DNS {
+					dns[j] = append([]byte(nil), w...)
+				}
+				r.DNS = dns
+			}
+			results[b.OrigIndex(i)] = r
 		}
 		return nil
 	})

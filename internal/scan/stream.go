@@ -55,6 +55,12 @@ type Batch struct {
 	start   int
 	orig    []int
 	nprotos int
+
+	// arena owns the DNS wire buffers the batch's Results reference
+	// (UDP/53 streams only). It is recycled together with the Results
+	// buffer, which is why sinks must deep-copy DNS payloads they want
+	// to retain past the sink call.
+	arena *netmodel.WireArena
 }
 
 // OrigIndex returns the position of Results[i] in the canonical
@@ -267,6 +273,7 @@ func (r *streamRun) newShardProbe(shard int, orig []int, size int) *shardProbe {
 	}
 	b := &Batch{Shard: shard, orig: orig, nprotos: len(r.protos)}
 	b.Results = r.s.getBuf(need)
+	b.arena = r.s.getArena(r.protos)
 	return &shardProbe{run: r, shard: shard, b: b, need: need}
 }
 
@@ -287,6 +294,7 @@ func (p *shardProbe) flush() error {
 		full := p.b
 		p.b = &Batch{Shard: p.shard, Seq: full.Seq + 1, start: p.pos, orig: full.orig, nprotos: full.nprotos}
 		p.b.Results = r.s.getBuf(p.need)
+		p.b.arena = r.s.getArena(r.protos)
 		r.queue.enqueue(full)
 		return nil
 	}
@@ -296,6 +304,9 @@ func (p *shardProbe) flush() error {
 	p.b.Seq++
 	p.b.start = p.pos
 	p.b.Results = p.b.Results[:0]
+	// The sink has consumed (or deep-copied) every result, so the DNS
+	// buffers its rows referenced are free to reuse for the next batch.
+	p.b.arena.Reset()
 	p.b.Stats = Stats{}
 	return nil
 }
@@ -310,7 +321,7 @@ func (p *shardProbe) probe(targets []ip6.Addr) error {
 	defer func() { r.total.addNanos(p.shard, time.Since(t0)) }()
 	for _, t := range targets {
 		for _, proto := range r.protos {
-			res := r.s.ProbeOne(t, proto, r.day)
+			res := r.s.probeOne(t, proto, r.day, p.b.arena)
 			p.b.Stats.ProbesSent += uint64(res.Attempts)
 			if res.Kind != netmodel.RespNone {
 				p.b.Stats.Responses++
@@ -347,12 +358,15 @@ func (p *shardProbe) finish() error {
 	return err
 }
 
-// release returns the probe's buffer to the pool; idempotent.
+// release returns the probe's buffer and arena to their pools;
+// idempotent.
 func (p *shardProbe) release() {
 	if !p.released {
 		p.released = true
 		p.run.s.putBuf(p.b.Results)
+		p.run.s.putArena(p.b.arena)
 		p.b.Results = nil
+		p.b.arena = nil
 	}
 }
 
@@ -700,6 +714,7 @@ func newSinkQueue(s *Scanner, sink Sink, depth int, fail func(error)) *sinkQueue
 				}
 			}
 			s.putBuf(b.Results)
+			s.putArena(b.arena)
 		}
 	}()
 	return q
@@ -732,6 +747,34 @@ func (s *Scanner) putBuf(buf []Result) {
 	buf = buf[:cap(buf)]
 	clear(buf)
 	s.bufPool.Put(buf[:0])
+}
+
+// getArena returns a pooled DNS wire arena for a stream probing UDP/53,
+// nil otherwise — non-DNS streams never touch the arena machinery.
+func (s *Scanner) getArena(protos []netmodel.Protocol) *netmodel.WireArena {
+	dns := false
+	for _, p := range protos {
+		if p == netmodel.UDP53 {
+			dns = true
+			break
+		}
+	}
+	if !dns {
+		return nil
+	}
+	if a, ok := s.arenaPool.Get().(*netmodel.WireArena); ok {
+		return a
+	}
+	return new(netmodel.WireArena)
+}
+
+// putArena resets an arena — its batch's results are fully consumed —
+// and parks it; nil-safe.
+func (s *Scanner) putArena(a *netmodel.WireArena) {
+	if a != nil {
+		a.Reset()
+		s.arenaPool.Put(a)
+	}
 }
 
 // ShardStats is one canonical shard's slice of a stream's throughput

@@ -55,7 +55,19 @@ func TestStreamScanEquivalence(t *testing.T) {
 				mu.Lock()
 				defer mu.Unlock()
 				for i := range b.Results {
-					got[b.OrigIndex(i)] = b.Results[i]
+					r := b.Results[i]
+					// Retaining sinks deep-copy DNS payloads: the wire
+					// buffers recycle with the batch. The DeepEqual
+					// against Scan below pins that the wrapper's own
+					// deep-copy reproduces the streamed bytes exactly.
+					if len(r.DNS) > 0 {
+						dns := make([][]byte, len(r.DNS))
+						for j, w := range r.DNS {
+							dns[j] = append([]byte(nil), w...)
+						}
+						r.DNS = dns
+					}
+					got[b.OrigIndex(i)] = r
 				}
 				return nil
 			})

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+
+	"hitlist6/internal/dnswire"
+)
+
+// TestServeDNSAlloc pins the DNS query hot path at zero allocations per
+// query: decode into a warmed Scratch, binary-search point lookups on
+// the frozen snapshot, and AppendReplyRaw into a reused reply buffer.
+// It runs in CI next to the ProbeOne guards; a regression here is a
+// serving-throughput regression.
+func TestServeDNSAlloc(t *testing.T) {
+	snap, addrs := testSnapshot(t)
+	h := NewHandle()
+	h.Publish(snap)
+	r := NewDNSResponder(h, "hitlist6.test")
+
+	var sc Scratch
+	out := make([]byte, 0, 512)
+	// One query per dataset family, hits and misses both — every branch
+	// of the answer path must stay allocation-free.
+	var queries [][]byte
+	for _, q := range []struct {
+		key     string
+		dataset string
+	}{
+		{"live", "live"}, {"nothing", "live"},
+		{"live", "icmp"}, {"udp53", "udp53"},
+		{"alias", "alias"}, {"nothing", "alias"},
+		{"gfw", "gfw"}, {"live", "gfw"},
+	} {
+		wire, err := dnswire.NewQuery(7, r.QueryName(addrs[q.key], q.dataset), dnswire.TypeA).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, wire)
+	}
+	// Warm the scratch name buffer.
+	for _, q := range queries {
+		out = r.Respond(q, out[:0], &sc)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		for _, q := range queries {
+			out = r.Respond(q, out[:0], &sc)
+			if out == nil {
+				t.Fatal("query dropped")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DNS serve path allocs per %d queries = %v, want 0", len(queries), allocs)
+	}
+}

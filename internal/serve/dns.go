@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"encoding/binary"
+
+	"hitlist6/internal/dnswire"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+// The DNS query grammar is rbldnsd's: one dataset per subzone, the
+// looked-up key as the first label. A query asks
+//
+//	<32-hex-digit address>.<dataset>.<zone>    IN A
+//
+// where dataset is "live" (responsive on any protocol), a protocol name
+// ("icmp", "tcp443", "tcp80", "udp443", "udp53"), "alias" (inside a
+// detected alias prefix) or "gfw" (GFW DNS-injection evidence). A hit
+// answers A 127.0.0.2 (the rbldnsd listed-convention); for alias hits
+// the TTL carries the matched prefix length, otherwise it is ServeTTL.
+// A miss answers NXDOMAIN. The 32-digit form is ip6.Addr.FullHex — one
+// label, fitting DNS's 63-octet limit with room to spare.
+
+// ServeTTL is the answer TTL for non-alias hits.
+const ServeTTL = 300
+
+// listedA is the rbldnsd-style "listed" answer payload.
+var listedA = [4]byte{127, 0, 0, 2}
+
+// typeANY is the QTYPE * (any); dnswire defines only concrete RR types.
+const typeANY dnswire.Type = 255
+
+// protoLabels maps netmodel.Protocol values to their DNS-safe dataset
+// labels (Protocol.String uses "TCP/443"-style names, which are not
+// valid labels).
+var protoLabels = [netmodel.NumProtocols]string{
+	netmodel.ICMP:   "icmp",
+	netmodel.TCP443: "tcp443",
+	netmodel.TCP80:  "tcp80",
+	netmodel.UDP443: "udp443",
+	netmodel.UDP53:  "udp53",
+}
+
+// DNSResponder answers hitlist queries for one zone from a Handle's
+// current snapshot. It is stateless apart from the handle and zone, so
+// one responder is shared by any number of server goroutines; the
+// per-goroutine mutable state lives in Scratch.
+type DNSResponder struct {
+	h    *Handle
+	zone string // normalized, non-empty
+}
+
+// NewDNSResponder builds a responder serving the given zone (e.g.
+// "hitlist6.test"); the zone is normalized like every other name.
+func NewDNSResponder(h *Handle, zone string) *DNSResponder {
+	return &DNSResponder{h: h, zone: dnswire.NormalizeName(zone)}
+}
+
+// Zone returns the normalized zone the responder is authoritative for.
+func (r *DNSResponder) Zone() string { return r.zone }
+
+// Scratch is the per-goroutine reusable state of Respond: the decoded
+// query view whose name buffer is recycled across packets. The zero
+// value is ready to use.
+type Scratch struct {
+	q dnswire.ServerQuery
+}
+
+// Respond answers one wire-format query, appending the reply to dst and
+// returning it (dst's backing array is reused across calls — pass the
+// previous reply re-sliced to [:0]). It returns nil when the packet
+// should be dropped (responses, non-queries). With a warmed Scratch and
+// a reply-sized dst the call performs zero allocations: decode reuses
+// the scratch name buffer, the snapshot lookup is binary searches, and
+// the encode is dnswire.AppendReplyRaw into dst.
+func (r *DNSResponder) Respond(msg []byte, dst []byte, sc *Scratch) []byte {
+	q := &sc.q
+	if err := dnswire.DecodeQueryInto(msg, q); err != nil {
+		if err == dnswire.ErrNotAQuery {
+			return nil // never answer answers
+		}
+		if len(msg) >= 12 {
+			return appendHeaderOnly(dst, binary.BigEndian.Uint16(msg), dnswire.RCodeFormErr)
+		}
+		return nil
+	}
+	hdr := dnswire.Header{
+		ID:               q.ID,
+		Response:         true,
+		Authoritative:    true,
+		RecursionDesired: q.RecursionDesired,
+	}
+	if q.Class != dnswire.ClassIN && dnswire.Type(q.Class) != typeANY {
+		hdr.RCode = dnswire.RCodeRefused
+		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
+	}
+	key, dataset, inZone := r.splitName(q.Name)
+	if !inZone {
+		hdr.Authoritative = false
+		hdr.RCode = dnswire.RCodeRefused
+		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
+	}
+	if len(dataset) == 0 && len(key) == 0 {
+		// Zone apex: authoritative, no data for any of our types.
+		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
+	}
+	snap := r.h.Current()
+	if snap == nil {
+		hdr.RCode = dnswire.RCodeServFail
+		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
+	}
+	hit, ttl := lookupDataset(snap, key, dataset)
+	if !hit {
+		hdr.RCode = dnswire.RCodeNXDomain
+		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
+	}
+	if q.Type != dnswire.TypeA && q.Type != typeANY {
+		// Listed, but not the type asked for: NOERROR, no data.
+		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
+	}
+	return dnswire.AppendReplyRaw(dst, hdr, q.Raw, dnswire.TypeA, ttl, listedA[:])
+}
+
+// splitName splits a normalized query name into the key label, the
+// dataset label and zone membership. For the zone apex both returns are
+// empty with inZone true.
+func (r *DNSResponder) splitName(name []byte) (key, dataset []byte, inZone bool) {
+	zl := len(r.zone)
+	if len(name) == zl {
+		if string(name) != r.zone {
+			return nil, nil, false
+		}
+		return nil, nil, true
+	}
+	if len(name) < zl+2 || string(name[len(name)-zl:]) != r.zone || name[len(name)-zl-1] != '.' {
+		return nil, nil, false
+	}
+	rest := name[:len(name)-zl-1]
+	for i := len(rest) - 1; i >= 0; i-- {
+		if rest[i] == '.' {
+			return rest[:i], rest[i+1:], true
+		}
+	}
+	return nil, rest, true
+}
+
+// lookupDataset answers one (key, dataset) membership question against
+// a snapshot. Unknown datasets and malformed keys are misses — exactly
+// how a DNS zone treats names that do not exist.
+func lookupDataset(snap *Snapshot, key, dataset []byte) (hit bool, ttl uint32) {
+	a, ok := parseHexAddr(key)
+	if !ok {
+		return false, 0
+	}
+	switch string(dataset) { // compiler-optimized; no allocation
+	case "live":
+		return snap.Any.Has(a), ServeTTL
+	case "alias":
+		if snap.Aliased == nil {
+			return false, 0
+		}
+		if p, ok := snap.Aliased.Match(a); ok {
+			return true, uint32(p.Bits())
+		}
+		return false, 0
+	case "gfw":
+		return snap.Injected.Has(a), ServeTTL
+	default:
+		for p, label := range protoLabels {
+			if string(dataset) == label {
+				return snap.PerProto[p].Has(a), ServeTTL
+			}
+		}
+	}
+	return false, 0
+}
+
+// parseHexAddr parses the 32-digit ip6.Addr.FullHex label form without
+// allocating.
+func parseHexAddr(b []byte) (ip6.Addr, bool) {
+	var a ip6.Addr
+	if len(b) != 32 {
+		return a, false
+	}
+	for i := 0; i < 16; i++ {
+		hi, ok1 := hexVal(b[2*i])
+		lo, ok2 := hexVal(b[2*i+1])
+		if !ok1 || !ok2 {
+			return ip6.Addr{}, false
+		}
+		a[i] = hi<<4 | lo
+	}
+	return a, true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// appendHeaderOnly emits a bare 12-byte error response (no question
+// echo) for packets that failed question parsing.
+func appendHeaderOnly(dst []byte, id uint16, rcode dnswire.RCode) []byte {
+	if cap(dst)-len(dst) < 12 {
+		grown := make([]byte, len(dst), len(dst)+12)
+		copy(grown, dst)
+		dst = grown
+	}
+	start := len(dst)
+	dst = dst[:start+12]
+	binary.BigEndian.PutUint16(dst[start:], id)
+	binary.BigEndian.PutUint16(dst[start+2:], 0x8000|uint16(rcode)) // QR, rcode
+	for i := 4; i < 12; i += 2 {
+		binary.BigEndian.PutUint16(dst[start+i:], 0)
+	}
+	return dst
+}
+
+// QueryName appends the query name for (addr, dataset) under the
+// responder's zone — the client-side counterpart of the grammar above,
+// used by tests, benchmarks and the smoke client.
+func (r *DNSResponder) QueryName(a ip6.Addr, dataset string) string {
+	return a.FullHex() + "." + dataset + "." + r.zone
+}

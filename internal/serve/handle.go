@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"hitlist6/internal/ip6"
+)
+
+// Handle is the publication point between the scanning pipeline and the
+// query servers: one atomic pointer to the current Snapshot. Publish is
+// a single pointer store (plus a generation stamp); Current is a single
+// pointer load. Readers therefore never lock and never observe a
+// half-built snapshot, and the writer never waits for readers — old
+// snapshots stay valid for queries already holding them and are
+// reclaimed by the garbage collector once the last reader drops theirs.
+type Handle struct {
+	cur atomic.Pointer[Snapshot]
+	gen atomic.Uint64
+}
+
+// NewHandle returns an empty handle; Current returns nil until the
+// first Publish.
+func NewHandle() *Handle { return &Handle{} }
+
+// Publish stamps s with the next generation and makes it the current
+// snapshot. s must not be mutated afterwards.
+func (h *Handle) Publish(s *Snapshot) {
+	s.Generation = h.gen.Add(1)
+	h.cur.Store(s)
+}
+
+// Current returns the most recently published snapshot, or nil before
+// the first publication. The result is immutable and safe to query for
+// any length of time.
+func (h *Handle) Current() *Snapshot { return h.cur.Load() }
+
+// Lookup answers one point query against the current snapshot. The
+// snapshot pointer is loaded exactly once, so all fields of the Answer
+// are consistent with one publication. ok is false before the first
+// Publish.
+func (h *Handle) Lookup(a ip6.Addr) (ans Answer, ok bool) {
+	s := h.cur.Load()
+	if s == nil {
+		return Answer{}, false
+	}
+	return s.Lookup(a), true
+}

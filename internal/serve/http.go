@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+// HTTPAnswer is the JSON shape of one query response. Protocol keys use
+// the same DNS-safe labels as the DNS datasets ("icmp", "tcp443", ...),
+// so the two front ends are diffable row for row.
+type HTTPAnswer struct {
+	Addr        string          `json:"addr"`
+	Day         int             `json:"day"`
+	Generation  uint64          `json:"generation"`
+	Live        bool            `json:"live"`
+	Protocols   map[string]bool `json:"protocols,omitempty"`
+	Aliased     bool            `json:"aliased"`
+	AliasPrefix string          `json:"alias_prefix,omitempty"`
+	GFWInjected bool            `json:"gfw_injected"`
+}
+
+// HTTPSnapshotInfo is the JSON shape of the snapshot metadata endpoint.
+type HTTPSnapshotInfo struct {
+	Day             int            `json:"day"`
+	Generation      uint64         `json:"generation"`
+	LiveAddrs       int            `json:"live_addrs"`
+	Protocols       map[string]int `json:"protocols,omitempty"`
+	AliasedPrefixes int            `json:"aliased_prefixes"`
+	GFWAddrs        int            `json:"gfw_addrs"`
+}
+
+// answerJSON converts a point answer to its JSON shape.
+func answerJSON(a ip6.Addr, ans Answer) HTTPAnswer {
+	out := HTTPAnswer{
+		Addr:        a.String(),
+		Day:         ans.Day,
+		Generation:  ans.Generation,
+		Live:        ans.Live,
+		Aliased:     ans.Aliased,
+		GFWInjected: ans.Injected,
+	}
+	if ans.Protos != 0 {
+		out.Protocols = make(map[string]bool, netmodel.NumProtocols)
+		for _, p := range netmodel.Protocols {
+			if ans.Protos.Has(p) {
+				out.Protocols[protoLabels[p]] = true
+			}
+		}
+	}
+	if ans.Aliased {
+		out.AliasPrefix = ans.AliasPrefix.String()
+	}
+	return out
+}
+
+// NewHTTPHandler returns the HTTP/JSON front end over a handle:
+//
+//	GET /v1/query?addr=2001:db8::1   → HTTPAnswer
+//	GET /v1/snapshot                  → HTTPSnapshotInfo
+//	GET /healthz                      → 200 once a snapshot is published
+//
+// Handlers read the snapshot through Handle.Lookup / Handle.Current, so
+// every response is consistent with exactly one publication; the DNS
+// path stays the allocation-free one, HTTP trades a few allocations for
+// the JSON ergonomics.
+func NewHTTPHandler(h *Handle) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, req *http.Request) {
+		a, err := ip6.ParseAddr(req.URL.Query().Get("addr"))
+		if err != nil {
+			http.Error(w, "bad or missing addr parameter", http.StatusBadRequest)
+			return
+		}
+		ans, ok := h.Lookup(a)
+		if !ok {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, answerJSON(a, ans))
+	})
+	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		s := h.Current()
+		if s == nil {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		info := HTTPSnapshotInfo{
+			Day:        s.Day,
+			Generation: s.Generation,
+			LiveAddrs:  s.Any.Len(),
+			GFWAddrs:   s.Injected.Len(),
+		}
+		if s.Aliased != nil {
+			info.AliasedPrefixes = s.Aliased.Len()
+		}
+		for p, set := range s.PerProto {
+			if set != nil {
+				if info.Protocols == nil {
+					info.Protocols = make(map[string]int, netmodel.NumProtocols)
+				}
+				info.Protocols[protoLabels[p]] = set.Len()
+			}
+		}
+		writeJSON(w, info)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if h.Current() == nil {
+			http.Error(w, "no snapshot", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

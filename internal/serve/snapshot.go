@@ -1,0 +1,106 @@
+// Package serve is the hitlist-as-a-service read path: immutable
+// snapshots of the service's published state (per-protocol liveness,
+// alias prefixes, GFW-injection verdicts) answered over DNS and
+// HTTP/JSON at high QPS while the scan timeline keeps advancing.
+//
+// The design is copy-on-publish: at each digest finalization the
+// pipeline freezes its mutable sharded sets into sorted point-lookup
+// indexes (ip6.SortedShardSet, a frozen ip6.PrefixSet), assembles them
+// into one Snapshot, and swaps it into a Handle with a single atomic
+// pointer store. Readers load the pointer once per query and answer
+// everything from that one immutable snapshot — no locks, no torn reads
+// across liveness/alias/GFW fields, and writers never wait for readers.
+// The DNS hot path (dnswire.DecodeQueryInto → binary search →
+// dnswire.AppendReplyRaw) answers with zero allocations per query.
+package serve
+
+import (
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+)
+
+// Snapshot is one immutable, fully frozen view of the service's
+// queryable state. Every field is read-only after construction; a
+// Snapshot is shared by any number of concurrent readers without
+// synchronization. Nil set fields answer "no" (a snapshot built from a
+// bare .hl6 hitlist has only Any).
+type Snapshot struct {
+	// Day is the scan day the snapshot was finalized on.
+	Day int
+
+	// Generation is the Handle's publish counter, assigned by Publish —
+	// distinct for every published snapshot even if two scans land on
+	// the same day.
+	Generation uint64
+
+	// Any holds the addresses responsive on at least one protocol in
+	// the snapshot's scan (the published hitlist).
+	Any *ip6.SortedShardSet
+
+	// PerProto holds the clean responders per probed protocol; nil
+	// entries were not probed.
+	PerProto [netmodel.NumProtocols]*ip6.SortedShardSet
+
+	// Aliased is a frozen private copy of the detected alias prefixes.
+	Aliased *ip6.PrefixSet
+
+	// Injected holds every address that ever showed GFW DNS-injection
+	// evidence.
+	Injected *ip6.SortedShardSet
+}
+
+// Answer is the result of one point query, derived from exactly one
+// snapshot — the consistency unit the race tests pin.
+type Answer struct {
+	Day        int
+	Generation uint64
+
+	// Live is any-protocol liveness in the snapshot's scan.
+	Live bool
+	// Protos is the per-protocol liveness bitmask.
+	Protos netmodel.ProtoSet
+
+	Aliased     bool
+	AliasPrefix ip6.Prefix
+
+	// Injected reports GFW DNS-injection evidence.
+	Injected bool
+}
+
+// NewSnapshot assembles a snapshot from frozen components, building the
+// frozen alias index from the prefix list (the caller's PrefixSet keeps
+// mutating with the timeline, so the copy is what makes the snapshot
+// immutable).
+func NewSnapshot(day int, any *ip6.SortedShardSet, perProto [netmodel.NumProtocols]*ip6.SortedShardSet, aliased []ip6.Prefix, injected *ip6.SortedShardSet) *Snapshot {
+	s := &Snapshot{Day: day, Any: any, PerProto: perProto, Injected: injected}
+	if len(aliased) > 0 {
+		ps := ip6.NewPrefixSet()
+		for _, p := range aliased {
+			ps.Add(p)
+		}
+		ps.Freeze()
+		s.Aliased = ps
+	}
+	return s
+}
+
+// Lookup answers every query dimension for one address from this
+// snapshot. It allocates nothing: three binary searches over packed
+// sorted arrays plus one segment-index lookup.
+func (s *Snapshot) Lookup(a ip6.Addr) Answer {
+	ans := Answer{Day: s.Day, Generation: s.Generation}
+	sh := ip6.ShardOf(a)
+	ans.Live = s.Any.HasInShard(sh, a)
+	for i := range s.PerProto {
+		if s.PerProto[i].HasInShard(sh, a) {
+			ans.Protos = ans.Protos.With(netmodel.Protocol(i))
+		}
+	}
+	if s.Aliased != nil {
+		if p, ok := s.Aliased.Match(a); ok {
+			ans.Aliased, ans.AliasPrefix = true, p
+		}
+	}
+	ans.Injected = s.Injected.HasInShard(sh, a)
+	return ans
+}

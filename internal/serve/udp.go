@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"errors"
+	"net"
+)
+
+// maxUDPQuery bounds the receive buffer; queries are tiny, and anything
+// larger than a full EDNS payload is not a query we answer.
+const maxUDPQuery = 4096
+
+// ServeUDP answers DNS queries from conn until the connection is closed
+// (the shutdown signal: close the conn, the loop returns nil). Each call
+// runs one receive loop with its own Scratch and reply buffer; run
+// several goroutines over the same PacketConn to serve multi-core —
+// the responder is stateless and the snapshot handle lock-free, so loops
+// scale without coordination.
+func ServeUDP(conn net.PacketConn, r *DNSResponder) error {
+	buf := make([]byte, maxUDPQuery)
+	out := make([]byte, 0, 512)
+	var sc Scratch
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if resp := r.Respond(buf[:n], out[:0], &sc); resp != nil {
+			out = resp
+			if _, err := conn.WriteTo(resp, addr); err != nil && errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+		}
+	}
+}
