@@ -8,8 +8,11 @@ import (
 	"os"
 	"strings"
 
+	"hitlist6/internal/ckpt"
+	"hitlist6/internal/core"
 	"hitlist6/internal/hlfile"
 	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
 	"hitlist6/internal/rng"
 )
 
@@ -172,8 +175,12 @@ func hl6Info(args []string) {
 	fs := flag.NewFlagSet("hl6 info", flag.ExitOnError)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hitlist6 hl6 info file.hl6")
+		fmt.Fprintln(os.Stderr, "usage: hitlist6 hl6 info file.hl6|checkpoint-dir")
 		os.Exit(2)
+	}
+	if st, err := os.Stat(fs.Arg(0)); err == nil && st.IsDir() {
+		ckptInfo(fs.Arg(0))
+		return
 	}
 	r, err := hlfile.Open(fs.Arg(0))
 	if err != nil {
@@ -197,6 +204,52 @@ func hl6Info(args []string) {
 	fmt.Printf("shards:          %d (%d non-empty)\n", ip6.AddrShards, nonEmpty)
 	fmt.Printf("shard sizes:     min=%d max=%d\n", minLen, maxLen)
 	fmt.Printf("mmap:            %v\n", r.Mapped())
+}
+
+// ckptInfo prints a checkpoint directory's manifest: scan cursor, serve
+// generation, every payload file with size and item count, and the
+// ingest-journal status next to the directory.
+func ckptInfo(dir string) {
+	resolved, err := ckpt.Resolve(dir)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := ckpt.ReadManifest(resolved)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("checkpoint:      %s\n", resolved)
+	if resolved != dir {
+		fmt.Printf("note:            resolved to the .prev fallback (crash window mid-commit)\n")
+	}
+	lastDay := "none"
+	if m.LastDay >= 0 {
+		lastDay = fmt.Sprintf("%d (%s)", m.LastDay, netmodel.DateString(m.LastDay))
+	}
+	fmt.Printf("scans completed: %d\n", m.ScanIndex)
+	fmt.Printf("last scan day:   %s\n", lastDay)
+	fmt.Printf("generation:      %d\n", m.Generation)
+	var bytes int64
+	for _, fi := range m.Files {
+		bytes += fi.Bytes
+	}
+	fmt.Printf("payload files:   %d (%d bytes)\n", len(m.Files), bytes)
+	for _, fi := range m.Files {
+		if fi.Count > 0 {
+			fmt.Printf("  %-20s %12d bytes %12d items\n", fi.Name, fi.Bytes, fi.Count)
+		} else {
+			fmt.Printf("  %-20s %12d bytes\n", fi.Name, fi.Bytes)
+		}
+	}
+	count, jbytes, ok, err := ckpt.JournalStat(core.JournalPath(dir))
+	if err != nil {
+		fatal(err)
+	}
+	if !ok {
+		fmt.Printf("journal:         none\n")
+	} else {
+		fmt.Printf("journal:         %d records (%d bytes) — mid-scan debris, discarded on resume\n", count, jbytes)
+	}
 }
 
 // hl6Sample prints a deterministic query workload drawn from a .hl6:

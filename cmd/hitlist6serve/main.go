@@ -71,6 +71,7 @@ func main() {
 	}
 
 	h := serve.NewHandle()
+	metrics := serve.NewMetrics()
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
@@ -81,6 +82,7 @@ func main() {
 			fatal(err)
 		}
 		responder := serve.NewDNSResponder(h, *zone)
+		responder.SetMetrics(metrics)
 		// One receive loop per core: the responder is stateless and the
 		// handle lock-free, so loops scale without coordination.
 		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
@@ -98,7 +100,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv := &http.Server{Handler: serve.NewHTTPHandler(h)}
+		srv := &http.Server{Handler: serve.NewHTTPHandlerWithMetrics(h, metrics)}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "http: %v\n", err)

@@ -163,8 +163,18 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile (taken after the scan) to this file")
 		serveAddr   = flag.String("serve", "", "after the scan, answer liveness queries for the distinct-responder set over DNS on this UDP address until SIGINT/SIGTERM (implies -distinct)")
 		serveZone   = flag.String("servezone", "hitlist6.serve", "DNS zone for -serve")
+		timeline    = flag.Bool("timeline", false, "run the full service timeline (one hitlist6-style CSV row per scan) instead of one scan")
+		stride      = flag.Int("stride", 1, "-timeline: run every N-th scheduled scan")
+		ckptDir     = flag.String("ckpt", "", "-timeline: checkpoint directory (enables journaled ingest and checkpoints)")
+		ckptEvery   = flag.Int("ckptevery", 1, "-timeline: checkpoint after every Nth scan (0 = journaled ingest only)")
+		resume      = flag.Bool("resume", false, "-timeline: resume from the checkpoint in -ckpt, re-emitting completed rows")
+		pause       = flag.Duration("pause", 0, "-timeline: pause between scans")
 	)
 	flag.Parse()
+	if *timeline {
+		timelineMain(*scale, *seed, *stride, *ckptDir, *ckptEvery, *resume, *pause)
+		return
+	}
 	if *serveAddr != "" && *spillDir == "" {
 		*distinct = true
 	}

@@ -323,3 +323,31 @@ func Aggregate(aliased []ip6.Prefix) []ip6.Prefix {
 	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
 	return out
 }
+
+// HistoryEntry is one prefix's response-pattern history — the state a
+// checkpoint must carry so a resumed timeline's MergeScans window sees
+// exactly the rounds an uninterrupted run would.
+type HistoryEntry struct {
+	Prefix ip6.Prefix
+	Counts []uint16
+}
+
+// ExportHistory returns the per-prefix detection history sorted by
+// prefix — the deterministic order checkpoint encodings require.
+func (d *Detector) ExportHistory() []HistoryEntry {
+	out := make([]HistoryEntry, 0, len(d.history))
+	for p, h := range d.history {
+		out = append(out, HistoryEntry{Prefix: p, Counts: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i].Prefix, out[j].Prefix) < 0 })
+	return out
+}
+
+// ImportHistory replaces the detector's history with the given entries
+// (copying the count slices).
+func (d *Detector) ImportHistory(entries []HistoryEntry) {
+	d.history = make(map[ip6.Prefix][]uint16, len(entries))
+	for _, e := range entries {
+		d.history[e.Prefix] = append([]uint16(nil), e.Counts...)
+	}
+}

@@ -1,0 +1,339 @@
+// Package ckpt implements crash-consistent checkpoint directories: a set
+// of named payload files plus a manifest recording each file's size and
+// CRC, committed atomically so that a reader always finds either a
+// complete previous checkpoint or a complete new one — never a partial
+// mix, no matter where a crash lands.
+//
+// Write protocol (Begin → Create/Close per file → Commit):
+//
+//  1. every payload file is written into a fresh temp directory next to
+//     the destination and fsynced on close;
+//  2. the manifest — naming every payload file with its byte size and
+//     CRC-64 — is written and fsynced last, so a temp directory holding
+//     a manifest holds everything the manifest promises;
+//  3. Commit renames the previous checkpoint (if any) to dest+".prev",
+//     renames the temp directory to dest, and removes the ".prev" copy.
+//
+// The only crash windows are therefore: no manifest in the temp dir
+// (garbage, ignored), dest missing but dest+".prev" complete (Resolve
+// falls back to it), or both present (dest is newer and wins). Open
+// re-verifies every payload file's size and CRC against the manifest
+// before handing anything to the caller — a truncated, bit-flipped or
+// missing file refuses loudly with ErrCorrupt rather than half-loading.
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the manifest's file name inside a checkpoint directory.
+const ManifestName = "manifest.json"
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+// ErrCorrupt tags every validation failure Open returns (wrapped with
+// detail); errors.Is(err, ErrCorrupt) distinguishes a damaged checkpoint
+// from plain I/O errors.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// crcTable is the CRC-64/ECMA table every file checksum uses.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// FileInfo describes one payload file in the manifest.
+type FileInfo struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	CRC   string `json:"crc64"` // 16 hex digits, CRC-64/ECMA of the contents
+	Count int64  `json:"count,omitempty"`
+}
+
+// Manifest is the checkpoint's table of contents plus the service-level
+// cursor fields the owner stamps at Commit (displayed by `hl6 info`).
+type Manifest struct {
+	Version    int        `json:"version"`
+	ScanIndex  int        `json:"scan_index"`
+	LastDay    int        `json:"last_day"`
+	Generation uint64     `json:"generation"`
+	Files      []FileInfo `json:"files"`
+}
+
+// Writer stages one checkpoint. Files must be created and closed one at
+// a time; Commit finalizes, Abort discards.
+type Writer struct {
+	dest  string
+	tmp   string
+	files []FileInfo
+	done  bool
+}
+
+// Begin stages a checkpoint targeting the directory dest. The temp
+// staging directory is created next to dest (same filesystem, so the
+// commit renames are atomic).
+func Begin(dest string) (*Writer, error) {
+	parent := filepath.Dir(dest)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: creating checkpoint parent: %w", err)
+	}
+	tmp, err := os.MkdirTemp(parent, filepath.Base(dest)+".tmp-")
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: creating staging dir: %w", err)
+	}
+	return &Writer{dest: dest, tmp: tmp}, nil
+}
+
+// File is one payload file being written: an io.Writer that tracks size
+// and CRC, fsyncs on Close, and records itself in the manifest.
+type File struct {
+	w     *Writer
+	name  string
+	f     *os.File
+	crc   hash.Hash64
+	n     int64
+	count int64
+}
+
+// Create opens payload file name in the staging directory. Close the
+// returned File before creating the next one.
+func (w *Writer) Create(name string) (*File, error) {
+	if name == ManifestName || name != filepath.Base(name) {
+		return nil, fmt.Errorf("ckpt: invalid payload file name %q", name)
+	}
+	f, err := os.Create(filepath.Join(w.tmp, name))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: creating %s: %w", name, err)
+	}
+	return &File{w: w, name: name, f: f, crc: crc64.New(crcTable)}, nil
+}
+
+// Write appends to the payload, folding the bytes into the running CRC.
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.f.Write(p)
+	f.crc.Write(p[:n])
+	f.n += int64(n)
+	return n, err
+}
+
+// SetCount records an item count (addresses, records) in the file's
+// manifest entry — display metadata only, not validated.
+func (f *File) SetCount(n int64) { f.count = n }
+
+// Close fsyncs the payload and records its manifest entry.
+func (f *File) Close() error {
+	if err := f.f.Sync(); err != nil {
+		f.f.Close()
+		return fmt.Errorf("ckpt: syncing %s: %w", f.name, err)
+	}
+	if err := f.f.Close(); err != nil {
+		return fmt.Errorf("ckpt: closing %s: %w", f.name, err)
+	}
+	f.w.files = append(f.w.files, FileInfo{
+		Name:  f.name,
+		Bytes: f.n,
+		CRC:   fmt.Sprintf("%016x", f.crc.Sum64()),
+		Count: f.count,
+	})
+	return nil
+}
+
+// Abort discards the staged checkpoint. No-op after Commit or a prior
+// Abort.
+func (w *Writer) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	os.RemoveAll(w.tmp)
+}
+
+// Commit writes the manifest (stamped with the writer's file table) and
+// atomically replaces dest with the staged directory. On error the
+// staging directory is removed and dest is untouched — except in the
+// narrow window between the two renames, which Resolve covers via the
+// ".prev" fallback.
+func (w *Writer) Commit(m Manifest) error {
+	if w.done {
+		return fmt.Errorf("ckpt: writer already finished")
+	}
+	m.Version = Version
+	m.Files = w.files
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		w.Abort()
+		return fmt.Errorf("ckpt: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := writeFileSync(filepath.Join(w.tmp, ManifestName), data); err != nil {
+		w.Abort()
+		return err
+	}
+	// Make the staged directory's entries durable before it becomes
+	// reachable under the destination name.
+	syncDir(w.tmp)
+
+	prev := w.dest + ".prev"
+	// A stale .prev can only be debris from an earlier crash inside this
+	// window; the live checkpoint at dest supersedes it.
+	if err := os.RemoveAll(prev); err != nil {
+		w.Abort()
+		return fmt.Errorf("ckpt: clearing stale %s: %w", prev, err)
+	}
+	if _, err := os.Stat(w.dest); err == nil {
+		if err := os.Rename(w.dest, prev); err != nil {
+			w.Abort()
+			return fmt.Errorf("ckpt: parking previous checkpoint: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		w.Abort()
+		return fmt.Errorf("ckpt: checking %s: %w", w.dest, err)
+	}
+	if err := os.Rename(w.tmp, w.dest); err != nil {
+		// Put the previous checkpoint back so the destination name stays
+		// valid; the staged copy is dropped.
+		os.Rename(prev, w.dest)
+		w.Abort()
+		return fmt.Errorf("ckpt: publishing checkpoint: %w", err)
+	}
+	w.done = true
+	syncDir(filepath.Dir(w.dest))
+	if err := os.RemoveAll(prev); err != nil {
+		return fmt.Errorf("ckpt: removing %s: %w", prev, err)
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ckpt: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: syncing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory's entries, best-effort: not every
+// filesystem supports it, and the rename protocol is still correct
+// without it on those (the crash windows just widen to the page-cache
+// flush).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Resolve picks the directory a restore should read: dir itself when it
+// holds a manifest, else dir+".prev" — the crash window where Commit had
+// parked the previous checkpoint but not yet published the new one.
+// When neither exists the error wraps os.ErrNotExist.
+func Resolve(dir string) (string, error) {
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return dir, nil
+	} else if !os.IsNotExist(err) {
+		return "", fmt.Errorf("ckpt: probing %s: %w", dir, err)
+	}
+	prev := dir + ".prev"
+	if _, err := os.Stat(filepath.Join(prev, ManifestName)); err == nil {
+		return prev, nil
+	} else if !os.IsNotExist(err) {
+		return "", fmt.Errorf("ckpt: probing %s: %w", prev, err)
+	}
+	return "", fmt.Errorf("ckpt: no checkpoint at %s: %w", dir, os.ErrNotExist)
+}
+
+// Snapshot is an opened, fully validated checkpoint.
+type Snapshot struct {
+	Dir      string
+	Manifest Manifest
+
+	byName map[string]FileInfo
+}
+
+// ReadManifest parses a checkpoint directory's manifest without
+// validating the payload files — the cheap path for status display.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if m.Version != Version {
+		return m, fmt.Errorf("%w: manifest version %d, want %d", ErrCorrupt, m.Version, Version)
+	}
+	return m, nil
+}
+
+// Open reads dir's manifest and verifies every payload file it names —
+// existence, exact byte size, and CRC — before returning. Any mismatch
+// returns an error wrapping ErrCorrupt; nothing is ever half-loaded.
+func Open(dir string) (*Snapshot, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Dir: dir, Manifest: m, byName: make(map[string]FileInfo, len(m.Files))}
+	for _, fi := range m.Files {
+		if err := verifyFile(dir, fi); err != nil {
+			return nil, err
+		}
+		s.byName[fi.Name] = fi
+	}
+	return s, nil
+}
+
+// verifyFile checks one payload file's size and CRC against its entry.
+func verifyFile(dir string, fi FileInfo) error {
+	f, err := os.Open(filepath.Join(dir, fi.Name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s missing", ErrCorrupt, fi.Name)
+		}
+		return err
+	}
+	defer f.Close()
+	crc := crc64.New(crcTable)
+	n, err := io.Copy(crc, f)
+	if err != nil {
+		return fmt.Errorf("ckpt: reading %s: %w", fi.Name, err)
+	}
+	if n != fi.Bytes {
+		return fmt.Errorf("%w: %s is %d bytes, manifest says %d", ErrCorrupt, fi.Name, n, fi.Bytes)
+	}
+	if got := fmt.Sprintf("%016x", crc.Sum64()); got != fi.CRC {
+		return fmt.Errorf("%w: %s CRC %s, manifest says %s", ErrCorrupt, fi.Name, got, fi.CRC)
+	}
+	return nil
+}
+
+// Path returns the absolute path of payload file name.
+func (s *Snapshot) Path(name string) string { return filepath.Join(s.Dir, name) }
+
+// Has reports whether the manifest names the payload file.
+func (s *Snapshot) Has(name string) bool {
+	_, ok := s.byName[name]
+	return ok
+}
+
+// Info returns the manifest entry for name.
+func (s *Snapshot) Info(name string) (FileInfo, bool) {
+	fi, ok := s.byName[name]
+	return fi, ok
+}

@@ -1,0 +1,302 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hitlist6/internal/ip6"
+)
+
+// writeCheckpoint commits a checkpoint with the given payload files.
+func writeCheckpoint(t *testing.T, dest string, files map[string]string, m Manifest) {
+	t.Helper()
+	w, err := Begin(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range files {
+		f, err := w.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+		f.SetCount(int64(len(body)))
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitOpenRoundtrip(t *testing.T) {
+	dest := filepath.Join(t.TempDir(), "ckpt")
+	writeCheckpoint(t, dest,
+		map[string]string{"a.bin": "alpha", "b.bin": "bravo-bravo"},
+		Manifest{ScanIndex: 3, LastDay: 21, Generation: 7})
+
+	s, err := Open(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Manifest
+	if m.Version != Version || m.ScanIndex != 3 || m.LastDay != 21 || m.Generation != 7 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if !s.Has("a.bin") || !s.Has("b.bin") || s.Has("c.bin") {
+		t.Fatal("Has reports wrong payload set")
+	}
+	fi, ok := s.Info("b.bin")
+	if !ok || fi.Bytes != 11 || fi.Count != 11 {
+		t.Fatalf("Info(b.bin) = %+v, %v", fi, ok)
+	}
+	body, err := os.ReadFile(s.Path("a.bin"))
+	if err != nil || string(body) != "alpha" {
+		t.Fatalf("payload a.bin = %q, %v", body, err)
+	}
+	// No staging or .prev debris after a clean commit.
+	if _, err := os.Stat(dest + ".prev"); !os.IsNotExist(err) {
+		t.Fatalf(".prev left behind: %v", err)
+	}
+}
+
+func TestCommitReplacesExisting(t *testing.T) {
+	dest := filepath.Join(t.TempDir(), "ckpt")
+	writeCheckpoint(t, dest, map[string]string{"a.bin": "old"}, Manifest{ScanIndex: 1})
+	writeCheckpoint(t, dest, map[string]string{"a.bin": "new!", "b.bin": "added"}, Manifest{ScanIndex: 2})
+
+	s, err := Open(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Manifest.ScanIndex != 2 {
+		t.Fatalf("scan index = %d, want 2", s.Manifest.ScanIndex)
+	}
+	body, err := os.ReadFile(s.Path("a.bin"))
+	if err != nil || string(body) != "new!" {
+		t.Fatalf("payload a.bin = %q, %v", body, err)
+	}
+	if _, err := os.Stat(dest + ".prev"); !os.IsNotExist(err) {
+		t.Fatalf(".prev left behind: %v", err)
+	}
+}
+
+func TestAbortLeavesNothing(t *testing.T) {
+	parent := t.TempDir()
+	dest := filepath.Join(parent, "ckpt")
+	w, err := Begin(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.Create("a.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("doomed"))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("abort left %d entries in %s", len(entries), parent)
+	}
+}
+
+// TestResolvePrevFallback covers the narrow commit crash window: the
+// previous checkpoint parked at dest+".prev" but the new one not yet
+// renamed into place. Resolve must fall back to the parked copy and
+// Open must validate it fully.
+func TestResolvePrevFallback(t *testing.T) {
+	dest := filepath.Join(t.TempDir(), "ckpt")
+	writeCheckpoint(t, dest, map[string]string{"a.bin": "survivor"}, Manifest{ScanIndex: 5})
+	// Simulate the crash: dest was renamed away, replacement never landed.
+	if err := os.Rename(dest, dest+".prev"); err != nil {
+		t.Fatal(err)
+	}
+
+	resolved, err := Resolve(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != dest+".prev" {
+		t.Fatalf("resolved %s, want %s", resolved, dest+".prev")
+	}
+	s, err := Open(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Manifest.ScanIndex != 5 {
+		t.Fatalf("scan index = %d, want 5", s.Manifest.ScanIndex)
+	}
+}
+
+func TestResolveMissing(t *testing.T) {
+	_, err := Resolve(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestOpenRefusesCorruption: every damage mode — truncation, bit flips,
+// a deleted payload, garbage or version-skewed manifests — must refuse
+// with ErrCorrupt rather than half-load.
+func TestOpenRefusesCorruption(t *testing.T) {
+	cases := []struct {
+		label  string
+		damage func(t *testing.T, dest string)
+	}{
+		{"truncated payload", func(t *testing.T, dest string) {
+			if err := os.Truncate(filepath.Join(dest, "a.bin"), 2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"extended payload", func(t *testing.T, dest string) {
+			f, err := os.OpenFile(filepath.Join(dest, "a.bin"), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write([]byte("x"))
+			f.Close()
+		}},
+		{"bit flip", func(t *testing.T, dest string) {
+			path := filepath.Join(dest, "a.bin")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0x01
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing payload", func(t *testing.T, dest string) {
+			if err := os.Remove(filepath.Join(dest, "a.bin")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage manifest", func(t *testing.T, dest string) {
+			if err := os.WriteFile(filepath.Join(dest, ManifestName), []byte("{\"version\": 1,"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"version skew", func(t *testing.T, dest string) {
+			if err := os.WriteFile(filepath.Join(dest, ManifestName), []byte("{\"version\": 99}\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			dest := filepath.Join(t.TempDir(), "ckpt")
+			writeCheckpoint(t, dest, map[string]string{"a.bin": "payload bytes"}, Manifest{})
+			tc.damage(t, dest)
+			if _, err := Open(dest); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestCreateRejectsBadNames(t *testing.T) {
+	w, err := Begin(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	for _, name := range []string{ManifestName, "sub/file.bin", "../escape"} {
+		if _, err := w.Create(name); err == nil {
+			t.Fatalf("Create(%q) succeeded; want refusal", name)
+		}
+	}
+}
+
+func TestJournalRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.journal")
+	recs := []struct {
+		feed int32
+		addr ip6.Addr
+	}{
+		{0, ip6.MustParseAddr("2001:db8::1")},
+		{2, ip6.MustParseAddr("2001:db8::2")},
+		{1, ip6.MustParseAddr("fe80::1")},
+	}
+
+	jw, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := jw.Add(r.feed, r.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if jw.Count() != int64(len(recs)) {
+		t.Fatalf("count = %d", jw.Count())
+	}
+	if err := jw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	count, bytes, ok, err := JournalStat(path)
+	if err != nil || !ok || count != int64(len(recs)) {
+		t.Fatalf("JournalStat = %d, %d, %v, %v", count, bytes, ok, err)
+	}
+
+	jr, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		feed, addr, ok, err := jr.Next()
+		if err != nil || !ok {
+			t.Fatalf("record %d: ok=%v err=%v", i, ok, err)
+		}
+		if feed != want.feed || addr != want.addr {
+			t.Fatalf("record %d = (%d, %v), want (%d, %v)", i, feed, addr, want.feed, want.addr)
+		}
+	}
+	if _, _, ok, err := jr.Next(); ok || err != nil {
+		t.Fatalf("past end: ok=%v err=%v", ok, err)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := JournalStat(path); ok || err != nil {
+		t.Fatalf("after remove: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestJournalDiscard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.journal")
+	jw, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Add(0, ip6.MustParseAddr("2001:db8::1"))
+	jw.Discard()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("discarded journal still present: %v", err)
+	}
+}
+
+func TestOpenJournalBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.journal")
+	if err := os.WriteFile(path, []byte("NOPE-not-a-journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

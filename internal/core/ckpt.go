@@ -1,0 +1,1010 @@
+package core
+
+// Checkpoint/restore: a crash-consistent on-disk image of full service
+// state, so a multi-week timeline survives restarts. Service.Checkpoint
+// stages every piece of cumulative state into a ckpt.Writer — address
+// sets as .hl6 images streamed shard-sorted (resident sets sort a copy,
+// SpillSets merge their frozen runs without materializing anything),
+// the active target store and APD history as small binary tables, and
+// counters/records/snapshots as JSON — then commits atomically. Resume
+// rebuilds a Service from the newest complete checkpoint; a timeline
+// interrupted at day k (SIGKILL included) and resumed is byte-identical
+// to an uninterrupted run for any worker count, fleet mode, memory
+// budget and serve cadence (TestResumeMatchesUninterrupted).
+//
+// Deliberately not persisted: lastShardStats (wall-clock dispatch
+// profile — outputs are pinned dispatch-order-invariant, so the resumed
+// run's first scan just uses canonical order) and published serve
+// snapshots (derived state; only the generation counter survives, via
+// serve.Handle.RestoreGeneration, so numbering continues seamlessly).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+
+	"hitlist6/internal/apd"
+	"hitlist6/internal/ckpt"
+	"hitlist6/internal/hlfile"
+	"hitlist6/internal/ip6"
+	"hitlist6/internal/netmodel"
+	"hitlist6/internal/sources"
+)
+
+// Checkpoint payload file names.
+const (
+	ckptStateFile     = "state.json"
+	ckptRecordsFile   = "records.json"
+	ckptSnapshotsFile = "snapshots.json"
+	ckptActiveFile    = "active.bin"
+	ckptInputSeenFile = "inputseen.hl6"
+	ckptEverAnyFile   = "everrespany.hl6"
+	ckptGFWDropFile   = "gfwdrop.hl6"
+	ckptPrevRespFile  = "prevresp.hl6"
+	ckptTrkInjFile    = "trk_injected.hl6"
+	ckptTrkOtherFile  = "trk_other.hl6"
+	ckptTrkRealFile   = "trk_realdns.hl6"
+	ckptUnrespFile    = "unresp.hl6"
+	ckptAPDFile       = "apd_history.bin"
+	ckptPending64File = "pending64.bin"
+	ckptSeen64File    = "seen64.bin"
+)
+
+func ckptEverRespFile(p int) string  { return fmt.Sprintf("everresp_%d.hl6", p) }
+func ckptLastCleanFile(p int) string { return fmt.Sprintf("lastclean_%d.hl6", p) }
+
+// JournalPath returns where the ingest journal for a checkpoint
+// directory lives: a sibling file, so the checkpoint directory itself
+// only ever holds committed state.
+func JournalPath(dir string) string { return dir + ".journal" }
+
+// ckptState is the JSON-encoded scalar state plus the configuration
+// digest Resume verifies before loading anything.
+type ckptState struct {
+	// Configuration digest: the knobs that shape service state. Worker
+	// counts, fleet mode, memory budget and batch size are deliberately
+	// absent — outputs are pinned invariant to them, so a resumed run
+	// may change them freely.
+	Seed             uint64 `json:"seed"`
+	Protocols        []int  `json:"protocols"`
+	UnresponsiveDays int    `json:"unresponsive_days"`
+	GFWFilterFromDay int    `json:"gfw_filter_from_day"`
+	APDEveryScans    int    `json:"apd_every_scans"`
+	APDMaxNew        int    `json:"apd_max_new_candidates"`
+	RetainUnresp     bool   `json:"retain_unresponsive"`
+	SnapshotDays     []int  `json:"snapshot_days,omitempty"`
+	ServeEvery       int    `json:"serve_every,omitempty"`
+	TGAFeedName      string `json:"tga_feed,omitempty"`
+
+	// Cursor and cumulative accounting.
+	ScanIndex    int                `json:"scan_index"`
+	InputTotal   int                `json:"input_total"`
+	BlockedTotal int                `json:"blocked_total"`
+	GFWTotal     int                `json:"gfw_total"`
+	AliasedTotal int                `json:"aliased_total"`
+	EvictedTotal int                `json:"evicted_total"`
+	GFWDeployed  bool               `json:"gfw_deployed"`
+	PerASInput   map[string]ASInput `json:"per_as_input,omitempty"`
+	InputByFeed  map[string]int     `json:"input_by_feed,omitempty"`
+	Aliased      []string           `json:"aliased_prefixes,omitempty"`
+	SnapQueue    []int              `json:"snap_queue,omitempty"`
+	ServeScans   int                `json:"serve_scans"`
+	Generation   uint64             `json:"generation"`
+}
+
+// configState extracts the digest fields from a (normalized) Config.
+func configState(cfg Config) ckptState {
+	st := ckptState{
+		Seed:             cfg.Seed,
+		UnresponsiveDays: cfg.UnresponsiveDays,
+		GFWFilterFromDay: cfg.GFWFilterFromDay,
+		APDEveryScans:    cfg.APDEveryScans,
+		APDMaxNew:        cfg.APDMaxNewCandidates,
+		RetainUnresp:     cfg.RetainUnresponsive,
+		SnapshotDays:     cfg.SnapshotDays,
+		ServeEvery:       cfg.ServeEvery,
+	}
+	for _, p := range cfg.Protocols {
+		st.Protocols = append(st.Protocols, int(p))
+	}
+	if cfg.TGAFeed != nil {
+		st.TGAFeedName = cfg.TGAFeed.Name()
+	}
+	return st
+}
+
+// Checkpoint writes a crash-consistent snapshot of the service's full
+// state to dir (atomically replacing any previous checkpoint there).
+// The service stays usable afterwards; SpillSet deltas are frozen to
+// disk as a side effect, which changes no membership observation.
+func (s *Service) Checkpoint(dir string) (err error) {
+	if s.spill != nil {
+		if err := s.spill.err(); err != nil {
+			return fmt.Errorf("core: checkpoint with failed spill state: %w", err)
+		}
+		if filepath.Clean(dir) == filepath.Clean(s.spill.dir) {
+			return fmt.Errorf("core: checkpoint dir %s collides with spill dir", dir)
+		}
+	}
+	w, err := ckpt.Begin(dir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			w.Abort()
+		}
+	}()
+
+	if err := s.writeState(w); err != nil {
+		return err
+	}
+	if err := writeJSONFile(w, ckptRecordsFile, s.records, int64(len(s.records))); err != nil {
+		return err
+	}
+	if err := s.writeSnapshots(w); err != nil {
+		return err
+	}
+	if err := s.writeActive(w); err != nil {
+		return err
+	}
+	if err := writeAddrSet(w, ckptInputSeenFile, s.inputSeen); err != nil {
+		return err
+	}
+	if err := writeAddrSet(w, ckptEverAnyFile, s.everRespAny); err != nil {
+		return err
+	}
+	for p := range s.everResp {
+		if err := writeAddrSet(w, ckptEverRespFile(p), s.everResp[p]); err != nil {
+			return err
+		}
+	}
+	if s.gfwDeployed {
+		if err := writeAddrSet(w, ckptGFWDropFile, s.gfwInputDrop); err != nil {
+			return err
+		}
+	}
+	if err := writeAddrSet(w, ckptPrevRespFile, s.prevRespAny); err != nil {
+		return err
+	}
+	if s.lastClean != nil {
+		for _, p := range s.cfg.Protocols {
+			if err := writeAddrSet(w, ckptLastCleanFile(int(p)), s.lastClean[p]); err != nil {
+				return err
+			}
+		}
+	}
+	inj, other, real := s.tracker.EvidenceSets()
+	if err := writeAddrSet(w, ckptTrkInjFile, inj); err != nil {
+		return err
+	}
+	if err := writeAddrSet(w, ckptTrkOtherFile, other); err != nil {
+		return err
+	}
+	if err := writeAddrSet(w, ckptTrkRealFile, real); err != nil {
+		return err
+	}
+	if s.cfg.RetainUnresponsive {
+		if err := writeFlatSet(w, ckptUnrespFile, s.unresponsive); err != nil {
+			return err
+		}
+	}
+	if err := s.writeAPDHistory(w); err != nil {
+		return err
+	}
+	if err := writePrefixList(w, ckptPending64File, s.pendingAPD64); err != nil {
+		return err
+	}
+	seen := make([]ip6.Prefix, 0, len(s.seen64))
+	for p := range s.seen64 {
+		seen = append(seen, p)
+	}
+	sortPrefixes(seen)
+	if err := writePrefixList(w, ckptSeen64File, seen); err != nil {
+		return err
+	}
+
+	lastDay := -1
+	if len(s.records) > 0 {
+		lastDay = s.records[len(s.records)-1].Day
+	}
+	return w.Commit(ckpt.Manifest{
+		ScanIndex:  s.scanIndex,
+		LastDay:    lastDay,
+		Generation: s.queryHandle.Generation(),
+	})
+}
+
+// writeState stages state.json.
+func (s *Service) writeState(w *ckpt.Writer) error {
+	st := configState(s.cfg)
+	st.ScanIndex = s.scanIndex
+	st.InputTotal = s.inputTotal
+	st.BlockedTotal = s.blockedTotal
+	st.GFWTotal = s.gfwTotal
+	st.AliasedTotal = s.aliasedTotal
+	st.EvictedTotal = s.evictedTotal
+	st.GFWDeployed = s.gfwDeployed
+	st.ServeScans = s.serveScans
+	st.Generation = s.queryHandle.Generation()
+	if len(s.perASInput) > 0 {
+		st.PerASInput = make(map[string]ASInput, len(s.perASInput))
+		for asn, ai := range s.perASInput {
+			st.PerASInput[strconv.Itoa(asn)] = *ai
+		}
+	}
+	if len(s.inputByFeed) > 0 {
+		st.InputByFeed = s.inputByFeed
+	}
+	for _, p := range s.aliased.Prefixes() {
+		st.Aliased = append(st.Aliased, p.String())
+	}
+	st.SnapQueue = s.snapQueue
+	return writeJSONFile(w, ckptStateFile, &st, 0)
+}
+
+// writeSnapshots stages snapshots.json: requested-day keys mapping to
+// sorted string-encoded sets (the exact encoding golden comparisons use,
+// so a JSON round trip is loss-free).
+func (s *Service) writeSnapshots(w *ckpt.Writer) error {
+	type ckptSnapshot struct {
+		Day        int                 `json:"day"`
+		Responsive map[string][]string `json:"responsive"`
+		Any        []string            `json:"responsive_any"`
+		Aliased    []string            `json:"aliased"`
+	}
+	out := make(map[string]ckptSnapshot, len(s.snapshots))
+	for want, snap := range s.snapshots {
+		cs := ckptSnapshot{Day: snap.Day, Responsive: make(map[string][]string, len(snap.Responsive))}
+		for p, set := range snap.Responsive {
+			cs.Responsive[strconv.Itoa(int(p))] = addrStrings(set)
+		}
+		cs.Any = addrStrings(snap.ResponsiveAny)
+		for _, p := range snap.Aliased {
+			cs.Aliased = append(cs.Aliased, p.String())
+		}
+		out[strconv.Itoa(want)] = cs
+	}
+	return writeJSONFile(w, ckptSnapshotsFile, out, int64(len(out)))
+}
+
+func addrStrings(set ip6.Set) []string {
+	out := make([]string, 0, len(set))
+	for _, a := range set.Sorted() {
+		out = append(out, a.String())
+	}
+	return out
+}
+
+// writeActive stages the target store: a per-shard count table, then
+// each shard's (address, firstDay, lastSuccessDay) records sorted by
+// address.
+func (s *Service) writeActive(w *ckpt.Writer) error {
+	f, err := w.Create(ckptActiveFile)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 64*1024)
+	var hdr [8 * ip6.AddrShards]byte
+	total := int64(0)
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		n := s.active.ShardLen(sh)
+		binary.LittleEndian.PutUint64(hdr[8*sh:], uint64(n))
+		total += int64(n)
+	}
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	type activeRec struct {
+		addr ip6.Addr
+		st   targetState
+	}
+	var recs []activeRec
+	var rec [ip6.AddrBytes + 8]byte
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		recs = recs[:0]
+		s.active.WalkShard(sh, func(a ip6.Addr, st *targetState) bool {
+			recs = append(recs, activeRec{addr: a, st: *st})
+			return true
+		})
+		sort.Slice(recs, func(x, y int) bool { return recs[x].addr.Less(recs[y].addr) })
+		for _, r := range recs {
+			copy(rec[:], r.addr[:])
+			binary.LittleEndian.PutUint32(rec[16:], uint32(int32(r.st.firstDay)))
+			binary.LittleEndian.PutUint32(rec[20:], uint32(int32(r.st.lastSuccessDay)))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	f.SetCount(total)
+	return f.Close()
+}
+
+// writeAPDHistory stages the detector's per-prefix response history.
+func (s *Service) writeAPDHistory(w *ckpt.Writer) error {
+	entries := s.detector.ExportHistory()
+	f, err := w.Create(ckptAPDFile)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 64*1024)
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(entries)))
+	if _, err := bw.Write(n4[:]); err != nil {
+		return err
+	}
+	var u2 [2]byte
+	for _, e := range entries {
+		if err := writePrefix(bw, e.Prefix); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint16(u2[:], uint16(len(e.Counts)))
+		if _, err := bw.Write(u2[:]); err != nil {
+			return err
+		}
+		for _, c := range e.Counts {
+			binary.LittleEndian.PutUint16(u2[:], c)
+			if _, err := bw.Write(u2[:]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	f.SetCount(int64(len(entries)))
+	return f.Close()
+}
+
+// writeJSONFile stages one JSON payload file.
+func writeJSONFile(w *ckpt.Writer, name string, v any, count int64) error {
+	f, err := w.Create(name)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encoding %s: %w", name, err)
+	}
+	data = append(data, '\n')
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.SetCount(count)
+	return f.Close()
+}
+
+// writeAddrSet stages a sharded address set as a .hl6 image, streamed in
+// shard-sorted order: resident shards sort a copy, SpillSet shards merge
+// their frozen runs straight off disk.
+func writeAddrSet(w *ckpt.Writer, name string, set ip6.SpillableSet) error {
+	f, err := w.Create(name)
+	if err != nil {
+		return err
+	}
+	var counts [ip6.AddrShards]uint64
+	total := int64(0)
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		counts[sh] = uint64(set.ShardLen(sh))
+		total += int64(counts[sh])
+	}
+	spill, _ := set.(*ip6.SpillSet)
+	var scratch []ip6.Addr
+	err = hlfile.WriteSharded(f, &counts, func(sh int, emit func(ip6.Addr) error) error {
+		if spill != nil {
+			return spill.WalkShardSorted(sh, emit)
+		}
+		scratch = scratch[:0]
+		set.WalkShard(sh, func(a ip6.Addr) bool {
+			scratch = append(scratch, a)
+			return true
+		})
+		ip6.SortAddrs(scratch)
+		for _, a := range scratch {
+			if err := emit(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: writing %s: %w", name, err)
+	}
+	f.SetCount(total)
+	return f.Close()
+}
+
+// writeFlatSet stages a flat Set as a .hl6 image, bucketing by canonical
+// shard first.
+func writeFlatSet(w *ckpt.Writer, name string, set ip6.Set) error {
+	sharded := ip6.NewShardedSet()
+	for a := range set {
+		sharded.Add(a)
+	}
+	return writeAddrSet(w, name, sharded)
+}
+
+// writePrefixList stages prefixes in the given order (17 bytes each:
+// masked address + length).
+func writePrefixList(w *ckpt.Writer, name string, prefixes []ip6.Prefix) error {
+	f, err := w.Create(name)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 64*1024)
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(prefixes)))
+	if _, err := bw.Write(n4[:]); err != nil {
+		return err
+	}
+	for _, p := range prefixes {
+		if err := writePrefix(bw, p); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	f.SetCount(int64(len(prefixes)))
+	return f.Close()
+}
+
+func writePrefix(w io.Writer, p ip6.Prefix) error {
+	var buf [ip6.AddrBytes + 1]byte
+	a := p.Addr()
+	copy(buf[:], a[:])
+	buf[ip6.AddrBytes] = byte(p.Bits())
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readPrefix(r io.Reader) (ip6.Prefix, error) {
+	var buf [ip6.AddrBytes + 1]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return ip6.Prefix{}, err
+	}
+	return ip6.PrefixFrom(ip6.AddrFrom16([ip6.AddrBytes]byte(buf[:ip6.AddrBytes])), int(buf[ip6.AddrBytes])), nil
+}
+
+func sortPrefixes(ps []ip6.Prefix) {
+	sort.Slice(ps, func(i, j int) bool { return ip6.ComparePrefix(ps[i], ps[j]) < 0 })
+}
+
+// Resume rebuilds a Service from the newest complete checkpoint under
+// dir (falling back to the ".prev" copy if a crash interrupted the
+// commit renames). cfg must agree with the checkpointed configuration on
+// every state-shaping knob; worker count, fleet mode, memory budget and
+// serve attachment may differ freely — outputs are pinned invariant to
+// them. A stale ingest journal next to dir is debris from a crash
+// mid-scan and is discarded: the interrupted scan re-runs in full on the
+// resumed service. Validation failures (truncated files, CRC mismatches,
+// config drift) return an error with no service constructed — restore
+// never half-loads.
+func Resume(dir string, cfg Config, net *netmodel.Network, feeds []*sources.Feed, blocklist *ip6.PrefixSet) (*Service, error) {
+	resolved, err := ckpt.Resolve(dir)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := ckpt.Open(resolved)
+	if err != nil {
+		return nil, err
+	}
+	var st ckptState
+	if err := readJSONFile(snap, ckptStateFile, &st); err != nil {
+		return nil, err
+	}
+
+	s := NewService(cfg, net, feeds, blocklist)
+	if s.spill != nil {
+		if err := s.spill.err(); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: resume spill state: %w", err)
+		}
+	}
+	if err := checkConfig(configState(s.cfg), st); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.restoreFrom(snap, &st); err != nil {
+		s.Close()
+		return nil, err
+	}
+	// A journal file here means the crash landed mid-scan, after spooling
+	// candidates but before the scan finalized: the whole scan replays on
+	// the resumed timeline, so the spooled sequence is void.
+	os.Remove(JournalPath(dir))
+	return s, nil
+}
+
+// checkConfig verifies the resumed configuration digest matches the
+// checkpointed one.
+func checkConfig(now, saved ckptState) error {
+	saved = ckptState{
+		Seed:             saved.Seed,
+		Protocols:        saved.Protocols,
+		UnresponsiveDays: saved.UnresponsiveDays,
+		GFWFilterFromDay: saved.GFWFilterFromDay,
+		APDEveryScans:    saved.APDEveryScans,
+		APDMaxNew:        saved.APDMaxNew,
+		RetainUnresp:     saved.RetainUnresp,
+		SnapshotDays:     saved.SnapshotDays,
+		ServeEvery:       saved.ServeEvery,
+		TGAFeedName:      saved.TGAFeedName,
+	}
+	if !reflect.DeepEqual(now, saved) {
+		return fmt.Errorf("%w: configuration drift: checkpoint was taken with different state-shaping settings (have %+v, checkpoint %+v)", ckpt.ErrCorrupt, now, saved)
+	}
+	return nil
+}
+
+// restoreFrom loads every payload into the freshly built service.
+func (s *Service) restoreFrom(snap *ckpt.Snapshot, st *ckptState) error {
+	s.scanIndex = st.ScanIndex
+	s.inputTotal = st.InputTotal
+	s.blockedTotal = st.BlockedTotal
+	s.gfwTotal = st.GFWTotal
+	s.aliasedTotal = st.AliasedTotal
+	s.evictedTotal = st.EvictedTotal
+	s.serveScans = st.ServeScans
+	s.queryHandle.RestoreGeneration(st.Generation)
+	for asn, ai := range st.PerASInput {
+		n, err := strconv.Atoi(asn)
+		if err != nil {
+			return fmt.Errorf("%w: per-AS key %q", ckpt.ErrCorrupt, asn)
+		}
+		cp := ai
+		s.perASInput[n] = &cp
+	}
+	for feed, n := range st.InputByFeed {
+		s.inputByFeed[feed] = n
+	}
+	for _, ps := range st.Aliased {
+		p, err := ip6.ParsePrefix(ps)
+		if err != nil {
+			return fmt.Errorf("%w: aliased prefix %q", ckpt.ErrCorrupt, ps)
+		}
+		s.aliased.Add(p)
+	}
+	s.aliased.Freeze()
+	s.snapQueue = append([]int(nil), st.SnapQueue...)
+
+	if err := readJSONFile(snap, ckptRecordsFile, &s.records); err != nil {
+		return err
+	}
+	if err := s.readSnapshots(snap); err != nil {
+		return err
+	}
+	if err := s.readActive(snap); err != nil {
+		return err
+	}
+	if err := loadAddrSet(snap, ckptInputSeenFile, s.inputSeen); err != nil {
+		return err
+	}
+	if err := loadAddrSet(snap, ckptEverAnyFile, s.everRespAny); err != nil {
+		return err
+	}
+	for p := range s.everResp {
+		if err := loadAddrSet(snap, ckptEverRespFile(p), s.everResp[p]); err != nil {
+			return err
+		}
+	}
+	if st.GFWDeployed {
+		s.gfwDeployed = true
+		drop := s.newCumulativeSet()
+		if s.spill != nil {
+			if err := s.spill.err(); err != nil {
+				return fmt.Errorf("core: resume spill state: %w", err)
+			}
+		}
+		if err := loadAddrSet(snap, ckptGFWDropFile, drop); err != nil {
+			return err
+		}
+		s.gfwInputDrop = drop
+	}
+	if err := loadAddrSet(snap, ckptPrevRespFile, s.prevRespAny); err != nil {
+		return err
+	}
+	if snap.Has(ckptLastCleanFile(int(s.cfg.Protocols[0]))) {
+		s.lastClean = make(map[netmodel.Protocol]*ip6.ShardedSet, len(s.cfg.Protocols))
+		for _, p := range s.cfg.Protocols {
+			set := ip6.NewShardedSet()
+			if err := loadAddrSet(snap, ckptLastCleanFile(int(p)), set); err != nil {
+				return err
+			}
+			s.lastClean[p] = set
+		}
+	}
+	inj, other, real := s.tracker.EvidenceSets()
+	if err := loadAddrSet(snap, ckptTrkInjFile, inj); err != nil {
+		return err
+	}
+	if err := loadAddrSet(snap, ckptTrkOtherFile, other); err != nil {
+		return err
+	}
+	if err := loadAddrSet(snap, ckptTrkRealFile, real); err != nil {
+		return err
+	}
+	if s.cfg.RetainUnresponsive && snap.Has(ckptUnrespFile) {
+		flat := ip6.NewShardedSet()
+		if err := loadAddrSet(snap, ckptUnrespFile, flat); err != nil {
+			return err
+		}
+		s.unresponsive = flat.Merge()
+	}
+	if err := s.readAPDHistory(snap); err != nil {
+		return err
+	}
+	pending, err := readPrefixList(snap, ckptPending64File)
+	if err != nil {
+		return err
+	}
+	s.pendingAPD64 = pending
+	seen, err := readPrefixList(snap, ckptSeen64File)
+	if err != nil {
+		return err
+	}
+	for _, p := range seen {
+		s.seen64[p] = struct{}{}
+	}
+	if s.spill != nil {
+		if err := s.spill.err(); err != nil {
+			return fmt.Errorf("core: resume spill state: %w", err)
+		}
+	}
+	return nil
+}
+
+// readJSONFile parses one JSON payload.
+func readJSONFile(snap *ckpt.Snapshot, name string, v any) error {
+	if !snap.Has(name) {
+		return fmt.Errorf("%w: %s missing from manifest", ckpt.ErrCorrupt, name)
+	}
+	data, err := os.ReadFile(snap.Path(name))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%w: %s: %v", ckpt.ErrCorrupt, name, err)
+	}
+	return nil
+}
+
+// readSnapshots rebuilds the captured snapshots.
+func (s *Service) readSnapshots(snap *ckpt.Snapshot) error {
+	type ckptSnapshot struct {
+		Day        int                 `json:"day"`
+		Responsive map[string][]string `json:"responsive"`
+		Any        []string            `json:"responsive_any"`
+		Aliased    []string            `json:"aliased"`
+	}
+	var raw map[string]ckptSnapshot
+	if err := readJSONFile(snap, ckptSnapshotsFile, &raw); err != nil {
+		return err
+	}
+	for key, cs := range raw {
+		want, err := strconv.Atoi(key)
+		if err != nil {
+			return fmt.Errorf("%w: snapshot key %q", ckpt.ErrCorrupt, key)
+		}
+		out := &Snapshot{Day: cs.Day, Responsive: make(map[netmodel.Protocol]ip6.Set, len(cs.Responsive))}
+		for pk, addrs := range cs.Responsive {
+			p, err := strconv.Atoi(pk)
+			if err != nil || p < 0 || p >= netmodel.NumProtocols {
+				return fmt.Errorf("%w: snapshot protocol key %q", ckpt.ErrCorrupt, pk)
+			}
+			set, err := parseAddrSet(addrs)
+			if err != nil {
+				return err
+			}
+			out.Responsive[netmodel.Protocol(p)] = set
+		}
+		if out.ResponsiveAny, err = parseAddrSet(cs.Any); err != nil {
+			return err
+		}
+		for _, ps := range cs.Aliased {
+			p, err := ip6.ParsePrefix(ps)
+			if err != nil {
+				return fmt.Errorf("%w: snapshot aliased prefix %q", ckpt.ErrCorrupt, ps)
+			}
+			out.Aliased = append(out.Aliased, p)
+		}
+		s.snapshots[want] = out
+	}
+	return nil
+}
+
+func parseAddrSet(addrs []string) (ip6.Set, error) {
+	set := ip6.NewSet(len(addrs))
+	for _, as := range addrs {
+		a, err := ip6.ParseAddr(as)
+		if err != nil {
+			return nil, fmt.Errorf("%w: snapshot address %q", ckpt.ErrCorrupt, as)
+		}
+		set.Add(a)
+	}
+	return set, nil
+}
+
+// readActive rebuilds the sharded target store.
+func (s *Service) readActive(snap *ckpt.Snapshot) error {
+	if !snap.Has(ckptActiveFile) {
+		return fmt.Errorf("%w: %s missing from manifest", ckpt.ErrCorrupt, ckptActiveFile)
+	}
+	f, err := os.Open(snap.Path(ckptActiveFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64*1024)
+	var hdr [8 * ip6.AddrShards]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("%w: %s header: %v", ckpt.ErrCorrupt, ckptActiveFile, err)
+	}
+	var rec [ip6.AddrBytes + 8]byte
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		n := binary.LittleEndian.Uint64(hdr[8*sh:])
+		for i := uint64(0); i < n; i++ {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return fmt.Errorf("%w: %s truncated: %v", ckpt.ErrCorrupt, ckptActiveFile, err)
+			}
+			a := ip6.AddrFrom16([ip6.AddrBytes]byte(rec[:ip6.AddrBytes]))
+			s.active.PutInShard(sh, a, &targetState{
+				firstDay:       int(int32(binary.LittleEndian.Uint32(rec[16:]))),
+				lastSuccessDay: int(int32(binary.LittleEndian.Uint32(rec[20:]))),
+			})
+		}
+	}
+	return nil
+}
+
+// readAPDHistory rebuilds the detector's response history.
+func (s *Service) readAPDHistory(snap *ckpt.Snapshot) error {
+	if !snap.Has(ckptAPDFile) {
+		return fmt.Errorf("%w: %s missing from manifest", ckpt.ErrCorrupt, ckptAPDFile)
+	}
+	f, err := os.Open(snap.Path(ckptAPDFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64*1024)
+	var n4 [4]byte
+	if _, err := io.ReadFull(br, n4[:]); err != nil {
+		return fmt.Errorf("%w: %s header: %v", ckpt.ErrCorrupt, ckptAPDFile, err)
+	}
+	n := binary.LittleEndian.Uint32(n4[:])
+	entries := make([]apd.HistoryEntry, 0, n)
+	var u2 [2]byte
+	for i := uint32(0); i < n; i++ {
+		p, err := readPrefix(br)
+		if err != nil {
+			return fmt.Errorf("%w: %s truncated: %v", ckpt.ErrCorrupt, ckptAPDFile, err)
+		}
+		if _, err := io.ReadFull(br, u2[:]); err != nil {
+			return fmt.Errorf("%w: %s truncated: %v", ckpt.ErrCorrupt, ckptAPDFile, err)
+		}
+		counts := make([]uint16, binary.LittleEndian.Uint16(u2[:]))
+		for j := range counts {
+			if _, err := io.ReadFull(br, u2[:]); err != nil {
+				return fmt.Errorf("%w: %s truncated: %v", ckpt.ErrCorrupt, ckptAPDFile, err)
+			}
+			counts[j] = binary.LittleEndian.Uint16(u2[:])
+		}
+		entries = append(entries, apd.HistoryEntry{Prefix: p, Counts: counts})
+	}
+	s.detector.ImportHistory(entries)
+	return nil
+}
+
+// loadAddrSet streams a .hl6 payload back into a sharded set.
+func loadAddrSet(snap *ckpt.Snapshot, name string, set ip6.SpillableSet) error {
+	if !snap.Has(name) {
+		return fmt.Errorf("%w: %s missing from manifest", ckpt.ErrCorrupt, name)
+	}
+	rdr, err := hlfile.Open(snap.Path(name))
+	if err != nil {
+		return fmt.Errorf("core: opening %s: %w", name, err)
+	}
+	defer rdr.Close()
+	if spill, ok := set.(*ip6.SpillSet); ok {
+		for sh := 0; sh < ip6.AddrShards; sh++ {
+			if err := spill.ImportShardSorted(sh, rdr.ShardCursor(sh)); err != nil {
+				return fmt.Errorf("core: loading %s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		cur := rdr.ShardCursor(sh)
+		for {
+			a, ok, err := cur()
+			if err != nil {
+				return fmt.Errorf("core: loading %s: %w", name, err)
+			}
+			if !ok {
+				break
+			}
+			set.AddToShard(sh, a)
+		}
+	}
+	return nil
+}
+
+// journalChunk is how many journal records one replay chunk admits:
+// resident footprint of a durable ingest is O(journalChunk), not
+// O(candidate stream).
+const journalChunk = 1 << 16
+
+// ingestJournaled is the durable service's admission sweep: every feed's
+// candidate stream is spooled to the on-disk rollback journal first (in
+// the same deterministic feed-name-sorted sequence the resident paths
+// walk), then replayed in bounded chunks through the shared admission
+// chain. A source error discards the journal with nothing admitted — the
+// same all-or-nothing contract the resident paths keep by collecting
+// first — and a crash mid-scan leaves only journal debris that Resume
+// discards. Outputs are bit-identical to the resident paths for any
+// worker count: chunk replay preserves the global sequence order
+// per shard, and every merged counter is a commutative sum.
+func (s *Service) ingestJournaled(srcs []sources.NamedSource, day int, rec *ScanRecord) error {
+	jpath := JournalPath(s.cfg.CheckpointDir)
+	if err := os.MkdirAll(filepath.Dir(jpath), 0o755); err != nil {
+		return fmt.Errorf("core: creating checkpoint parent: %w", err)
+	}
+	jw, err := ckpt.CreateJournal(jpath)
+	if err != nil {
+		return err
+	}
+
+	// Spool phase: pull every source to exhaustion into the journal.
+	// Non-unicast candidates are dropped here (they never receive a
+	// sequence number on any path), so replay admits records verbatim.
+	buf := make([]ip6.Addr, ingestChunk)
+	for fi, fs := range srcs {
+		var jerr error
+		err := drainSource(fs.Src, buf, func(seg []ip6.Addr) {
+			if jerr != nil {
+				return
+			}
+			for _, a := range seg {
+				if !a.IsGlobalUnicast() {
+					continue
+				}
+				if jerr = jw.Add(int32(fi), a); jerr != nil {
+					return
+				}
+			}
+		})
+		if err == nil {
+			err = jerr
+		}
+		if err != nil {
+			jw.Discard()
+			return err
+		}
+	}
+	if err := jw.Finish(); err != nil {
+		return err
+	}
+
+	// Replay phase: bounded chunks through the per-shard admission sweep.
+	jr, err := ckpt.OpenJournal(jpath)
+	if err != nil {
+		return err
+	}
+	defer jr.Close()
+	seq := int32(0)
+	chunk := make([]routedInput, 0, journalChunk)
+	for {
+		chunk = chunk[:0]
+		for len(chunk) < journalChunk {
+			feed, a, ok, err := jr.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			chunk = append(chunk, routedInput{addr: a, feed: feed, seq: seq})
+			seq++
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		s.admitChunk(chunk, srcs, day, rec)
+	}
+	jr.Close()
+	return jr.Remove()
+}
+
+// admitChunk admits one replay chunk: route to shards, run the shared
+// admission chain per shard on the worker pool, merge counters in
+// canonical shard order, and track newly admitted /64s in sequence
+// order. Per-shard admission order equals sequence order within the
+// chunk, and chunks replay in sequence order, so every shard observes
+// the same candidate order a serial pass over the whole stream would
+// deliver.
+func (s *Service) admitChunk(chunk []routedInput, srcs []sources.NamedSource, day int, rec *ScanRecord) {
+	for _, e := range chunk {
+		sh := ip6.ShardOf(e.addr)
+		s.routeBuf[sh] = append(s.routeBuf[sh], e)
+	}
+	results := make([]*shardIngest, ip6.AddrShards)
+	ip6.ParallelShards(s.workers, func(sh int) {
+		entries := s.routeBuf[sh]
+		if len(entries) == 0 {
+			return
+		}
+		r := &shardIngest{
+			ingestCounters: ingestCounters{perAS: make(map[int]*ASInput)},
+			perFeed:        make([]int, len(srcs)),
+		}
+		for _, e := range entries {
+			outcome := s.admitOne(sh, e.addr, day, &r.ingestCounters)
+			if outcome == admitDup {
+				continue
+			}
+			r.perFeed[e.feed]++
+			if outcome == admitAdmitted {
+				r.admitted = append(r.admitted, e)
+			}
+		}
+		results[sh] = r
+	})
+	var admitted []routedInput
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		s.routeBuf[sh] = s.routeBuf[sh][:0]
+		r := results[sh]
+		if r == nil {
+			continue
+		}
+		s.applyIngest(rec, &r.ingestCounters)
+		for fi, n := range r.perFeed {
+			if n > 0 {
+				s.inputByFeed[srcs[fi].Name] += n
+			}
+		}
+		admitted = append(admitted, r.admitted...)
+	}
+	sort.Slice(admitted, func(i, j int) bool { return admitted[i].seq < admitted[j].seq })
+	for _, e := range admitted {
+		s.trackSlash64(e.addr)
+	}
+}
+
+// readPrefixList loads a prefix table in file order.
+func readPrefixList(snap *ckpt.Snapshot, name string) ([]ip6.Prefix, error) {
+	if !snap.Has(name) {
+		return nil, fmt.Errorf("%w: %s missing from manifest", ckpt.ErrCorrupt, name)
+	}
+	f, err := os.Open(snap.Path(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64*1024)
+	var n4 [4]byte
+	if _, err := io.ReadFull(br, n4[:]); err != nil {
+		return nil, fmt.Errorf("%w: %s header: %v", ckpt.ErrCorrupt, name, err)
+	}
+	n := binary.LittleEndian.Uint32(n4[:])
+	out := make([]ip6.Prefix, 0, n)
+	for i := uint32(0); i < n; i++ {
+		p, err := readPrefix(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s truncated: %v", ckpt.ErrCorrupt, name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -125,6 +125,21 @@ type Config struct {
 	// every scan). The first scan always publishes, so the handle serves
 	// as soon as data exists.
 	ServeEvery int
+
+	// CheckpointDir, when set, makes the service durable: RunScan spools
+	// each scan's candidate stream through an on-disk rollback journal
+	// next to this directory (bounded chunks instead of a resident
+	// collected list, same all-or-nothing abort contract), and — with
+	// CheckpointEvery — writes crash-consistent checkpoints of the full
+	// service state here via Checkpoint. core.Resume restores from it.
+	// Must differ from SpillDir. Outputs are bit-identical with and
+	// without it.
+	CheckpointDir string
+
+	// CheckpointEvery checkpoints after every Nth completed scan (0
+	// disables automatic checkpoints; Checkpoint can still be called
+	// explicitly). Ignored unless CheckpointDir is set.
+	CheckpointEvery int
 }
 
 // CandidateFeed generates streaming scan candidates from the service's
@@ -736,6 +751,16 @@ func (s *Service) RunScan(ctx context.Context, day int) (*ScanRecord, error) {
 	}
 	s.records = append(s.records, rec)
 	s.scanIndex++
+
+	// 8. Durability: auto-checkpoint after every Nth completed scan. The
+	// scan is fully finalized at this point, so a crash during the write
+	// loses at most the scans since the previous checkpoint — never a
+	// half-applied one.
+	if s.cfg.CheckpointDir != "" && s.cfg.CheckpointEvery > 0 && s.scanIndex%s.cfg.CheckpointEvery == 0 {
+		if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
+			return nil, fmt.Errorf("core: checkpoint: %w", err)
+		}
+	}
 	return rec, nil
 }
 
@@ -898,6 +923,14 @@ func drainSource(src scan.TargetSource, buf []ip6.Addr, fn func([]ip6.Addr)) err
 // exactly like the old collect-then-admit pipeline.
 func (s *Service) ingest(srcs []sources.NamedSource, day int, rec *ScanRecord) error {
 	sort.SliceStable(srcs, func(i, j int) bool { return srcs[i].Name < srcs[j].Name })
+
+	// A durable service spools the candidate stream through the on-disk
+	// rollback journal and admits it back in bounded chunks — same
+	// deterministic sequence, same all-or-nothing contract, bounded
+	// resident footprint.
+	if s.cfg.CheckpointDir != "" {
+		return s.ingestJournaled(srcs, day, rec)
+	}
 
 	// A single worker skips the routing pass and per-shard scratch
 	// entirely: the serial sweep below visits the same deterministic

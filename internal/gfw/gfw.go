@@ -262,3 +262,12 @@ func (t *Tracker) FreezeInjectedSeen() *ip6.SortedShardSet { return ip6.FreezeSo
 func (t *Tracker) Stats() (injected, injectedOnly, otherProto int) {
 	return t.injectedSeen.Len(), t.InjectedOnly().Len(), t.otherProto.Len()
 }
+
+// EvidenceSets exposes the tracker's three cumulative evidence sets —
+// injected-seen, other-protocol, real-DNS — as live references, for
+// checkpointing: the writer walks them shard by shard, and restore loads
+// straight back into them. Callers must honor the per-shard writing
+// contract.
+func (t *Tracker) EvidenceSets() (injectedSeen, otherProto, realDNS *ip6.ShardedSet) {
+	return t.injectedSeen, t.otherProto, t.realDNS
+}

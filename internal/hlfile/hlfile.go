@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -190,7 +191,7 @@ func (w *Writer) Finish() (err error) {
 	return writeHeader(out, &counts)
 }
 
-func writeHeader(f *os.File, counts *[ip6.AddrShards]uint64) error {
+func encodeHeader(counts *[ip6.AddrShards]uint64) []byte {
 	hdr := make([]byte, headerSize)
 	copy(hdr, magic[:])
 	binary.LittleEndian.PutUint16(hdr[4:], Version)
@@ -198,7 +199,11 @@ func writeHeader(f *os.File, counts *[ip6.AddrShards]uint64) error {
 	for i, c := range counts {
 		binary.LittleEndian.PutUint64(hdr[16+8*i:], c)
 	}
-	if _, err := f.WriteAt(hdr, 0); err != nil {
+	return hdr
+}
+
+func writeHeader(f *os.File, counts *[ip6.AddrShards]uint64) error {
+	if _, err := f.WriteAt(encodeHeader(counts), 0); err != nil {
 		return fmt.Errorf("hlfile: writing header: %w", err)
 	}
 	return nil
@@ -232,6 +237,46 @@ func (b *bodyWriter) flush() error {
 	}
 	b.off += int64(len(b.buf))
 	b.buf = b.buf[:0]
+	return nil
+}
+
+// WriteSharded streams a pre-sharded, pre-sorted address collection as a
+// .hl6 image to w. Unlike Writer — which sorts arbitrary input and
+// backfills the header with WriteAt — the per-shard counts are declared
+// up front, so the whole file flows sequentially through any io.Writer
+// (checkpointing wraps one that tracks size and CRC). walk is called for
+// each shard in canonical order and must emit exactly counts[sh]
+// addresses, sorted ascending and duplicate-free; a count mismatch
+// aborts loudly rather than producing a file whose header lies.
+func WriteSharded(w io.Writer, counts *[ip6.AddrShards]uint64, walk func(sh int, emit func(ip6.Addr) error) error) error {
+	if _, err := w.Write(encodeHeader(counts)); err != nil {
+		return fmt.Errorf("hlfile: writing header: %w", err)
+	}
+	buf := make([]byte, 0, 64*1024)
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		n := uint64(0)
+		if err := walk(sh, func(a ip6.Addr) error {
+			n++
+			buf = append(buf, a[:]...)
+			if len(buf) >= 64*1024 {
+				if _, err := w.Write(buf); err != nil {
+					return fmt.Errorf("hlfile: writing body: %w", err)
+				}
+				buf = buf[:0]
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if n != counts[sh] {
+			return fmt.Errorf("hlfile: shard %d emitted %d addresses, declared %d", sh, n, counts[sh])
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("hlfile: writing body: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -152,6 +152,40 @@ func (r *Reader) SortedSet() (*ip6.SortedShardSet, error) {
 	return ip6.SortedFromShards(shards), nil
 }
 
+// ShardCursor returns a pull cursor over shard sh's addresses in file
+// order (sorted ascending, duplicate-free by format contract): each call
+// yields the next address, with ok=false at end of shard. Reads go
+// through bounded chunks, so a cursor holds O(chunk) memory regardless
+// of shard size — the checkpoint-restore path feeds these straight into
+// resident sets or SpillSet.ImportShardSorted.
+func (r *Reader) ShardCursor(sh int) func() (ip6.Addr, bool, error) {
+	idx := r.starts[sh]
+	left := r.counts[sh]
+	buf := make([]ip6.Addr, 0, 4096)
+	pos := 0
+	return func() (ip6.Addr, bool, error) {
+		if pos == len(buf) {
+			if left == 0 {
+				return ip6.Addr{}, false, nil
+			}
+			n := cap(buf)
+			if n > left {
+				n = left
+			}
+			buf = buf[:n]
+			if err := r.readAddrs(idx, buf); err != nil {
+				return ip6.Addr{}, false, err
+			}
+			idx += int64(n)
+			left -= n
+			pos = 0
+		}
+		a := buf[pos]
+		pos++
+		return a, true, nil
+	}
+}
+
 // Source returns a fresh TargetSource over the whole file. The returned
 // source implements scan.ShardedSource and scan.ShardSizer, so
 // Scanner.StreamFrom hands each probe worker its shard's run directly;

@@ -83,6 +83,9 @@ func (s *ShardedSet) HasInShard(i int, a Addr) bool {
 	return sh != nil && sh.Has(a)
 }
 
+// ShardLen returns the cardinality of shard i.
+func (s *ShardedSet) ShardLen(i int) int { return len(s.shards[i]) }
+
 // Len returns the total cardinality across shards.
 func (s *ShardedSet) Len() int {
 	n := 0

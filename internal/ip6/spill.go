@@ -47,6 +47,8 @@ type SpillableSet interface {
 	HasInShard(i int, a Addr) bool
 	// Len returns the total cardinality across shards.
 	Len() int
+	// ShardLen returns the cardinality of shard i.
+	ShardLen(i int) int
 	// WalkShard visits every member of shard i in unspecified order; fn
 	// returning false stops the walk.
 	WalkShard(i int, fn func(Addr) bool)
@@ -582,6 +584,66 @@ func (s *SpillSet) WalkShard(i int, fn func(Addr) bool) {
 			}
 		}
 	}
+}
+
+// WalkShardSorted streams shard i's members to emit in ascending address
+// order. The shard's resident delta is frozen to disk first (a
+// membership-invariant state change: the spill trigger is shard-local, so
+// later observations are unaffected), then the frozen runs are k-way
+// merged. A non-nil error from emit aborts the walk; disk errors are
+// sticky (Err) and returned.
+func (s *SpillSet) WalkShardSorted(i int, emit func(Addr) error) error {
+	s.freeze(i)
+	sh := &s.shards[i]
+	if len(sh.delta) != 0 {
+		// freeze left the delta resident, which only happens on a disk
+		// error — surface the sticky error rather than emitting out of
+		// order.
+		if err := s.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("ip6: shard %d delta not frozen", i)
+	}
+	return MergeRuns(s.rf, sh.runs, emit)
+}
+
+// ImportShardSorted bulk-loads shard i from a cursor yielding strictly
+// ascending addresses (every one hashing to shard i). The shard must be
+// empty — this is the checkpoint-restore path, not an insert path — and
+// because the underlying run writer claims the scratch file's tail,
+// imports must run serially across shards. The loaded addresses land as
+// one frozen run without counting toward FrozenRuns (a reload is not a
+// spill).
+func (s *SpillSet) ImportShardSorted(i int, next func() (Addr, bool, error)) error {
+	sh := &s.shards[i]
+	if len(sh.delta) != 0 || len(sh.runs) != 0 {
+		return fmt.Errorf("ip6: importing into non-empty shard %d", i)
+	}
+	w := s.rf.newRunWriter()
+	for {
+		a, ok, err := next()
+		if err != nil {
+			s.fail(err)
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := w.append(a); err != nil {
+			s.fail(err)
+			return err
+		}
+	}
+	run, err := w.finish()
+	if err != nil {
+		s.fail(err)
+		return err
+	}
+	if run.count > 0 {
+		sh.runs = append(sh.runs, &run)
+		sh.ondisk = run.count
+	}
+	return nil
 }
 
 // Merge materializes the whole set — the compat view for snapshot

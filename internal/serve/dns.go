@@ -24,6 +24,12 @@ import (
 // ServeTTL is the answer TTL for non-alias hits.
 const ServeTTL = 300
 
+// MaxUDPReply is the classic DNS UDP payload limit: replies that would
+// exceed it are sent header-plus-question only with the TC bit set, so
+// the client retries over TCP instead of reading a silently clipped
+// datagram.
+const MaxUDPReply = 512
+
 // listedA is the rbldnsd-style "listed" answer payload.
 var listedA = [4]byte{127, 0, 0, 2}
 
@@ -48,13 +54,25 @@ var protoLabels = [netmodel.NumProtocols]string{
 type DNSResponder struct {
 	h    *Handle
 	zone string // normalized, non-empty
+
+	// udpLimit is the reply-size ceiling before truncation (MaxUDPReply;
+	// tests lower it to exercise the TC path with ordinary names).
+	udpLimit int
+
+	// metrics, when non-nil, counts answered dataset queries — two
+	// atomic adds, so the answer path stays allocation-free.
+	metrics *Metrics
 }
 
 // NewDNSResponder builds a responder serving the given zone (e.g.
 // "hitlist6.test"); the zone is normalized like every other name.
 func NewDNSResponder(h *Handle, zone string) *DNSResponder {
-	return &DNSResponder{h: h, zone: dnswire.NormalizeName(zone)}
+	return &DNSResponder{h: h, zone: dnswire.NormalizeName(zone), udpLimit: MaxUDPReply}
 }
+
+// SetMetrics attaches a telemetry collector; nil detaches. Not safe to
+// call concurrently with Respond.
+func (r *DNSResponder) SetMetrics(m *Metrics) { r.metrics = m }
 
 // Zone returns the normalized zone the responder is authoritative for.
 func (r *DNSResponder) Zone() string { return r.zone }
@@ -110,6 +128,9 @@ func (r *DNSResponder) Respond(msg []byte, dst []byte, sc *Scratch) []byte {
 		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
 	}
 	hit, ttl := lookupDataset(snap, key, dataset)
+	if r.metrics != nil {
+		r.metrics.CountQuery(hit)
+	}
 	if !hit {
 		hdr.RCode = dnswire.RCodeNXDomain
 		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
@@ -118,7 +139,15 @@ func (r *DNSResponder) Respond(msg []byte, dst []byte, sc *Scratch) []byte {
 		// Listed, but not the type asked for: NOERROR, no data.
 		return dnswire.AppendReplyRaw(dst, hdr, q.Raw, 0, 0, nil)
 	}
-	return dnswire.AppendReplyRaw(dst, hdr, q.Raw, dnswire.TypeA, ttl, listedA[:])
+	start := len(dst)
+	out := dnswire.AppendReplyRaw(dst, hdr, q.Raw, dnswire.TypeA, ttl, listedA[:])
+	if len(out)-start > r.udpLimit {
+		// The full answer would overflow the UDP payload: re-encode the
+		// header and question only with TC set, never a clipped record.
+		hdr.Truncated = true
+		return dnswire.AppendReplyRaw(out[:start], hdr, q.Raw, 0, 0, nil)
+	}
+	return out
 }
 
 // splitName splits a normalized query name into the key label, the

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync/atomic"
+	"time"
 
 	"hitlist6/internal/ip6"
 )
@@ -16,6 +17,11 @@ import (
 type Handle struct {
 	cur atomic.Pointer[Snapshot]
 	gen atomic.Uint64
+
+	// pubNanos is the wall-clock time of the last Publish (UnixNano; 0
+	// before the first) — telemetry for the metrics endpoint's
+	// generation-age gauge, never part of query answers.
+	pubNanos atomic.Int64
 }
 
 // NewHandle returns an empty handle; Current returns nil until the
@@ -27,7 +33,31 @@ func NewHandle() *Handle { return &Handle{} }
 func (h *Handle) Publish(s *Snapshot) {
 	s.Generation = h.gen.Add(1)
 	h.cur.Store(s)
+	h.pubNanos.Store(time.Now().UnixNano())
 }
+
+// Generation returns the last generation stamped (0 before the first
+// Publish or restore).
+func (h *Handle) Generation() uint64 { return h.gen.Load() }
+
+// PublishedAt returns when the current snapshot was published; ok is
+// false before the first Publish (including after a restore, until the
+// next finalization publishes).
+func (h *Handle) PublishedAt() (time.Time, bool) {
+	n := h.pubNanos.Load()
+	if n == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, n), true
+}
+
+// RestoreGeneration fast-forwards the generation counter without
+// publishing a snapshot — the checkpoint-restore path. Snapshots are
+// deliberately not checkpointed (they are derived state); servers answer
+// SERVFAIL until the resumed timeline's next finalization publishes
+// generation gen+1, and generation numbering continues exactly where the
+// interrupted run left off.
+func (h *Handle) RestoreGeneration(gen uint64) { h.gen.Store(gen) }
 
 // Current returns the most recently published snapshot, or nil before
 // the first publication. The result is immutable and safe to query for

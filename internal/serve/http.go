@@ -66,7 +66,13 @@ func answerJSON(a ip6.Addr, ans Answer) HTTPAnswer {
 // every response is consistent with exactly one publication; the DNS
 // path stays the allocation-free one, HTTP trades a few allocations for
 // the JSON ergonomics.
-func NewHTTPHandler(h *Handle) http.Handler {
+func NewHTTPHandler(h *Handle) http.Handler { return NewHTTPHandlerWithMetrics(h, nil) }
+
+// NewHTTPHandlerWithMetrics is NewHTTPHandler plus telemetry: queries
+// through /v1/query feed the collector, and GET /metrics exposes the
+// counters (QPS, hit rate, snapshot generation and age) in text
+// exposition format. A nil collector serves the plain API.
+func NewHTTPHandlerWithMetrics(h *Handle, m *Metrics) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, req *http.Request) {
 		a, err := ip6.ParseAddr(req.URL.Query().Get("addr"))
@@ -79,8 +85,14 @@ func NewHTTPHandler(h *Handle) http.Handler {
 			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
 			return
 		}
+		if m != nil {
+			m.CountQuery(ans.Live)
+		}
 		writeJSON(w, answerJSON(a, ans))
 	})
+	if m != nil {
+		mux.Handle("/metrics", MetricsHandler(h, m))
+	}
 	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, req *http.Request) {
 		s := h.Current()
 		if s == nil {

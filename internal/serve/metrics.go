@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates query-path telemetry across every front end sharing
+// it (DNS responder loops and the HTTP API). Counting is two atomic adds
+// on the hot path — no locks, no allocations — so the DNS answer path
+// keeps its zero-allocation guarantee with metrics attached.
+type Metrics struct {
+	queries atomic.Uint64
+	hits    atomic.Uint64
+
+	// Scrape-to-scrape QPS state, touched only by /metrics requests.
+	mu          sync.Mutex
+	lastScrape  time.Time
+	lastQueries uint64
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// CountQuery records one answered point query and whether it hit.
+func (m *Metrics) CountQuery(hit bool) {
+	m.queries.Add(1)
+	if hit {
+		m.hits.Add(1)
+	}
+}
+
+// Totals returns the cumulative query and hit counts.
+func (m *Metrics) Totals() (queries, hits uint64) {
+	return m.queries.Load(), m.hits.Load()
+}
+
+// MetricsHandler serves the /metrics scrape endpoint: cumulative query
+// and hit counters, the hit rate, queries-per-second since the previous
+// scrape, and the served snapshot's generation and age (from the
+// handle's publication stamp). Text exposition format, one gauge per
+// line, so any Prometheus-style scraper ingests it directly.
+func MetricsHandler(h *Handle, m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		queries, hits := m.Totals()
+
+		m.mu.Lock()
+		now := time.Now()
+		qps := 0.0
+		if !m.lastScrape.IsZero() {
+			if dt := now.Sub(m.lastScrape).Seconds(); dt > 0 {
+				qps = float64(queries-m.lastQueries) / dt
+			}
+		}
+		m.lastScrape = now
+		m.lastQueries = queries
+		m.mu.Unlock()
+
+		hitRate := 0.0
+		if queries > 0 {
+			hitRate = float64(hits) / float64(queries)
+		}
+		gen := h.Generation()
+		age := 0.0
+		if at, ok := h.PublishedAt(); ok {
+			age = now.Sub(at).Seconds()
+		}
+
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "hitlist6_queries_total %d\n", queries)
+		fmt.Fprintf(w, "hitlist6_hits_total %d\n", hits)
+		fmt.Fprintf(w, "hitlist6_hit_rate %g\n", hitRate)
+		fmt.Fprintf(w, "hitlist6_qps %g\n", qps)
+		fmt.Fprintf(w, "hitlist6_snapshot_generation %d\n", gen)
+		fmt.Fprintf(w, "hitlist6_snapshot_age_seconds %g\n", age)
+	})
+}

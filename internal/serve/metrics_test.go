@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hitlist6/internal/dnswire"
+)
+
+// TestDNSTruncatesOversizeReply pins the TC-bit path: when the full
+// answer would exceed the responder's UDP payload ceiling, the reply is
+// header plus question only with TC set — never a clipped record — and
+// the client is expected to retry over TCP.
+func TestDNSTruncatesOversizeReply(t *testing.T) {
+	snap, addrs := testSnapshot(t)
+	h := NewHandle()
+	h.Publish(snap)
+	r := NewDNSResponder(h, "hitlist6.test")
+	var sc Scratch
+	name := r.QueryName(addrs["live"], "live")
+	wire, err := dnswire.NewQuery(99, name, dnswire.TypeA).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: the answer fits the default 512-byte ceiling untruncated.
+	full := r.Respond(wire, nil, &sc)
+	if full == nil {
+		t.Fatal("control query dropped")
+	}
+	m, err := dnswire.Decode(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Truncated || len(m.Answers) != 1 {
+		t.Fatalf("control reply: TC=%v answers=%d", m.Header.Truncated, len(m.Answers))
+	}
+
+	// Lower the ceiling just below the full reply: the same query must
+	// now truncate instead of clipping the record.
+	r.udpLimit = len(full) - 1
+	short := r.Respond(wire, nil, &sc)
+	if short == nil {
+		t.Fatal("truncating query dropped")
+	}
+	if len(short) > r.udpLimit {
+		t.Fatalf("truncated reply is %d bytes, over the %d-byte limit", len(short), r.udpLimit)
+	}
+	m, err = dnswire.Decode(short)
+	if err != nil {
+		t.Fatalf("truncated reply does not decode: %v", err)
+	}
+	if !m.Header.Truncated {
+		t.Fatal("TC bit not set on oversize reply")
+	}
+	if m.Header.RCode != dnswire.RCodeNoError || len(m.Answers) != 0 {
+		t.Fatalf("truncated reply: rcode=%v answers=%d", m.Header.RCode, len(m.Answers))
+	}
+}
+
+// TestMetricsEndpoint: queries through both front ends feed one
+// collector, and /metrics exposes the counters plus the snapshot's
+// generation in text exposition format.
+func TestMetricsEndpoint(t *testing.T) {
+	snap, addrs := testSnapshot(t)
+	h := NewHandle()
+	h.Publish(snap)
+	m := NewMetrics()
+
+	r := NewDNSResponder(h, "hitlist6.test")
+	r.SetMetrics(m)
+	var sc Scratch
+	respond(t, r, &sc, r.QueryName(addrs["live"], "live"), dnswire.TypeA)    // hit
+	respond(t, r, &sc, r.QueryName(addrs["nothing"], "live"), dnswire.TypeA) // miss
+
+	if q, hits := m.Totals(); q != 2 || hits != 1 {
+		t.Fatalf("after DNS queries: totals = %d, %d", q, hits)
+	}
+
+	mux := NewHTTPHandlerWithMetrics(h, m)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/query?addr="+addrs["live"].String(), nil))
+	if rec.Code != 200 {
+		t.Fatalf("query status = %d: %s", rec.Code, rec.Body)
+	}
+	if q, hits := m.Totals(); q != 3 || hits != 2 {
+		t.Fatalf("after HTTP query: totals = %d, %d", q, hits)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"hitlist6_queries_total 3\n",
+		"hitlist6_hits_total 2\n",
+		"hitlist6_snapshot_generation 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+}
