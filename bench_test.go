@@ -13,11 +13,13 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"hitlist6/internal/ckpt"
 	"hitlist6/internal/core"
 	"hitlist6/internal/dnswire"
 	"hitlist6/internal/experiments"
@@ -28,6 +30,7 @@ import (
 	"hitlist6/internal/rng"
 	"hitlist6/internal/scan"
 	"hitlist6/internal/serve"
+	"hitlist6/internal/sources"
 	"hitlist6/internal/worldgen"
 	"hitlist6/internal/yarrp"
 )
@@ -387,6 +390,169 @@ func BenchmarkServeQPS(b *testing.B) {
 		})
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 	})
+}
+
+// BenchmarkSnapshotPublish measures building and publishing one serve
+// snapshot generation from a 2^17-member set when only a few shards
+// changed since the previous publication — the steady state of a stable
+// hitlist. The full sub-benchmark re-freezes all 64 shards every time;
+// the delta sub-benchmark uses copy-on-publish (FreezeSortedDelta),
+// re-freezing only the dirty shards and sharing the rest with the
+// previous generation.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	const dirtyShards = 4 // churn confined to 4 of the 64 shards (<10% dirty)
+	r := rng.NewStream(42, "publish-bench")
+	members := ip6.NewShardedSet()
+	for i := 0; i < 1<<17; i++ {
+		members.Add(ip6.AddrFromUint64s(0x2001_0000_0000_0000|r.Uint64()&0xffff_ffff, r.Uint64()))
+	}
+	fresh := func(n int) []ip6.Addr {
+		out := make([]ip6.Addr, 0, n)
+		for len(out) < n {
+			a := ip6.AddrFromUint64s(0x2001_0000_0000_0000|r.Uint64()&0xffff_ffff, r.Uint64())
+			if ip6.ShardOf(a) < dirtyShards {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	var perProto [netmodel.NumProtocols]*ip6.SortedShardSet
+
+	b.Run("full", func(b *testing.B) {
+		churn := fresh(b.N * dirtyShards)
+		h := serve.NewHandle()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, a := range churn[i*dirtyShards : (i+1)*dirtyShards] {
+				members.Add(a)
+			}
+			h.Publish(serve.NewSnapshot(100, ip6.FreezeSorted(members), perProto, nil, nil))
+		}
+	})
+
+	b.Run("delta", func(b *testing.B) {
+		churn := fresh(b.N * dirtyShards)
+		h := serve.NewHandle()
+		prev := ip6.FreezeSorted(members)
+		refrozen, shared := 0, 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, a := range churn[i*dirtyShards : (i+1)*dirtyShards] {
+				members.Add(a)
+			}
+			out, rf, sh := ip6.FreezeSortedDelta(members, prev)
+			refrozen += rf
+			shared += sh
+			h.Publish(serve.NewSnapshot(100, out, perProto, nil, nil))
+			prev = out
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(refrozen)/float64(b.N), "refrozen/op")
+		b.ReportMetric(float64(shared)/float64(b.N), "shared/op")
+	})
+}
+
+// BenchmarkCheckpointDelta measures one steady-state checkpoint of a
+// service carrying a large cumulative input-seen set (2^18 addresses)
+// with per-scan churn confined to two shards. The full sub-benchmark
+// rewrites every payload each time (CheckpointFullEvery=1); the delta
+// sub-benchmark chains delta checkpoints carrying only the dirty shards.
+// ckpt-bytes/op is the manifest's total payload size per checkpoint —
+// the on-disk write amplification the delta path exists to cut.
+func BenchmarkCheckpointDelta(b *testing.B) {
+	const (
+		poolSize    = 1 << 18
+		prefixes64  = 256 // the pool clusters into 256 /64s, keeping seen64 tiny
+		churnShards = 2
+		churnPerDay = 100
+	)
+	churnFor := func(day int) []ip6.Addr {
+		r := rng.NewStream(uint64(day), "ckpt-bench-churn")
+		out := make([]ip6.Addr, 0, churnPerDay)
+		for len(out) < churnPerDay {
+			a := ip6.AddrFromUint64s(0x2600_0000_0000_0000|uint64(r.Intn(prefixes64)), r.Uint64())
+			if ip6.ShardOf(a) < churnShards {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	run := func(b *testing.B, fullEvery int) {
+		w, err := worldgen.Generate(worldgen.Params{
+			Seed: 7, Scale: 1.0 / 20000, TailASes: 32, ScanIntervalDays: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rng.NewStream(7, "ckpt-bench-pool")
+		pool := make([]ip6.Addr, poolSize)
+		for i := range pool {
+			pool[i] = ip6.AddrFromUint64s(0x2600_0000_0000_0000|uint64(i%prefixes64), r.Uint64())
+		}
+		feed := &sources.Feed{
+			Name: "bench-synthetic", FromDay: 0, ToDay: 1 << 30,
+			Collect: func(_ context.Context, day int) ([]ip6.Addr, error) {
+				if day == 0 {
+					return pool, nil
+				}
+				return churnFor(day), nil
+			},
+		}
+		cfg := core.DefaultConfig(7)
+		cfg.CheckpointFullEvery = fullEvery
+		svc := core.NewService(cfg, w.Net, []*sources.Feed{feed}, nil)
+		defer svc.Close()
+		ctx := context.Background()
+		// Day 0 ingests the pool; the day-31 scan evicts it (30-day
+		// unresponsive horizon), so the always-rewritten active table stays
+		// small and the cumulative input-seen set is what each checkpoint
+		// has to carry.
+		for _, day := range []int{0, 31} {
+			if _, err := svc.RunScan(ctx, day); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dir := filepath.Join(b.TempDir(), "ckpt")
+		if err := svc.Checkpoint(dir); err != nil { // the head deltas chain from
+			b.Fatal(err)
+		}
+		var bytesTotal int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if _, err := svc.RunScan(ctx, 32+i); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := svc.Checkpoint(dir); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			m, err := ckpt.ReadManifest(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, fi := range m.Files {
+				bytesTotal += fi.Bytes
+			}
+			if fullEvery != 1 && m.Depth == 0 {
+				b.Fatal("expected a delta checkpoint")
+			}
+			// Parked chain parents are only read on resume; prune them so a
+			// long delta run doesn't fill the disk.
+			parked, _ := filepath.Glob(dir + ".p[0-9]*")
+			for _, p := range parked {
+				os.RemoveAll(p)
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(bytesTotal)/float64(b.N), "ckpt-bytes/op")
+	}
+	b.Run("full", func(b *testing.B) { run(b, 1) })
+	b.Run("delta", func(b *testing.B) { run(b, 1<<30) })
 }
 
 // BenchmarkServeUnderScan measures query latency while the timeline

@@ -5,7 +5,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/bits"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 
 	"hitlist6/internal/ckpt"
@@ -207,8 +210,9 @@ func hl6Info(args []string) {
 }
 
 // ckptInfo prints a checkpoint directory's manifest: scan cursor, serve
-// generation, every payload file with size and item count, and the
-// ingest-journal status next to the directory.
+// generation, delta-chain shape (when the head is a delta checkpoint),
+// every payload file with size and item count, and the ingest-journal
+// status next to the directory.
 func ckptInfo(dir string) {
 	resolved, err := ckpt.Resolve(dir)
 	if err != nil {
@@ -220,7 +224,7 @@ func ckptInfo(dir string) {
 	}
 	fmt.Printf("checkpoint:      %s\n", resolved)
 	if resolved != dir {
-		fmt.Printf("note:            resolved to the .prev fallback (crash window mid-commit)\n")
+		fmt.Printf("note:            resolved to a fallback directory (crash window mid-commit)\n")
 	}
 	lastDay := "none"
 	if m.LastDay >= 0 {
@@ -229,17 +233,54 @@ func ckptInfo(dir string) {
 	fmt.Printf("scans completed: %d\n", m.ScanIndex)
 	fmt.Printf("last scan day:   %s\n", lastDay)
 	fmt.Printf("generation:      %d\n", m.Generation)
-	var bytes int64
-	for _, fi := range m.Files {
-		bytes += fi.Bytes
-	}
-	fmt.Printf("payload files:   %d (%d bytes)\n", len(m.Files), bytes)
-	for _, fi := range m.Files {
-		if fi.Count > 0 {
-			fmt.Printf("  %-20s %12d bytes %12d items\n", fi.Name, fi.Bytes, fi.Count)
-		} else {
-			fmt.Printf("  %-20s %12d bytes\n", fi.Name, fi.Bytes)
+	printFiles := func(files []ckpt.FileInfo) int64 {
+		var bytes int64
+		for _, fi := range files {
+			bytes += fi.Bytes
 		}
+		fmt.Printf("payload files:   %d (%d bytes)\n", len(files), bytes)
+		for _, fi := range files {
+			suffix := ""
+			if fi.Delta {
+				if mask, err := strconv.ParseUint(fi.DeltaShards, 16, 64); err == nil {
+					suffix = fmt.Sprintf("  [delta, %d/%d shards]", bits.OnesCount64(mask), ip6.AddrShards)
+				} else {
+					suffix = "  [delta]"
+				}
+			}
+			if fi.Count > 0 {
+				fmt.Printf("  %-20s %12d bytes %12d items%s\n", fi.Name, fi.Bytes, fi.Count, suffix)
+			} else {
+				fmt.Printf("  %-20s %12d bytes%s\n", fi.Name, fi.Bytes, suffix)
+			}
+		}
+		return bytes
+	}
+	headBytes := printFiles(m.Files)
+	if m.Parent != "" {
+		fmt.Printf("delta chain:     depth %d (head + parents below, oldest last)\n", m.Depth)
+		base := filepath.Dir(resolved)
+		cur, total := m, headBytes
+		for cur.Parent != "" {
+			pdir := filepath.Join(base, cur.Parent)
+			pm, err := ckpt.ReadManifest(pdir)
+			if err != nil {
+				fmt.Printf("  %-20s UNREADABLE: %v\n", cur.Parent, err)
+				break
+			}
+			var pbytes int64
+			for _, fi := range pm.Files {
+				pbytes += fi.Bytes
+			}
+			total += pbytes
+			kind := "delta"
+			if pm.Parent == "" {
+				kind = "full"
+			}
+			fmt.Printf("  %-20s scans=%-4d %12d bytes  (%s)\n", cur.Parent, pm.ScanIndex, pbytes, kind)
+			cur = pm
+		}
+		fmt.Printf("chain total:     %d bytes\n", total)
 	}
 	count, jbytes, ok, err := ckpt.JournalStat(core.JournalPath(dir))
 	if err != nil {

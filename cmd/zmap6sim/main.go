@@ -167,12 +167,13 @@ func main() {
 		stride      = flag.Int("stride", 1, "-timeline: run every N-th scheduled scan")
 		ckptDir     = flag.String("ckpt", "", "-timeline: checkpoint directory (enables journaled ingest and checkpoints)")
 		ckptEvery   = flag.Int("ckptevery", 1, "-timeline: checkpoint after every Nth scan (0 = journaled ingest only)")
+		ckptFull    = flag.Int("ckptfull", 0, "-timeline: full (compaction) checkpoint every Nth checkpoint, deltas in between (0 = default cadence, 1 = every checkpoint full)")
 		resume      = flag.Bool("resume", false, "-timeline: resume from the checkpoint in -ckpt, re-emitting completed rows")
 		pause       = flag.Duration("pause", 0, "-timeline: pause between scans")
 	)
 	flag.Parse()
 	if *timeline {
-		timelineMain(*scale, *seed, *stride, *ckptDir, *ckptEvery, *resume, *pause)
+		timelineMain(*scale, *seed, *stride, *ckptDir, *ckptEvery, *ckptFull, *resume, *pause)
 		return
 	}
 	if *serveAddr != "" && *spillDir == "" {

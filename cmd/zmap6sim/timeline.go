@@ -23,7 +23,7 @@ import (
 // rows of every completed scan, and continues the schedule — so a run
 // SIGKILLed anywhere and resumed produces byte-identical CSV to an
 // uninterrupted one (the CI kill-and-resume job diffs them with cmp).
-func timelineMain(scale float64, seed uint64, stride int, ckptDir string, ckptEvery int, resume bool, pause time.Duration) {
+func timelineMain(scale float64, seed uint64, stride int, ckptDir string, ckptEvery, ckptFull int, resume bool, pause time.Duration) {
 	if resume && ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "-resume needs -ckpt")
 		os.Exit(2)
@@ -45,6 +45,7 @@ func timelineMain(scale float64, seed uint64, stride int, ckptDir string, ckptEv
 	cfg.GFWFilterFromDay = netmodel.DayOf(2022, time.February, 7)
 	cfg.CheckpointDir = ckptDir
 	cfg.CheckpointEvery = ckptEvery
+	cfg.CheckpointFullEvery = ckptFull
 
 	var svc *core.Service
 	if resume {

@@ -20,6 +20,24 @@
 // re-verifies every payload file's size and CRC against the manifest
 // before handing anything to the caller — a truncated, bit-flipped or
 // missing file refuses loudly with ErrCorrupt rather than half-loading.
+//
+// # Delta chains
+//
+// A checkpoint may be written as a delta against the checkpoint
+// currently at dest (BeginDelta): payload files marked Delta carry only
+// the shards named in their DeltaShards bitmap, and the manifest's
+// Parent field names the sibling directory — dest + ".p<scanIndex>" —
+// the superseded head is parked under at commit time instead of being
+// removed. OpenChain resolves the whole parent chain (every level fully
+// CRC-verified; a missing or damaged parent is ErrCorrupt), and
+// FindShard answers "which chain level holds the current content of
+// shard sh" — the newest level whose payload carries that shard. The
+// delta commit's crash windows mirror the full commit's: before the
+// park rename the old chain is intact at dest; between the park and
+// publish renames Resolve falls back to the highest-numbered parked
+// parent; after publish the new head is live. A full (non-delta) commit
+// into dest collapses the chain: its .p* parents are removed once the
+// new head is durable.
 package ckpt
 
 import (
@@ -31,6 +49,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 )
 
 // ManifestName is the manifest's file name inside a checkpoint directory.
@@ -53,6 +73,13 @@ type FileInfo struct {
 	Bytes int64  `json:"bytes"`
 	CRC   string `json:"crc64"` // 16 hex digits, CRC-64/ECMA of the contents
 	Count int64  `json:"count,omitempty"`
+
+	// Delta marks a payload written as a shard delta: only the shards
+	// whose bit is set in DeltaShards are present in this file; every
+	// other shard's content lives at some older chain level. A payload
+	// without Delta carries all shards.
+	Delta       bool   `json:"delta,omitempty"`
+	DeltaShards string `json:"delta_shards,omitempty"` // 16 hex digits, bit i = shard i present
 }
 
 // Manifest is the checkpoint's table of contents plus the service-level
@@ -63,6 +90,12 @@ type Manifest struct {
 	LastDay    int        `json:"last_day"`
 	Generation uint64     `json:"generation"`
 	Files      []FileInfo `json:"files"`
+
+	// Parent names the sibling directory holding the checkpoint this one
+	// is a delta against ("" for a full checkpoint); Depth is the chain
+	// length above the full base (0 for full).
+	Parent string `json:"parent,omitempty"`
+	Depth  int    `json:"depth,omitempty"`
 }
 
 // Writer stages one checkpoint. Files must be created and closed one at
@@ -72,6 +105,11 @@ type Writer struct {
 	tmp   string
 	files []FileInfo
 	done  bool
+
+	// Delta staging (BeginDelta): the sibling name the current head will
+	// be parked under at commit, and its chain depth.
+	parentName  string
+	parentDepth int
 }
 
 // Begin stages a checkpoint targeting the directory dest. The temp
@@ -89,15 +127,37 @@ func Begin(dest string) (*Writer, error) {
 	return &Writer{dest: dest, tmp: tmp}, nil
 }
 
+// BeginDelta stages a checkpoint that chains onto the checkpoint
+// currently at dest: Commit parks the current head under a stable
+// sibling name (dest + ".p<scanIndex>") instead of removing it, and the
+// new manifest records that name as its parent. dest must hold a
+// readable manifest — callers fall back to Begin (a full rewrite) when
+// it does not.
+func BeginDelta(dest string) (*Writer, error) {
+	pm, err := ReadManifest(dest)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading delta parent manifest: %w", err)
+	}
+	w, err := Begin(dest)
+	if err != nil {
+		return nil, err
+	}
+	w.parentName = fmt.Sprintf("%s.p%d", filepath.Base(dest), pm.ScanIndex)
+	w.parentDepth = pm.Depth
+	return w, nil
+}
+
 // File is one payload file being written: an io.Writer that tracks size
 // and CRC, fsyncs on Close, and records itself in the manifest.
 type File struct {
-	w     *Writer
-	name  string
-	f     *os.File
-	crc   hash.Hash64
-	n     int64
-	count int64
+	w           *Writer
+	name        string
+	f           *os.File
+	crc         hash.Hash64
+	n           int64
+	count       int64
+	delta       bool
+	deltaShards uint64
 }
 
 // Create opens payload file name in the staging directory. Close the
@@ -125,6 +185,15 @@ func (f *File) Write(p []byte) (int, error) {
 // manifest entry — display metadata only, not validated.
 func (f *File) SetCount(n int64) { f.count = n }
 
+// SetDeltaShards marks the file as a shard delta carrying exactly the
+// shards whose bit is set in mask (bit i = shard i). Unlike Count this
+// is load-bearing: readers resolve absent shards through the parent
+// chain.
+func (f *File) SetDeltaShards(mask uint64) {
+	f.delta = true
+	f.deltaShards = mask
+}
+
 // Close fsyncs the payload and records its manifest entry.
 func (f *File) Close() error {
 	if err := f.f.Sync(); err != nil {
@@ -134,12 +203,17 @@ func (f *File) Close() error {
 	if err := f.f.Close(); err != nil {
 		return fmt.Errorf("ckpt: closing %s: %w", f.name, err)
 	}
-	f.w.files = append(f.w.files, FileInfo{
+	fi := FileInfo{
 		Name:  f.name,
 		Bytes: f.n,
 		CRC:   fmt.Sprintf("%016x", f.crc.Sum64()),
 		Count: f.count,
-	})
+	}
+	if f.delta {
+		fi.Delta = true
+		fi.DeltaShards = fmt.Sprintf("%016x", f.deltaShards)
+	}
+	f.w.files = append(f.w.files, fi)
 	return nil
 }
 
@@ -164,6 +238,10 @@ func (w *Writer) Commit(m Manifest) error {
 	}
 	m.Version = Version
 	m.Files = w.files
+	if w.parentName != "" {
+		m.Parent = w.parentName
+		m.Depth = w.parentDepth + 1
+	}
 	data, err := json.MarshalIndent(&m, "", " ")
 	if err != nil {
 		w.Abort()
@@ -177,6 +255,10 @@ func (w *Writer) Commit(m Manifest) error {
 	// Make the staged directory's entries durable before it becomes
 	// reachable under the destination name.
 	syncDir(w.tmp)
+
+	if w.parentName != "" {
+		return w.commitDelta()
+	}
 
 	prev := w.dest + ".prev"
 	// A stale .prev can only be debris from an earlier crash inside this
@@ -205,6 +287,79 @@ func (w *Writer) Commit(m Manifest) error {
 	syncDir(filepath.Dir(w.dest))
 	if err := os.RemoveAll(prev); err != nil {
 		return fmt.Errorf("ckpt: removing %s: %w", prev, err)
+	}
+	// A full checkpoint is self-contained: parked parents from a
+	// superseded delta chain are debris once the new head is durable.
+	return removeChain(w.dest)
+}
+
+// commitDelta publishes a delta checkpoint: the current head moves to
+// its stable parent slot (the name the staged manifest already records),
+// then the staged directory takes the head's place. A crash before the
+// park leaves the old chain intact at dest; between the renames Resolve
+// falls back to the highest-numbered parked parent; after them the new
+// head is live.
+func (w *Writer) commitDelta() error {
+	park := filepath.Join(filepath.Dir(w.dest), w.parentName)
+	if _, err := os.Stat(park); err == nil {
+		w.Abort()
+		return fmt.Errorf("ckpt: delta parent slot %s already occupied", park)
+	} else if !os.IsNotExist(err) {
+		w.Abort()
+		return fmt.Errorf("ckpt: checking %s: %w", park, err)
+	}
+	if err := os.Rename(w.dest, park); err != nil {
+		w.Abort()
+		return fmt.Errorf("ckpt: parking delta parent: %w", err)
+	}
+	if err := os.Rename(w.tmp, w.dest); err != nil {
+		// Put the parent back under the head name so dest stays valid.
+		os.Rename(park, w.dest)
+		w.Abort()
+		return fmt.Errorf("ckpt: publishing delta checkpoint: %w", err)
+	}
+	w.done = true
+	syncDir(filepath.Dir(w.dest))
+	return nil
+}
+
+// chainDirs lists dest's parked delta parents — sibling directories
+// named dest + ".p<digits>" — in ascending scan-index order.
+func chainDirs(dest string) ([]string, error) {
+	matches, err := filepath.Glob(dest + ".p*")
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: listing chain of %s: %w", dest, err)
+	}
+	var dirs []string
+	var scans []int
+	for _, m := range matches {
+		n, err := strconv.Atoi(strings.TrimPrefix(m, dest+".p"))
+		if err != nil {
+			continue // ".prev", journals, unrelated siblings
+		}
+		dirs = append(dirs, m)
+		scans = append(scans, n)
+	}
+	// Insertion sort by scan index — chains are bounded-depth small.
+	for i := 1; i < len(dirs); i++ {
+		for j := i; j > 0 && scans[j] < scans[j-1]; j-- {
+			scans[j], scans[j-1] = scans[j-1], scans[j]
+			dirs[j], dirs[j-1] = dirs[j-1], dirs[j]
+		}
+	}
+	return dirs, nil
+}
+
+// removeChain deletes dest's parked delta parents.
+func removeChain(dest string) error {
+	dirs, err := chainDirs(dest)
+	if err != nil {
+		return err
+	}
+	for _, d := range dirs {
+		if err := os.RemoveAll(d); err != nil {
+			return fmt.Errorf("ckpt: removing superseded chain dir %s: %w", d, err)
+		}
 	}
 	return nil
 }
@@ -238,9 +393,11 @@ func syncDir(dir string) {
 }
 
 // Resolve picks the directory a restore should read: dir itself when it
-// holds a manifest, else dir+".prev" — the crash window where Commit had
-// parked the previous checkpoint but not yet published the new one.
-// When neither exists the error wraps os.ErrNotExist.
+// holds a manifest, else dir+".prev" (the crash window where a full
+// Commit had parked the previous checkpoint but not yet published the
+// new one), else the highest-scan-index parked delta parent dir+".p<N>"
+// (the same window in a delta Commit). When none exists the error wraps
+// os.ErrNotExist.
 func Resolve(dir string) (string, error) {
 	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
 		return dir, nil
@@ -253,13 +410,23 @@ func Resolve(dir string) (string, error) {
 	} else if !os.IsNotExist(err) {
 		return "", fmt.Errorf("ckpt: probing %s: %w", prev, err)
 	}
+	if chain, err := chainDirs(dir); err == nil {
+		for i := len(chain) - 1; i >= 0; i-- {
+			if _, err := os.Stat(filepath.Join(chain[i], ManifestName)); err == nil {
+				return chain[i], nil
+			}
+		}
+	}
 	return "", fmt.Errorf("ckpt: no checkpoint at %s: %w", dir, os.ErrNotExist)
 }
 
-// Snapshot is an opened, fully validated checkpoint.
+// Snapshot is an opened, fully validated checkpoint — one level of a
+// (possibly single-level) delta chain. Parent is non-nil when this level
+// was opened through OpenChain and is a delta.
 type Snapshot struct {
 	Dir      string
 	Manifest Manifest
+	Parent   *Snapshot
 
 	byName map[string]FileInfo
 }
@@ -323,6 +490,43 @@ func verifyFile(dir string, fi FileInfo) error {
 	return nil
 }
 
+// maxChainDepth guards OpenChain against parent-reference cycles and
+// runaway chains; real chains are bounded by the writer's compaction
+// cadence, orders of magnitude below this.
+const maxChainDepth = 1 << 10
+
+// OpenChain opens dir like Open, then resolves and fully verifies its
+// delta-parent chain: every level's payloads are size- and CRC-checked,
+// and a missing, unreadable or cyclic parent refuses with ErrCorrupt —
+// a delta head whose history is damaged must not half-load.
+func OpenChain(dir string) (*Snapshot, error) {
+	head, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{filepath.Base(dir): true}
+	for cur, depth := head, 0; cur.Manifest.Parent != ""; depth++ {
+		if depth >= maxChainDepth {
+			return nil, fmt.Errorf("%w: delta chain deeper than %d", ErrCorrupt, maxChainDepth)
+		}
+		name := cur.Manifest.Parent
+		if name != filepath.Base(name) || seen[name] {
+			return nil, fmt.Errorf("%w: invalid parent reference %q", ErrCorrupt, name)
+		}
+		seen[name] = true
+		p, err := Open(filepath.Join(filepath.Dir(cur.Dir), name))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("%w: delta parent %s missing", ErrCorrupt, name)
+			}
+			return nil, err
+		}
+		cur.Parent = p
+		cur = p
+	}
+	return head, nil
+}
+
 // Path returns the absolute path of payload file name.
 func (s *Snapshot) Path(name string) string { return filepath.Join(s.Dir, name) }
 
@@ -336,4 +540,46 @@ func (s *Snapshot) Has(name string) bool {
 func (s *Snapshot) Info(name string) (FileInfo, bool) {
 	fi, ok := s.byName[name]
 	return fi, ok
+}
+
+// HasShard reports whether this snapshot's own copy of payload name
+// carries shard sh: a full payload carries every shard, a delta only
+// those in its bitmap.
+func (s *Snapshot) HasShard(name string, sh int) bool {
+	fi, ok := s.byName[name]
+	if !ok {
+		return false
+	}
+	if !fi.Delta {
+		return true
+	}
+	mask, err := strconv.ParseUint(fi.DeltaShards, 16, 64)
+	if err != nil {
+		return false
+	}
+	return mask&(1<<uint(sh)) != 0
+}
+
+// FindShard returns the newest chain level (this snapshot or an
+// ancestor) whose payload name carries shard sh, or nil when no level
+// does. That level holds the shard's current content: a delta writes a
+// shard exactly when it changed, so absence at newer levels proves the
+// older copy is still current.
+func (s *Snapshot) FindShard(name string, sh int) *Snapshot {
+	for cur := s; cur != nil; cur = cur.Parent {
+		if cur.HasShard(name, sh) {
+			return cur
+		}
+	}
+	return nil
+}
+
+// HasInChain reports whether any chain level names the payload file.
+func (s *Snapshot) HasInChain(name string) bool {
+	for cur := s; cur != nil; cur = cur.Parent {
+		if cur.Has(name) {
+			return true
+		}
+	}
+	return false
 }

@@ -120,10 +120,91 @@ func configState(cfg Config) ckptState {
 	return st
 }
 
+// defaultCheckpointFullEvery is the compaction cadence when
+// Config.CheckpointFullEvery is unset: one full rewrite per 8
+// checkpoints bounds restore to reading at most 8 chain levels.
+const defaultCheckpointFullEvery = 8
+
+// ckptMark remembers which set object a checkpoint payload was written
+// from and the per-shard epochs at write time. Object identity matters:
+// epochs are only comparable within one set object, so a wholesale set
+// replacement (GFW-filter deployment swaps in a fresh drop set) makes
+// every shard dirty automatically.
+type ckptMark struct {
+	set    ip6.SpillableSet
+	epochs [ip6.AddrShards]uint64
+}
+
+func markOf(set ip6.SpillableSet) *ckptMark {
+	m := &ckptMark{set: set}
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		m.epochs[sh] = set.ShardEpoch(sh)
+	}
+	return m
+}
+
+// dirtyMask returns the bitmap of shards whose epoch moved since mark
+// (bit i = shard i dirty); with no usable mark every shard is dirty.
+func dirtyMask(mark *ckptMark, set ip6.SpillableSet) uint64 {
+	if mark == nil || mark.set != set {
+		return ^uint64(0)
+	}
+	var mask uint64
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		if set.ShardEpoch(sh) != mark.epochs[sh] {
+			mask |= 1 << uint(sh)
+		}
+	}
+	return mask
+}
+
+// ckptPayload is one delta-eligible address-set payload.
+type ckptPayload struct {
+	name string
+	set  ip6.SpillableSet
+}
+
+// addrSetPayloads lists the cumulative address sets a checkpoint stages
+// as (possibly delta) .hl6 payloads, in canonical write order. The list
+// is computed per call: payloads appear as the state they mirror does
+// (the GFW drop set after deployment, lastClean after the first scan).
+func (s *Service) addrSetPayloads() []ckptPayload {
+	out := []ckptPayload{
+		{ckptInputSeenFile, s.inputSeen},
+		{ckptEverAnyFile, s.everRespAny},
+	}
+	for p := range s.everResp {
+		out = append(out, ckptPayload{ckptEverRespFile(p), s.everResp[p]})
+	}
+	if s.gfwDeployed {
+		out = append(out, ckptPayload{ckptGFWDropFile, s.gfwInputDrop})
+	}
+	out = append(out, ckptPayload{ckptPrevRespFile, s.prevRespAny})
+	if s.lastClean != nil {
+		for _, p := range s.cfg.Protocols {
+			out = append(out, ckptPayload{ckptLastCleanFile(int(p)), s.lastClean[p]})
+		}
+	}
+	inj, other, real := s.tracker.EvidenceSets()
+	out = append(out,
+		ckptPayload{ckptTrkInjFile, inj},
+		ckptPayload{ckptTrkOtherFile, other},
+		ckptPayload{ckptTrkRealFile, real})
+	return out
+}
+
 // Checkpoint writes a crash-consistent snapshot of the service's full
 // state to dir (atomically replacing any previous checkpoint there).
 // The service stays usable afterwards; SpillSet deltas are frozen to
 // disk as a side effect, which changes no membership observation.
+//
+// Successive checkpoints into the same directory are written as deltas:
+// cumulative address-set payloads carry only the shards whose mutation
+// epoch advanced since the previous checkpoint, the superseded head is
+// parked as the new head's parent, and Resume resolves shards through
+// the chain. Every CheckpointFullEvery-th checkpoint (and any checkpoint
+// without a usable parent — first ever, different directory, resumed
+// from a fallback) is a full rewrite that collapses the chain.
 func (s *Service) Checkpoint(dir string) (err error) {
 	if s.spill != nil {
 		if err := s.spill.err(); err != nil {
@@ -133,9 +214,27 @@ func (s *Service) Checkpoint(dir string) (err error) {
 			return fmt.Errorf("core: checkpoint dir %s collides with spill dir", dir)
 		}
 	}
-	w, err := ckpt.Begin(dir)
-	if err != nil {
-		return err
+	fullEvery := s.cfg.CheckpointFullEvery
+	if fullEvery <= 0 {
+		fullEvery = defaultCheckpointFullEvery
+	}
+	// Delta only against a head this process wrote (or resumed from) at
+	// an earlier scan: equal scan indexes would collide in the parent
+	// namespace, and a foreign directory has no marks to diff against.
+	delta := s.ckptMarks != nil && s.ckptDir == filepath.Clean(dir) &&
+		s.scanIndex > s.ckptScan && s.ckptDepth+1 < fullEvery
+	var w *ckpt.Writer
+	if delta {
+		if w, err = ckpt.BeginDelta(dir); err != nil {
+			// Head unreadable (wiped, damaged): fall back to a full
+			// rewrite rather than failing the checkpoint.
+			delta, w = false, nil
+		}
+	}
+	if w == nil {
+		if w, err = ckpt.Begin(dir); err != nil {
+			return err
+		}
 	}
 	defer func() {
 		if err != nil {
@@ -155,41 +254,11 @@ func (s *Service) Checkpoint(dir string) (err error) {
 	if err := s.writeActive(w); err != nil {
 		return err
 	}
-	if err := writeAddrSet(w, ckptInputSeenFile, s.inputSeen); err != nil {
-		return err
-	}
-	if err := writeAddrSet(w, ckptEverAnyFile, s.everRespAny); err != nil {
-		return err
-	}
-	for p := range s.everResp {
-		if err := writeAddrSet(w, ckptEverRespFile(p), s.everResp[p]); err != nil {
+	newMarks := make(map[string]*ckptMark)
+	for _, pl := range s.addrSetPayloads() {
+		if err := s.writeAddrSet(w, pl.name, pl.set, delta, newMarks); err != nil {
 			return err
 		}
-	}
-	if s.gfwDeployed {
-		if err := writeAddrSet(w, ckptGFWDropFile, s.gfwInputDrop); err != nil {
-			return err
-		}
-	}
-	if err := writeAddrSet(w, ckptPrevRespFile, s.prevRespAny); err != nil {
-		return err
-	}
-	if s.lastClean != nil {
-		for _, p := range s.cfg.Protocols {
-			if err := writeAddrSet(w, ckptLastCleanFile(int(p)), s.lastClean[p]); err != nil {
-				return err
-			}
-		}
-	}
-	inj, other, real := s.tracker.EvidenceSets()
-	if err := writeAddrSet(w, ckptTrkInjFile, inj); err != nil {
-		return err
-	}
-	if err := writeAddrSet(w, ckptTrkOtherFile, other); err != nil {
-		return err
-	}
-	if err := writeAddrSet(w, ckptTrkRealFile, real); err != nil {
-		return err
 	}
 	if s.cfg.RetainUnresponsive {
 		if err := writeFlatSet(w, ckptUnrespFile, s.unresponsive); err != nil {
@@ -215,11 +284,24 @@ func (s *Service) Checkpoint(dir string) (err error) {
 	if len(s.records) > 0 {
 		lastDay = s.records[len(s.records)-1].Day
 	}
-	return w.Commit(ckpt.Manifest{
+	if err := w.Commit(ckpt.Manifest{
 		ScanIndex:  s.scanIndex,
 		LastDay:    lastDay,
 		Generation: s.queryHandle.Generation(),
-	})
+	}); err != nil {
+		return err
+	}
+	// Only a committed head updates the delta baseline — an aborted
+	// write leaves the old head (and its marks) valid.
+	s.ckptMarks = newMarks
+	s.ckptDir = filepath.Clean(dir)
+	s.ckptScan = s.scanIndex
+	if delta {
+		s.ckptDepth++
+	} else {
+		s.ckptDepth = 0
+	}
+	return nil
 }
 
 // writeState stages state.json.
@@ -387,8 +469,29 @@ func writeJSONFile(w *ckpt.Writer, name string, v any, count int64) error {
 
 // writeAddrSet stages a sharded address set as a .hl6 image, streamed in
 // shard-sorted order: resident shards sort a copy, SpillSet shards merge
-// their frozen runs straight off disk.
-func writeAddrSet(w *ckpt.Writer, name string, set ip6.SpillableSet) error {
+// their frozen runs straight off disk. With dirtyOnly set the payload is
+// a delta: shards whose epoch matches the previous checkpoint's mark are
+// written with zero count and excluded from the file's DeltaShards
+// bitmap — readers resolve them through the parent chain. newMarks, when
+// non-nil, receives the set's current epochs under name so the next
+// checkpoint can diff against this one.
+func (s *Service) writeAddrSet(w *ckpt.Writer, name string, set ip6.SpillableSet, dirtyOnly bool, newMarks map[string]*ckptMark) error {
+	mask := ^uint64(0)
+	if dirtyOnly {
+		mask = dirtyMask(s.ckptMarks[name], set)
+	}
+	if err := writeAddrSetMasked(w, name, set, mask, dirtyOnly); err != nil {
+		return err
+	}
+	if newMarks != nil {
+		newMarks[name] = markOf(set)
+	}
+	return nil
+}
+
+// writeAddrSetMasked streams the shards selected by mask; with delta set
+// the file records mask as its DeltaShards bitmap.
+func writeAddrSetMasked(w *ckpt.Writer, name string, set ip6.SpillableSet, mask uint64, delta bool) error {
 	f, err := w.Create(name)
 	if err != nil {
 		return err
@@ -396,12 +499,18 @@ func writeAddrSet(w *ckpt.Writer, name string, set ip6.SpillableSet) error {
 	var counts [ip6.AddrShards]uint64
 	total := int64(0)
 	for sh := 0; sh < ip6.AddrShards; sh++ {
+		if mask&(1<<uint(sh)) == 0 {
+			continue
+		}
 		counts[sh] = uint64(set.ShardLen(sh))
 		total += int64(counts[sh])
 	}
 	spill, _ := set.(*ip6.SpillSet)
 	var scratch []ip6.Addr
 	err = hlfile.WriteSharded(f, &counts, func(sh int, emit func(ip6.Addr) error) error {
+		if mask&(1<<uint(sh)) == 0 {
+			return nil
+		}
 		if spill != nil {
 			return spill.WalkShardSorted(sh, emit)
 		}
@@ -421,18 +530,22 @@ func writeAddrSet(w *ckpt.Writer, name string, set ip6.SpillableSet) error {
 	if err != nil {
 		return fmt.Errorf("core: writing %s: %w", name, err)
 	}
+	if delta {
+		f.SetDeltaShards(mask)
+	}
 	f.SetCount(total)
 	return f.Close()
 }
 
 // writeFlatSet stages a flat Set as a .hl6 image, bucketing by canonical
-// shard first.
+// shard first. Always full content: the fresh bucketing set has no
+// epoch continuity to diff against.
 func writeFlatSet(w *ckpt.Writer, name string, set ip6.Set) error {
 	sharded := ip6.NewShardedSet()
 	for a := range set {
 		sharded.Add(a)
 	}
-	return writeAddrSet(w, name, sharded)
+	return writeAddrSetMasked(w, name, sharded, ^uint64(0), false)
 }
 
 // writePrefixList stages prefixes in the given order (17 bytes each:
@@ -482,21 +595,23 @@ func sortPrefixes(ps []ip6.Prefix) {
 }
 
 // Resume rebuilds a Service from the newest complete checkpoint under
-// dir (falling back to the ".prev" copy if a crash interrupted the
-// commit renames). cfg must agree with the checkpointed configuration on
-// every state-shaping knob; worker count, fleet mode, memory budget and
-// serve attachment may differ freely — outputs are pinned invariant to
-// them. A stale ingest journal next to dir is debris from a crash
-// mid-scan and is discarded: the interrupted scan re-runs in full on the
-// resumed service. Validation failures (truncated files, CRC mismatches,
-// config drift) return an error with no service constructed — restore
-// never half-loads.
+// dir (falling back to the ".prev" copy or a parked delta parent if a
+// crash interrupted the commit renames). Delta chains are resolved and
+// fully verified: every payload shard is loaded from the newest chain
+// level that carries it. cfg must agree with the checkpointed
+// configuration on every state-shaping knob; worker count, fleet mode,
+// memory budget and serve attachment may differ freely — outputs are
+// pinned invariant to them. A stale ingest journal next to dir is debris
+// from a crash mid-scan and is discarded: the interrupted scan re-runs
+// in full on the resumed service. Validation failures (truncated files,
+// CRC mismatches, missing or damaged chain parents, config drift) return
+// an error with no service constructed — restore never half-loads.
 func Resume(dir string, cfg Config, net *netmodel.Network, feeds []*sources.Feed, blocklist *ip6.PrefixSet) (*Service, error) {
 	resolved, err := ckpt.Resolve(dir)
 	if err != nil {
 		return nil, err
 	}
-	snap, err := ckpt.Open(resolved)
+	snap, err := ckpt.OpenChain(resolved)
 	if err != nil {
 		return nil, err
 	}
@@ -519,6 +634,21 @@ func Resume(dir string, cfg Config, net *netmodel.Network, feeds []*sources.Feed
 	if err := s.restoreFrom(snap, &st); err != nil {
 		s.Close()
 		return nil, err
+	}
+	// With the head itself resolved (not a fallback copy under another
+	// name), the loaded sets' current epochs become the delta baseline:
+	// the next Checkpoint into dir can chain onto this head. A fallback
+	// resolve leaves no baseline, so the next checkpoint is a full
+	// rewrite — correct in every crash window.
+	if filepath.Clean(resolved) == filepath.Clean(dir) {
+		marks := make(map[string]*ckptMark)
+		for _, pl := range s.addrSetPayloads() {
+			marks[pl.name] = markOf(pl.set)
+		}
+		s.ckptMarks = marks
+		s.ckptDir = filepath.Clean(dir)
+		s.ckptScan = snap.Manifest.ScanIndex
+		s.ckptDepth = snap.Manifest.Depth
 	}
 	// A journal file here means the crash landed mid-scan, after spooling
 	// candidates but before the scan finalized: the whole scan replays on
@@ -615,7 +745,7 @@ func (s *Service) restoreFrom(snap *ckpt.Snapshot, st *ckptState) error {
 	if err := loadAddrSet(snap, ckptPrevRespFile, s.prevRespAny); err != nil {
 		return err
 	}
-	if snap.Has(ckptLastCleanFile(int(s.cfg.Protocols[0]))) {
+	if snap.HasInChain(ckptLastCleanFile(int(s.cfg.Protocols[0]))) {
 		s.lastClean = make(map[netmodel.Protocol]*ip6.ShardedSet, len(s.cfg.Protocols))
 		for _, p := range s.cfg.Protocols {
 			set := ip6.NewShardedSet()
@@ -635,7 +765,7 @@ func (s *Service) restoreFrom(snap *ckpt.Snapshot, st *ckptState) error {
 	if err := loadAddrSet(snap, ckptTrkRealFile, real); err != nil {
 		return err
 	}
-	if s.cfg.RetainUnresponsive && snap.Has(ckptUnrespFile) {
+	if s.cfg.RetainUnresponsive && snap.HasInChain(ckptUnrespFile) {
 		flat := ip6.NewShardedSet()
 		if err := loadAddrSet(snap, ckptUnrespFile, flat); err != nil {
 			return err
@@ -807,26 +937,53 @@ func (s *Service) readAPDHistory(snap *ckpt.Snapshot) error {
 	return nil
 }
 
-// loadAddrSet streams a .hl6 payload back into a sharded set.
+// loadAddrSet streams a .hl6 payload back into a sharded set, resolving
+// each shard through the delta chain: the newest level carrying the
+// shard holds its current content (a delta writes a shard exactly when
+// it changed). Single-level checkpoints degenerate to one reader.
 func loadAddrSet(snap *ckpt.Snapshot, name string, set ip6.SpillableSet) error {
-	if !snap.Has(name) {
+	if !snap.HasInChain(name) {
 		return fmt.Errorf("%w: %s missing from manifest", ckpt.ErrCorrupt, name)
 	}
-	rdr, err := hlfile.Open(snap.Path(name))
-	if err != nil {
-		return fmt.Errorf("core: opening %s: %w", name, err)
+	readers := make(map[string]*hlfile.Reader)
+	defer func() {
+		for _, r := range readers {
+			r.Close()
+		}
+	}()
+	shardCursor := func(sh int) (func() (ip6.Addr, bool, error), error) {
+		lvl := snap.FindShard(name, sh)
+		if lvl == nil {
+			return nil, fmt.Errorf("%w: %s shard %d unresolved in delta chain", ckpt.ErrCorrupt, name, sh)
+		}
+		rdr, ok := readers[lvl.Dir]
+		if !ok {
+			var err error
+			rdr, err = hlfile.Open(lvl.Path(name))
+			if err != nil {
+				return nil, fmt.Errorf("core: opening %s: %w", lvl.Path(name), err)
+			}
+			readers[lvl.Dir] = rdr
+		}
+		return rdr.ShardCursor(sh), nil
 	}
-	defer rdr.Close()
 	if spill, ok := set.(*ip6.SpillSet); ok {
 		for sh := 0; sh < ip6.AddrShards; sh++ {
-			if err := spill.ImportShardSorted(sh, rdr.ShardCursor(sh)); err != nil {
+			cur, err := shardCursor(sh)
+			if err != nil {
+				return err
+			}
+			if err := spill.ImportShardSorted(sh, cur); err != nil {
 				return fmt.Errorf("core: loading %s: %w", name, err)
 			}
 		}
 		return nil
 	}
 	for sh := 0; sh < ip6.AddrShards; sh++ {
-		cur := rdr.ShardCursor(sh)
+		cur, err := shardCursor(sh)
+		if err != nil {
+			return err
+		}
 		for {
 			a, ok, err := cur()
 			if err != nil {

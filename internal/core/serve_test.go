@@ -74,6 +74,77 @@ func TestServeEveryGate(t *testing.T) {
 	}
 }
 
+// TestServePublishSharesUnchangedShards pins copy-on-publish: between
+// consecutive published generations, shards whose membership did not
+// change are literally the same frozen slices (pointer-shared), shards
+// that changed are fresh arrays, and the very first publish — with no
+// previous generation — is a full freeze sharing nothing.
+func TestServePublishSharesUnchangedShards(t *testing.T) {
+	sliceShared := func(a, b []ip6.Addr) bool {
+		return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+	}
+	sliceEqual := func(a, b []ip6.Addr) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	n, feeds := tinyWorld(t)
+	cfg := DefaultConfig(1)
+	cfg.ServeSnapshots = true
+	cfg.GFWFilterFromDay = 90
+	s := NewService(cfg, n, feeds, nil)
+	h := s.QueryHandle()
+
+	days := weekly(0, 112)
+	runDays(t, s, days[:1])
+	if _, shared, _ := h.PublishStats(); shared != 0 {
+		t.Fatalf("first publish shared %d shards, want 0 (no previous generation)", shared)
+	}
+
+	prev := h.Current()
+	sharedShards, changedShards := 0, 0
+	for _, d := range days[1:] {
+		runDays(t, s, []int{d})
+		cur := h.Current()
+		pairs := [][2]*ip6.SortedShardSet{{prev.Any, cur.Any}, {prev.Injected, cur.Injected}}
+		for _, p := range s.cfg.Protocols {
+			pairs = append(pairs, [2]*ip6.SortedShardSet{prev.PerProto[p], cur.PerProto[p]})
+		}
+		for _, pp := range pairs {
+			for sh := 0; sh < ip6.AddrShards; sh++ {
+				as, bs := pp[0].Shard(sh), pp[1].Shard(sh)
+				switch {
+				case sliceShared(as, bs):
+					sharedShards++
+				case !sliceEqual(as, bs):
+					changedShards++
+				}
+			}
+		}
+		prev = cur
+	}
+	// The tiny world is stable between most scans, so unchanged shards
+	// dominate; it also churns (host death at day 50, the injection era
+	// from day 60), so changed shards occur and are never shared.
+	if sharedShards == 0 {
+		t.Fatal("no shard was ever pointer-shared between consecutive generations")
+	}
+	if changedShards == 0 {
+		t.Fatal("no shard ever changed — the churn half of the test did not run")
+	}
+	refrozen, shared, _ := h.PublishStats()
+	if shared == 0 || refrozen == 0 {
+		t.Fatalf("publish stats refrozen=%d shared=%d, want both nonzero", refrozen, shared)
+	}
+}
+
 // TestServeConsistencyUnderScan is the serving layer's race test: N
 // goroutines hammer QueryHandle lookups while the timeline advances
 // through K scans (host death, alias detection, the GFW injection era

@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"hitlist6/internal/apd"
 	"hitlist6/internal/fleet"
@@ -140,6 +141,15 @@ type Config struct {
 	// disables automatic checkpoints; Checkpoint can still be called
 	// explicitly). Ignored unless CheckpointDir is set.
 	CheckpointEvery int
+
+	// CheckpointFullEvery bounds the delta-checkpoint chain: successive
+	// checkpoints into the same directory write only dirty shards'
+	// payloads against the previous checkpoint, and every Kth checkpoint
+	// is a full rewrite (compaction) that collapses the chain. 0 means
+	// the default (8); 1 disables deltas entirely. Restore cost and
+	// crash-recovery surface grow with chain depth, write cost shrinks —
+	// this is the dial between them.
+	CheckpointFullEvery int
 }
 
 // CandidateFeed generates streaming scan candidates from the service's
@@ -321,6 +331,24 @@ type Service struct {
 	// finalizations for the ServeEvery gate.
 	queryHandle *serve.Handle
 	serveScans  int
+
+	// tgaSeeds caches the sorted everRespAny materialization runTGA
+	// feeds its generators; tgaSeedEpochs are the shard epochs it was
+	// built at, so steady-state rounds (no new responders) skip the
+	// merge+sort entirely.
+	tgaSeeds      []ip6.Addr
+	tgaSeedEpochs [ip6.AddrShards]uint64
+	tgaSeedValid  bool
+
+	// Delta-checkpoint state: identity of the last checkpoint this
+	// process committed into ckptDir (or resumed from its head), the
+	// chain depth there, and per-payload shard-epoch marks — what the
+	// next Checkpoint diffs the cumulative sets against. ckptMarks nil
+	// means no usable parent: the next checkpoint is a full rewrite.
+	ckptMarks map[string]*ckptMark
+	ckptDir   string
+	ckptDepth int
+	ckptScan  int
 }
 
 // routedInput is one ingest candidate routed to its shard: the address,
@@ -1351,9 +1379,17 @@ func (s *Service) digestSink(digests []*shardDigest) scan.Sink {
 // in canonical shard order. It only runs for a completed scan, so aborted
 // scans leave the service exactly as it was.
 func (s *Service) finalizeDigest(digests []*shardDigest, day int, rec *ScanRecord) {
-	lastClean := make(map[netmodel.Protocol]*ip6.ShardedSet, len(s.cfg.Protocols))
-	for _, p := range s.cfg.Protocols {
-		lastClean[p] = ip6.NewShardedSet()
+	// lastClean persists across scans: SetShard replaces each shard's
+	// content anyway, and a persistent set object is what lets its shard
+	// epochs prove "unchanged since the last publication" to the
+	// incremental snapshot freeze (SetShard only bumps an epoch when the
+	// replacement actually changes membership).
+	lastClean := s.lastClean
+	if lastClean == nil {
+		lastClean = make(map[netmodel.Protocol]*ip6.ShardedSet, len(s.cfg.Protocols))
+		for _, p := range s.cfg.Protocols {
+			lastClean[p] = ip6.NewShardedSet()
+		}
 	}
 
 	for sh := 0; sh < ip6.AddrShards; sh++ {
@@ -1432,6 +1468,14 @@ func (s *Service) finalizeDigest(digests []*shardDigest, day int, rec *ScanRecor
 // without ever touching a published snapshot — and the publish itself is
 // one atomic pointer swap on the QueryHandle, so concurrent readers see
 // either the whole previous snapshot or the whole new one, never a mix.
+//
+// Publication is copy-on-publish incremental: hitlists are highly stable
+// between consecutive scans, so each set's freeze shares the previous
+// generation's frozen per-shard slices and re-sorts only shards whose
+// mutation epoch advanced (ip6.FreezeSortedDelta). Shared slices are
+// immutable on both sides, so old and new snapshots stay independently
+// queryable. After a restore the previous generation is gone and the
+// first publish degrades to a full freeze.
 func (s *Service) publishServeSnapshot(day int) {
 	if !s.cfg.ServeSnapshots {
 		return
@@ -1441,17 +1485,33 @@ func (s *Service) publishServeSnapshot(day int) {
 	if every := s.cfg.ServeEvery; every > 1 && s.serveScans != 1 && (s.serveScans-1)%every != 0 {
 		return
 	}
+	start := time.Now()
+	prev := s.queryHandle.Current()
+	refrozen, shared := 0, 0
+	freeze := func(set *ip6.ShardedSet, prevIdx *ip6.SortedShardSet) *ip6.SortedShardSet {
+		out, r, sh := ip6.FreezeSortedDelta(set, prevIdx)
+		refrozen += r
+		shared += sh
+		return out
+	}
 	var perProto [netmodel.NumProtocols]*ip6.SortedShardSet
 	for _, p := range s.cfg.Protocols {
-		perProto[p] = ip6.FreezeSorted(s.lastClean[p])
+		var prevP *ip6.SortedShardSet
+		if prev != nil {
+			prevP = prev.PerProto[p]
+		}
+		perProto[p] = freeze(s.lastClean[p], prevP)
 	}
-	s.queryHandle.Publish(serve.NewSnapshot(
-		day,
-		ip6.FreezeSorted(s.prevRespAny),
-		perProto,
-		s.aliased.Prefixes(),
-		s.tracker.FreezeInjectedSeen(),
-	))
+	var prevAny, prevInj *ip6.SortedShardSet
+	if prev != nil {
+		prevAny, prevInj = prev.Any, prev.Injected
+	}
+	any := freeze(s.prevRespAny, prevAny)
+	inj, r, sh := s.tracker.FreezeInjectedSeenDelta(prevInj)
+	refrozen += r
+	shared += sh
+	s.queryHandle.Publish(serve.NewSnapshot(day, any, perProto, s.aliased.Prefixes(), inj))
+	s.queryHandle.NotePublish(refrozen, shared, time.Since(start))
 }
 
 // compactingSeen wraps a round-local spill set as a scan.AddSet that
@@ -1503,7 +1563,7 @@ func (c *countSource) Close() error {
 // target set. No candidate list is ever materialized; only the (much
 // smaller) responder set is.
 func (s *Service) runTGA(ctx context.Context, day int, rec *ScanRecord) error {
-	seeds := s.everRespAny.Merge().Sorted()
+	seeds := s.tgaSeedSlice()
 	if len(seeds) == 0 {
 		return nil
 	}
@@ -1558,6 +1618,28 @@ func (s *Service) runTGA(ctx context.Context, day int, rec *ScanRecord) error {
 	}
 	feedback := []sources.NamedSource{{Name: s.cfg.TGAFeed.Name(), Src: scan.SliceSource(union.Sorted())}}
 	return s.ingest(feedback, day, rec)
+}
+
+// tgaSeedSlice returns the sorted everRespAny materialization for the
+// TGA generators, rebuilt (Merge + sort — the whole cumulative set) only
+// when some shard's epoch moved since the last build. Steady-state TGA
+// rounds — no new responders since the previous round — reuse the cached
+// slice for free. Generators treat seeds as read-only, and the cache is
+// invalidated before reuse whenever the set grows, so handing out the
+// same slice across rounds is safe.
+func (s *Service) tgaSeedSlice() []ip6.Addr {
+	dirty := !s.tgaSeedValid
+	for sh := 0; sh < ip6.AddrShards && !dirty; sh++ {
+		dirty = s.everRespAny.ShardEpoch(sh) != s.tgaSeedEpochs[sh]
+	}
+	if dirty {
+		s.tgaSeeds = s.everRespAny.Merge().Sorted()
+		for sh := 0; sh < ip6.AddrShards; sh++ {
+			s.tgaSeedEpochs[sh] = s.everRespAny.ShardEpoch(sh)
+		}
+		s.tgaSeedValid = true
+	}
+	return s.tgaSeeds
 }
 
 // maybeSnapshot captures due snapshots. Snapshots read only the

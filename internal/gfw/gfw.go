@@ -258,6 +258,13 @@ func (t *Tracker) InjectedSeenLen() int { return t.injectedSeen.Len() }
 // change.
 func (t *Tracker) FreezeInjectedSeen() *ip6.SortedShardSet { return ip6.FreezeSorted(t.injectedSeen) }
 
+// FreezeInjectedSeenDelta is FreezeInjectedSeen sharing unchanged shards
+// with prev, a set previously frozen from this tracker (nil for a full
+// freeze). Returns the frozen set plus the shards re-frozen and shared.
+func (t *Tracker) FreezeInjectedSeenDelta(prev *ip6.SortedShardSet) (out *ip6.SortedShardSet, refrozen, shared int) {
+	return ip6.FreezeSortedDelta(t.injectedSeen, prev)
+}
+
 // Stats summarizes the tracker.
 func (t *Tracker) Stats() (injected, injectedOnly, otherProto int) {
 	return t.injectedSeen.Len(), t.InjectedOnly().Len(), t.otherProto.Len()

@@ -27,8 +27,17 @@ func ShardOf(a Addr) int {
 // and merging in canonical shard order is deterministic by construction.
 //
 // The zero value is not ready for use; call NewShardedSet.
+//
+// Each shard carries a mutation epoch: a counter bumped whenever the
+// shard's membership actually changes. Consumers that derive per-shard
+// artifacts (frozen sorted indexes, checkpoint payloads) record the
+// epochs they built against and later rebuild only the shards whose
+// epoch advanced. The invariant is one-directional per set object:
+// an unchanged epoch guarantees unchanged membership; a bumped epoch
+// merely permits a change.
 type ShardedSet struct {
 	shards [AddrShards]Set
+	epochs [AddrShards]uint64
 }
 
 // NewShardedSet returns an empty ShardedSet. Shard maps are allocated
@@ -47,7 +56,11 @@ func (s *ShardedSet) AddToShard(i int, a Addr) bool {
 	if s.shards[i] == nil {
 		s.shards[i] = NewSet(0)
 	}
-	return s.shards[i].Add(a)
+	if s.shards[i].Add(a) {
+		s.epochs[i]++
+		return true
+	}
+	return false
 }
 
 // AddAllToShard inserts every member of set into shard i, under the same
@@ -59,12 +72,28 @@ func (s *ShardedSet) AddAllToShard(i int, set Set) {
 	if s.shards[i] == nil {
 		s.shards[i] = NewSet(len(set))
 	}
+	before := len(s.shards[i])
 	s.shards[i].AddAll(set)
+	if len(s.shards[i]) != before {
+		s.epochs[i]++
+	}
 }
 
 // SetShard replaces shard i with set (taking ownership, no copy). Every
-// member of set must hash to shard i.
-func (s *ShardedSet) SetShard(i int, set Set) { s.shards[i] = set }
+// member of set must hash to shard i. The shard's epoch advances only
+// when the replacement actually changes membership — wholesale
+// replacement with equal content (the digest finalizer installs a fresh
+// per-scan responder set every scan, usually identical to the last) must
+// not invalidate artifacts frozen from the old content.
+func (s *ShardedSet) SetShard(i int, set Set) {
+	if !s.shards[i].Equal(set) {
+		s.epochs[i]++
+	}
+	s.shards[i] = set
+}
+
+// ShardEpoch returns shard i's mutation epoch.
+func (s *ShardedSet) ShardEpoch(i int) uint64 { return s.epochs[i] }
 
 // Shard returns shard i's Set; it may be nil when empty. Treat as
 // read-only unless the per-shard writing contract is honored.
@@ -105,9 +134,9 @@ func (s *ShardedSet) Merge() Set {
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy, shard epochs included.
 func (s *ShardedSet) Clone() *ShardedSet {
-	c := &ShardedSet{}
+	c := &ShardedSet{epochs: s.epochs}
 	for i, sh := range s.shards {
 		if sh != nil {
 			c.shards[i] = sh.Clone()

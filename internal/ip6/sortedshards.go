@@ -10,12 +10,21 @@ package ip6
 type SortedShardSet struct {
 	shards [AddrShards][]Addr
 	total  int
+
+	// src and epochs record which ShardedSet object each freeze was
+	// built from and the per-shard mutation epochs at freeze time, so
+	// FreezeSortedDelta can prove a shard unchanged and share its frozen
+	// slice with the next generation. src is identity only — never
+	// dereferenced for content — and is nil for wrapped sets
+	// (SortedFromShards).
+	src    *ShardedSet
+	epochs [AddrShards]uint64
 }
 
 // FreezeSorted builds the sorted form of s. The result is independent of
 // s (the addresses are copied), so s may keep growing afterwards.
 func FreezeSorted(s *ShardedSet) *SortedShardSet {
-	out := &SortedShardSet{}
+	out := &SortedShardSet{src: s}
 	n := s.Len()
 	buf := make([]Addr, 0, n) // one backing array shared by all shards
 	for sh := 0; sh < AddrShards; sh++ {
@@ -26,9 +35,56 @@ func FreezeSorted(s *ShardedSet) *SortedShardSet {
 		shard := buf[start:len(buf):len(buf)]
 		SortAddrs(shard)
 		out.shards[sh] = shard
+		out.epochs[sh] = s.ShardEpoch(sh)
 	}
 	out.total = n
 	return out
+}
+
+// FreezeSortedDelta builds the sorted form of s, sharing the frozen
+// slices of unchanged shards with prev — a SortedShardSet previously
+// frozen from the same ShardedSet object — instead of re-copying and
+// re-sorting them. A shard is provably unchanged when prev was frozen
+// from s (pointer identity) and its mutation epoch has not advanced
+// since; changed shards are re-frozen into one fresh backing array.
+// Sharing is safe because frozen slices are immutable by contract. With
+// prev nil, or frozen from a different set object, this degrades to a
+// full FreezeSorted. Returns the new set plus the number of shards
+// re-frozen and shared.
+func FreezeSortedDelta(s *ShardedSet, prev *SortedShardSet) (out *SortedShardSet, refrozen, shared int) {
+	if prev == nil || prev.src != s {
+		return FreezeSorted(s), AddrShards, 0
+	}
+	out = &SortedShardSet{src: s}
+	need := 0
+	var dirty [AddrShards]bool
+	for sh := 0; sh < AddrShards; sh++ {
+		if s.ShardEpoch(sh) != prev.epochs[sh] {
+			dirty[sh] = true
+			need += s.ShardLen(sh)
+		}
+	}
+	buf := make([]Addr, 0, need) // one backing array for all dirty shards
+	for sh := 0; sh < AddrShards; sh++ {
+		if !dirty[sh] {
+			out.shards[sh] = prev.shards[sh]
+			out.epochs[sh] = prev.epochs[sh]
+			out.total += len(prev.shards[sh])
+			shared++
+			continue
+		}
+		start := len(buf)
+		for a := range s.Shard(sh) {
+			buf = append(buf, a)
+		}
+		shard := buf[start:len(buf):len(buf)]
+		SortAddrs(shard)
+		out.shards[sh] = shard
+		out.epochs[sh] = s.ShardEpoch(sh)
+		out.total += len(shard)
+		refrozen++
+	}
+	return out, refrozen, shared
 }
 
 // SortedFromShards wraps already-sorted per-shard slices — for example

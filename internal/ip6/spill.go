@@ -54,6 +54,12 @@ type SpillableSet interface {
 	WalkShard(i int, fn func(Addr) bool)
 	// Merge returns a new flat Set holding every member.
 	Merge() Set
+	// ShardEpoch returns shard i's mutation epoch: a counter that is
+	// unchanged only if the shard's membership is unchanged (for this set
+	// object — epochs are not comparable across objects). Dirty-shard
+	// consumers (incremental snapshot freezes, delta checkpoints) hinge
+	// on this guarantee.
+	ShardEpoch(i int) uint64
 }
 
 // ShardedSet must satisfy the interface it anchors.
@@ -412,6 +418,7 @@ type SpillSet struct {
 	dir    string
 	budget int
 	shards [AddrShards]spillShard
+	epochs [AddrShards]uint64 // per-shard mutation epochs (see SpillableSet)
 
 	frozen atomic.Int64 // runs frozen over the set's lifetime (telemetry)
 	failed atomic.Bool  // latch: stop freezing after the first disk error
@@ -485,6 +492,7 @@ func (s *SpillSet) AddToShard(i int, a Addr) bool {
 		sh.delta = NewSet(0)
 	}
 	sh.delta[a] = struct{}{}
+	s.epochs[i]++
 	// The failed latch stops freeze attempts after a disk error: without
 	// it every over-budget insert would re-sort and re-write the whole
 	// delta against a dead disk. Membership stays correct (the delta just
@@ -642,9 +650,14 @@ func (s *SpillSet) ImportShardSorted(i int, next func() (Addr, bool, error)) err
 	if run.count > 0 {
 		sh.runs = append(sh.runs, &run)
 		sh.ondisk = run.count
+		s.epochs[i]++
 	}
 	return nil
 }
+
+// ShardEpoch returns shard i's mutation epoch. Freezes, compaction and
+// rotation are membership-invariant and do not advance it.
+func (s *SpillSet) ShardEpoch(i int) uint64 { return s.epochs[i] }
 
 // Merge materializes the whole set — the compat view for snapshot
 // encodings and analyses that need a flat Set. It is the one operation

@@ -22,6 +22,13 @@ type Handle struct {
 	// before the first) — telemetry for the metrics endpoint's
 	// generation-age gauge, never part of query answers.
 	pubNanos atomic.Int64
+
+	// Publish-side incremental-freeze telemetry (NotePublish): cumulative
+	// shard counts across publications plus the last publication's
+	// build+swap latency. Never part of query answers.
+	pubRefrozen   atomic.Uint64
+	pubShared     atomic.Uint64
+	pubBuildNanos atomic.Int64
 }
 
 // NewHandle returns an empty handle; Current returns nil until the
@@ -49,6 +56,21 @@ func (h *Handle) PublishedAt() (time.Time, bool) {
 		return time.Time{}, false
 	}
 	return time.Unix(0, n), true
+}
+
+// NotePublish records how the last published snapshot was built: how
+// many frozen shard indexes were re-frozen vs shared with the previous
+// generation (copy-on-publish), and how long the build-plus-swap took.
+func (h *Handle) NotePublish(refrozen, shared int, build time.Duration) {
+	h.pubRefrozen.Add(uint64(refrozen))
+	h.pubShared.Add(uint64(shared))
+	h.pubBuildNanos.Store(int64(build))
+}
+
+// PublishStats returns the cumulative re-frozen and shared shard counts
+// across publications and the last publication's build latency.
+func (h *Handle) PublishStats() (refrozen, shared uint64, build time.Duration) {
+	return h.pubRefrozen.Load(), h.pubShared.Load(), time.Duration(h.pubBuildNanos.Load())
 }
 
 // RestoreGeneration fast-forwards the generation counter without

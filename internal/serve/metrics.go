@@ -68,6 +68,7 @@ func MetricsHandler(h *Handle, m *Metrics) http.Handler {
 		if at, ok := h.PublishedAt(); ok {
 			age = now.Sub(at).Seconds()
 		}
+		refrozen, shared, build := h.PublishStats()
 
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprintf(w, "hitlist6_queries_total %d\n", queries)
@@ -76,5 +77,8 @@ func MetricsHandler(h *Handle, m *Metrics) http.Handler {
 		fmt.Fprintf(w, "hitlist6_qps %g\n", qps)
 		fmt.Fprintf(w, "hitlist6_snapshot_generation %d\n", gen)
 		fmt.Fprintf(w, "hitlist6_snapshot_age_seconds %g\n", age)
+		fmt.Fprintf(w, "hitlist6_snapshot_shards_refrozen %d\n", refrozen)
+		fmt.Fprintf(w, "hitlist6_snapshot_shards_shared %d\n", shared)
+		fmt.Fprintf(w, "hitlist6_snapshot_publish_seconds %g\n", build.Seconds())
 	})
 }
