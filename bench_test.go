@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -31,6 +32,8 @@ import (
 	"hitlist6/internal/scan"
 	"hitlist6/internal/serve"
 	"hitlist6/internal/sources"
+	"hitlist6/internal/tga"
+	"hitlist6/internal/tga/dc"
 	"hitlist6/internal/worldgen"
 	"hitlist6/internal/yarrp"
 )
@@ -451,6 +454,157 @@ func BenchmarkSnapshotPublish(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(refrozen)/float64(b.N), "refrozen/op")
 		b.ReportMetric(float64(shared)/float64(b.N), "shared/op")
+	})
+}
+
+// BenchmarkSeedView measures the per-round cost of handing the TGA
+// generators their seed view from a 2^17-member cumulative responsive
+// set. steady is the no-new-responders round: every shard's epoch holds,
+// the delta freeze shares all 64 spans and the round costs nanoseconds
+// regardless of cumulative size. churn confines new responders to 4
+// shards — only those re-walk and re-sort, so the freeze cost tracks the
+// dirtied shards, not the set.
+func BenchmarkSeedView(b *testing.B) {
+	const dirtyShards = 4
+	r := rng.NewStream(43, "seedview-bench")
+	members := ip6.NewShardedSet()
+	for i := 0; i < 1<<17; i++ {
+		members.Add(ip6.AddrFromUint64s(0x2001_0000_0000_0000|r.Uint64()&0xffff_ffff, r.Uint64()))
+	}
+	fresh := func(n int) []ip6.Addr {
+		out := make([]ip6.Addr, 0, n)
+		for len(out) < n {
+			a := ip6.AddrFromUint64s(0x2001_0000_0000_0000|r.Uint64()&0xffff_ffff, r.Uint64())
+			if ip6.ShardOf(a) < dirtyShards {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+
+	b.Run("steady", func(b *testing.B) {
+		prev, _, _ := ip6.FreezeSortedDelta(members, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, rf, _ := ip6.FreezeSortedDelta(members, prev)
+			if rf != 0 {
+				b.Fatalf("steady round refroze %d shards", rf)
+			}
+			prev = out
+		}
+		b.ReportMetric(0, "refrozen/op")
+	})
+
+	b.Run("churn", func(b *testing.B) {
+		churn := fresh(b.N * dirtyShards)
+		prev, _, _ := ip6.FreezeSortedDelta(members, nil)
+		refrozen := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, a := range churn[i*dirtyShards : (i+1)*dirtyShards] {
+				members.Add(a)
+			}
+			out, rf, _ := ip6.FreezeSortedDelta(members, prev)
+			refrozen += rf
+			prev = out
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(refrozen)/float64(b.N), "refrozen/op")
+	})
+}
+
+// BenchmarkTGARound measures one generate-round of the incremental TGA
+// pipeline over a 2^17-seed view: the epoch-delta freeze, the
+// generator's per-shard model update, and draining the streamed
+// candidate source (the paper's distance-clustering generator, budget
+// 4096). steady re-runs the round with no new seeds — the model proves
+// every shard clean by span identity and pays emission alone, so time/op
+// is independent of cumulative seed count. churn adds seeds to 4 shards
+// per round — only those shards' statistics rebuild.
+func BenchmarkTGARound(b *testing.B) {
+	const dirtyShards = 4
+	const budget = 4096
+	seedSet := func() *ip6.ShardedSet {
+		members := ip6.NewShardedSet()
+		// Structured seeds: 1024 /64s, each a dense run with gap 2, so
+		// distance clustering has gaps to fill.
+		for net := uint64(0); net < 1024; net++ {
+			hi := 0x2001_0000_0000_0000 | net<<8
+			for i := uint64(0); i < 128; i++ {
+				members.Add(ip6.AddrFromUint64s(hi, 1+i*2))
+			}
+		}
+		return members
+	}
+	drain := func(b *testing.B, feed tga.CandidateFeed, view *tga.SeedView) int {
+		b.Helper()
+		src := feed.Candidates(0, view)
+		buf := make([]ip6.Addr, 512)
+		n := 0
+		for {
+			k, err := src.Next(buf)
+			n += k
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return n
+	}
+
+	b.Run("steady", func(b *testing.B) {
+		members := seedSet()
+		feed := tga.CandidateFeed{Gen: dc.New(dc.DefaultConfig()), Budget: budget}
+		prev, _, _ := ip6.FreezeSortedDelta(members, nil)
+		drain(b, feed, tga.NewSeedView(prev)) // prime: pay the one-time model build
+		cands := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, rf, _ := ip6.FreezeSortedDelta(members, prev)
+			if rf != 0 {
+				b.Fatalf("steady round refroze %d shards", rf)
+			}
+			prev = out
+			cands += drain(b, feed, tga.NewSeedView(out))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(cands)/float64(b.N), "candidates/op")
+		b.ReportMetric(0, "refrozen/op")
+	})
+
+	b.Run("churn", func(b *testing.B) {
+		members := seedSet()
+		feed := tga.CandidateFeed{Gen: dc.New(dc.DefaultConfig()), Budget: budget}
+		r := rng.NewStream(44, "tga-round-bench")
+		churn := make([]ip6.Addr, 0, b.N*dirtyShards)
+		for len(churn) < b.N*dirtyShards {
+			a := ip6.AddrFromUint64s(0x2001_0000_0000_0000|r.Uint64()&0xffff_ffff, r.Uint64())
+			if ip6.ShardOf(a) < dirtyShards {
+				churn = append(churn, a)
+			}
+		}
+		prev, _, _ := ip6.FreezeSortedDelta(members, nil)
+		drain(b, feed, tga.NewSeedView(prev)) // prime: pay the one-time model build
+		cands, refrozen := 0, 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, a := range churn[i*dirtyShards : (i+1)*dirtyShards] {
+				members.Add(a)
+			}
+			out, rf, _ := ip6.FreezeSortedDelta(members, prev)
+			refrozen += rf
+			prev = out
+			cands += drain(b, feed, tga.NewSeedView(out))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(cands)/float64(b.N), "candidates/op")
+		b.ReportMetric(float64(refrozen)/float64(b.N), "refrozen/op")
 	})
 }
 

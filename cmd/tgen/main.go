@@ -56,7 +56,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var g tga.Generator
+	var g tga.ViewStreamer
 	switch *algo {
 	case "6tree":
 		g = sixtree.New(sixtree.DefaultConfig())
@@ -77,11 +77,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Stream candidates as the generator emits them instead of
+	// materializing the full list: the seed view is built once, and each
+	// candidate goes straight to stdout.
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
-	candidates := g.Generate(seeds, *budget)
-	for _, a := range candidates {
+	view := tga.SeedViewOf(seeds)
+	emitted := 0
+	g.EmitView(view, *budget, func(a ip6.Addr) bool {
 		fmt.Fprintln(out, a)
-	}
-	fmt.Fprintf(os.Stderr, "%s: %d candidates from %d seeds\n", g.Name(), len(candidates), len(seeds))
+		emitted++
+		return true
+	})
+	fmt.Fprintf(os.Stderr, "%s: %d candidates from %d seeds\n", g.Name(), emitted, view.Len())
 }

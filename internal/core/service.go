@@ -31,6 +31,7 @@ import (
 	"hitlist6/internal/scan"
 	"hitlist6/internal/serve"
 	"hitlist6/internal/sources"
+	"hitlist6/internal/tga"
 )
 
 // Config parameterizes the service.
@@ -106,8 +107,9 @@ type Config struct {
 	// Outputs are bit-identical with and without a budget. 0 keeps
 	// everything resident (the pre-spill behaviour). Scan-sized state
 	// (the active window, per-scan responder sets, and — with TGAFeed —
-	// the per-round seed slice generators need random access to) stays
-	// resident; the budget governs the history-sized sets.
+	// the frozen per-shard seed spans the generators read) stays
+	// resident; the budget governs the history-sized sets, including the
+	// TGA round's candidate-dedup set and responder union.
 	MemoryBudget int64
 
 	// SpillDir is where spill scratch files live when MemoryBudget is
@@ -159,9 +161,12 @@ type CandidateFeed interface {
 	// Name labels the feed in input accounting.
 	Name() string
 	// Candidates returns the candidate stream for one scan day given the
-	// current responsive seeds (sorted). The service closes closable
-	// sources when the round ends.
-	Candidates(day int, seeds []ip6.Addr) scan.TargetSource
+	// current responsive seeds as a sharded view: per-shard sorted frozen
+	// spans that pointer-share unchanged shards across rounds, so
+	// incremental generator models can skip clean shards (tga.SameSpan)
+	// and no caller ever materializes the cumulative seed slice. The
+	// service closes closable sources when the round ends.
+	Candidates(day int, seeds *tga.SeedView) scan.TargetSource
 }
 
 // DefaultConfig mirrors the real service.
@@ -239,6 +244,12 @@ type ScanRecord struct {
 	// loop.
 	TGACandidates int `json:"-"`
 	TGAResponsive int `json:"-"`
+
+	// TGARefrozenShards counts seed-view shards the round's epoch-delta
+	// freeze had to re-freeze (dirtied since the previous round); 0 on
+	// steady-state rounds. Excluded from goldens like the other TGA
+	// counters.
+	TGARefrozenShards int `json:"-"`
 }
 
 // Snapshot is a full state capture at one scan.
@@ -332,13 +343,13 @@ type Service struct {
 	queryHandle *serve.Handle
 	serveScans  int
 
-	// tgaSeeds caches the sorted everRespAny materialization runTGA
-	// feeds its generators; tgaSeedEpochs are the shard epochs it was
-	// built at, so steady-state rounds (no new responders) skip the
-	// merge+sort entirely.
-	tgaSeeds      []ip6.Addr
-	tgaSeedEpochs [ip6.AddrShards]uint64
-	tgaSeedValid  bool
+	// tgaFrozen is the frozen sorted form of everRespAny runTGA hands its
+	// generators (wrapped as tgaView); each round's epoch-delta freeze
+	// re-freezes only dirtied shards and pointer-shares the rest, so
+	// steady-state rounds (no new responders) reuse every span for free
+	// and the cumulative seed slice is never materialized.
+	tgaFrozen *ip6.SortedShardSet
+	tgaView   *tga.SeedView
 
 	// Delta-checkpoint state: identity of the last checkpoint this
 	// process committed into ckptDir (or resumed from its head), the
@@ -1563,8 +1574,9 @@ func (c *countSource) Close() error {
 // target set. No candidate list is ever materialized; only the (much
 // smaller) responder set is.
 func (s *Service) runTGA(ctx context.Context, day int, rec *ScanRecord) error {
-	seeds := s.tgaSeedSlice()
-	if len(seeds) == 0 {
+	seeds, refrozen := s.tgaSeedView()
+	rec.TGARefrozenShards = refrozen
+	if seeds.Len() == 0 {
 		return nil
 	}
 	// Candidate dedup tracks this round's emissions; under a memory
@@ -1603,43 +1615,68 @@ func (s *Service) runTGA(ctx context.Context, day int, rec *ScanRecord) error {
 	rec.ProbesSent += stats.ProbesSent
 	rec.TGACandidates = counted.n
 
-	union := ip6.NewSet(0)
+	// The responder union is sharded — and, under a memory budget,
+	// disk-backed like every other history-sized set — instead of a flat
+	// resident set; feedback streams it in globally sorted order without
+	// materializing a slice.
+	var union ip6.SpillableSet
+	var unionSpill *ip6.SpillSet
+	if s.spill != nil {
+		set, err := ip6.NewSpillSet(s.spill.dir, s.spill.shardBudget)
+		if err != nil {
+			return fmt.Errorf("core: TGA union spill set: %w", err)
+		}
+		defer set.Close()
+		unionSpill = set
+		union = set
+	} else {
+		union = ip6.NewShardedSet()
+	}
 	for _, p := range s.cfg.Protocols {
 		set := resp[p]
 		for sh := 0; sh < ip6.AddrShards; sh++ {
 			for a := range set.Shard(sh) {
-				union.Add(a)
+				union.AddToShard(sh, a)
 			}
 		}
 	}
 	rec.TGAResponsive = union.Len()
+	if unionSpill != nil {
+		if err := unionSpill.Err(); err != nil {
+			return fmt.Errorf("core: TGA union spill set: %w", err)
+		}
+	}
 	if union.Len() == 0 {
 		return nil
 	}
-	feedback := []sources.NamedSource{{Name: s.cfg.TGAFeed.Name(), Src: scan.SliceSource(union.Sorted())}}
-	return s.ingest(feedback, day, rec)
+	src, err := sortedUnionSource(union)
+	if err != nil {
+		return fmt.Errorf("core: TGA feedback source: %w", err)
+	}
+	feedback := []sources.NamedSource{{Name: s.cfg.TGAFeed.Name(), Src: src}}
+	if err := s.ingest(feedback, day, rec); err != nil {
+		return err
+	}
+	if unionSpill != nil {
+		if err := unionSpill.Err(); err != nil {
+			return fmt.Errorf("core: TGA union spill set: %w", err)
+		}
+	}
+	return nil
 }
 
-// tgaSeedSlice returns the sorted everRespAny materialization for the
-// TGA generators, rebuilt (Merge + sort — the whole cumulative set) only
-// when some shard's epoch moved since the last build. Steady-state TGA
-// rounds — no new responders since the previous round — reuse the cached
-// slice for free. Generators treat seeds as read-only, and the cache is
-// invalidated before reuse whenever the set grows, so handing out the
-// same slice across rounds is safe.
-func (s *Service) tgaSeedSlice() []ip6.Addr {
-	dirty := !s.tgaSeedValid
-	for sh := 0; sh < ip6.AddrShards && !dirty; sh++ {
-		dirty = s.everRespAny.ShardEpoch(sh) != s.tgaSeedEpochs[sh]
-	}
-	if dirty {
-		s.tgaSeeds = s.everRespAny.Merge().Sorted()
-		for sh := 0; sh < ip6.AddrShards; sh++ {
-			s.tgaSeedEpochs[sh] = s.everRespAny.ShardEpoch(sh)
-		}
-		s.tgaSeedValid = true
-	}
-	return s.tgaSeeds
+// tgaSeedView returns the generators' seed view over everRespAny,
+// re-frozen by epoch delta: only shards whose membership moved since the
+// last round are re-walked and re-sorted, the rest pointer-share their
+// frozen span with the previous view. Steady-state TGA rounds — no new
+// responders since the previous round — reuse every span for free, and
+// the cumulative seed slice is never materialized at all. It returns the
+// view plus the number of shards re-frozen.
+func (s *Service) tgaSeedView() (*tga.SeedView, int) {
+	frozen, refrozen, _ := ip6.FreezeSortedSetDelta(s.everRespAny, s.tgaFrozen)
+	s.tgaFrozen = frozen
+	s.tgaView = tga.NewSeedView(frozen)
+	return s.tgaView, refrozen
 }
 
 // maybeSnapshot captures due snapshots. Snapshots read only the

@@ -11,27 +11,32 @@ type SortedShardSet struct {
 	shards [AddrShards][]Addr
 	total  int
 
-	// src and epochs record which ShardedSet object each freeze was
-	// built from and the per-shard mutation epochs at freeze time, so
-	// FreezeSortedDelta can prove a shard unchanged and share its frozen
-	// slice with the next generation. src is identity only — never
-	// dereferenced for content — and is nil for wrapped sets
-	// (SortedFromShards).
-	src    *ShardedSet
+	// src and epochs record which set object each freeze was built from
+	// and the per-shard mutation epochs at freeze time, so the delta
+	// freezes can prove a shard unchanged and share its frozen slice with
+	// the next generation. src is identity only — never dereferenced for
+	// content — and is nil for wrapped sets (SortedFromShards).
+	src    any
 	epochs [AddrShards]uint64
 }
 
 // FreezeSorted builds the sorted form of s. The result is independent of
 // s (the addresses are copied), so s may keep growing afterwards.
-func FreezeSorted(s *ShardedSet) *SortedShardSet {
+func FreezeSorted(s *ShardedSet) *SortedShardSet { return FreezeSortedSet(s) }
+
+// FreezeSortedSet is FreezeSorted over any SpillableSet — the resident
+// ShardedSet or the disk-backed SpillSet; spilled shards stream through
+// WalkShard and are sorted once into the shared backing array.
+func FreezeSortedSet(s SpillableSet) *SortedShardSet {
 	out := &SortedShardSet{src: s}
 	n := s.Len()
 	buf := make([]Addr, 0, n) // one backing array shared by all shards
 	for sh := 0; sh < AddrShards; sh++ {
 		start := len(buf)
-		for a := range s.Shard(sh) {
+		s.WalkShard(sh, func(a Addr) bool {
 			buf = append(buf, a)
-		}
+			return true
+		})
 		shard := buf[start:len(buf):len(buf)]
 		SortAddrs(shard)
 		out.shards[sh] = shard
@@ -52,10 +57,17 @@ func FreezeSorted(s *ShardedSet) *SortedShardSet {
 // full FreezeSorted. Returns the new set plus the number of shards
 // re-frozen and shared.
 func FreezeSortedDelta(s *ShardedSet, prev *SortedShardSet) (out *SortedShardSet, refrozen, shared int) {
+	return FreezeSortedSetDelta(s, prev)
+}
+
+// FreezeSortedSetDelta is FreezeSortedDelta over any SpillableSet: the
+// epoch-delta freeze the TGA seed views ride, working identically for
+// the resident and disk-backed cumulative sets.
+func FreezeSortedSetDelta(s SpillableSet, prev *SortedShardSet) (out *SortedShardSet, refrozen, shared int) {
 	if prev == nil || prev.src != s {
-		return FreezeSorted(s), AddrShards, 0
+		return FreezeSortedSet(s), AddrShards, 0
 	}
-	out = &SortedShardSet{src: s}
+	out = &SortedShardSet{src: prev.src}
 	need := 0
 	var dirty [AddrShards]bool
 	for sh := 0; sh < AddrShards; sh++ {
@@ -74,9 +86,10 @@ func FreezeSortedDelta(s *ShardedSet, prev *SortedShardSet) (out *SortedShardSet
 			continue
 		}
 		start := len(buf)
-		for a := range s.Shard(sh) {
+		s.WalkShard(sh, func(a Addr) bool {
 			buf = append(buf, a)
-		}
+			return true
+		})
 		shard := buf[start:len(buf):len(buf)]
 		SortAddrs(shard)
 		out.shards[sh] = shard
@@ -140,6 +153,11 @@ func (s *SortedShardSet) HasInShard(sh int, a Addr) bool {
 
 // Shard returns shard i's sorted members; treat as read-only.
 func (s *SortedShardSet) Shard(i int) []Addr { return s.shards[i] }
+
+// ShardEpoch returns the mutation epoch shard i was frozen at — the
+// source set's ShardEpoch at freeze time, or 0 for wrapped sets. Epochs
+// are comparable only between freezes of the same source object.
+func (s *SortedShardSet) ShardEpoch(i int) uint64 { return s.epochs[i] }
 
 // IntersectCount returns |s ∩ o| by per-shard sorted merge walks,
 // allocating nothing. Shards partition the address space identically on

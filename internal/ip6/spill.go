@@ -615,6 +615,71 @@ func (s *SpillSet) WalkShardSorted(i int, emit func(Addr) error) error {
 	return MergeRuns(s.rf, sh.runs, emit)
 }
 
+// ShardSortedCursor returns a pull cursor over shard i's members in
+// ascending address order — the cursor form of WalkShardSorted, for
+// consumers that interleave several shards' streams (the TGA feedback
+// merge). The shard's resident delta is frozen first, then the cursor
+// k-way merges the frozen runs with a bounded read buffer per run; the
+// shard must not be mutated while the cursor is in use. Disk errors are
+// sticky (Err) and returned through the cursor.
+func (s *SpillSet) ShardSortedCursor(i int) (func() (Addr, bool, error), error) {
+	s.freeze(i)
+	sh := &s.shards[i]
+	if len(sh.delta) != 0 {
+		// freeze left the delta resident, which only happens on a disk
+		// error — surface the sticky error rather than emitting out of
+		// order.
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("ip6: shard %d delta not frozen", i)
+	}
+	h := &mergeHeap{}
+	for _, r := range sh.runs {
+		if r.count == 0 {
+			continue
+		}
+		rr := newRunReader(s.rf, r, 0)
+		a, ok, err := rr.next()
+		if err != nil {
+			s.fail(err)
+			return nil, err
+		}
+		if ok {
+			h.entries = append(h.entries, mergeEntry{head: a, rr: rr})
+		}
+	}
+	for j := len(h.entries)/2 - 1; j >= 0; j-- {
+		h.siftDown(j)
+	}
+	var last Addr
+	emitted := false
+	return func() (Addr, bool, error) {
+		for len(h.entries) > 0 {
+			e := &h.entries[0]
+			a := e.head
+			nxt, ok, err := e.rr.next()
+			if err != nil {
+				s.fail(err)
+				return Addr{}, false, err
+			}
+			if ok {
+				e.head = nxt
+			} else {
+				lastIdx := len(h.entries) - 1
+				h.entries[0] = h.entries[lastIdx]
+				h.entries = h.entries[:lastIdx]
+			}
+			h.siftDown(0)
+			if !emitted || last != a { // runs are disjoint; dedup is defensive
+				last, emitted = a, true
+				return a, true, nil
+			}
+		}
+		return Addr{}, false, nil
+	}, nil
+}
+
 // ImportShardSorted bulk-loads shard i from a cursor yielding strictly
 // ascending addresses (every one hashing to shard i). The shard must be
 // empty — this is the checkpoint-restore path, not an insert path — and

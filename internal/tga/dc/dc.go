@@ -40,7 +40,10 @@ type Cluster struct {
 func (c Cluster) Span() uint64 { return c.Last.Lo() - c.First.Lo() + 1 }
 
 // Generator implements tga.Generator.
-type Generator struct{ cfg Config }
+type Generator struct {
+	cfg   Config
+	model *Model
+}
 
 // New returns a distance-clustering generator.
 func New(cfg Config) *Generator {
@@ -59,20 +62,30 @@ func New(cfg Config) *Generator {
 // Name implements tga.Generator.
 func (g *Generator) Name() string { return "DC" }
 
-// FindClusters locates dense runs in the seed set.
-func FindClusters(seeds []ip6.Addr, cfg Config) []Cluster {
-	groups := tga.GroupBySlash64(seeds)
-	var out []Cluster
-	for _, p := range tga.SortedPrefixes(groups) {
-		addrs := groups[p] // sorted ascending
+// modelCluster pairs a cluster with its seed run — a subslice of the
+// cluster's merged /64 group — so emission can merge-walk the span
+// against its seeds instead of probing a resident copy of the whole set.
+type modelCluster struct {
+	c     Cluster
+	seeds []ip6.Addr
+}
+
+// clustersOf locates dense runs in already-grouped seeds.
+func clustersOf(groups []tga.Slash64Group, cfg Config) []modelCluster {
+	var out []modelCluster
+	for _, g := range groups {
+		addrs := g.Addrs // sorted ascending
 		runStart := 0
 		flush := func(end int) { // [runStart, end)
 			if end-runStart >= cfg.MinClusterSize {
-				out = append(out, Cluster{
-					Prefix: p,
-					First:  addrs[runStart],
-					Last:   addrs[end-1],
-					Seeds:  end - runStart,
+				out = append(out, modelCluster{
+					c: Cluster{
+						Prefix: g.Prefix,
+						First:  addrs[runStart],
+						Last:   addrs[end-1],
+						Seeds:  end - runStart,
+					},
+					seeds: addrs[runStart:end],
 				})
 			}
 		}
@@ -83,6 +96,19 @@ func FindClusters(seeds []ip6.Addr, cfg Config) []Cluster {
 			}
 		}
 		flush(len(addrs))
+	}
+	return out
+}
+
+// FindClusters locates dense runs in the seed set.
+func FindClusters(seeds []ip6.Addr, cfg Config) []Cluster {
+	mcs := clustersOf(tga.GroupBySlash64(seeds), cfg)
+	if len(mcs) == 0 {
+		return nil
+	}
+	out := make([]Cluster, len(mcs))
+	for i, mc := range mcs {
+		out[i] = mc.c
 	}
 	return out
 }
@@ -100,39 +126,84 @@ func Fill(c Cluster, have ip6.Set, max int) []ip6.Addr {
 	return out
 }
 
-// Generate implements tga.Generator: the materializing shim over Emit.
-func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
-	return tga.Collect(g, seeds, budget)
+// Model is the incremental distance-clustering model: per-shard /64
+// group lists cached against the seed view's frozen spans, merged into
+// global groups and clusters only when some shard's span changed.
+type Model struct {
+	cfg      Config
+	built    bool
+	spans    [ip6.AddrShards][]ip6.Addr
+	perShard [ip6.AddrShards][]tga.Slash64Group
+	clusters []modelCluster
 }
 
-// Emit implements tga.Streamer: walk the clusters in order and yield the
-// missing addresses inside each span as the walk reaches them. Cluster
-// spans never overlap (clusters are disjoint runs of a sorted per-/64
-// group), so the inline seen-set only mirrors the defensive dedup the
-// former materialize-then-dedup pipeline ran, keeping the emission
-// byte-identical to it.
-func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
-	if len(seeds) == 0 || budget <= 0 {
-		return
-	}
-	have := ip6.NewSet(len(seeds))
-	have.AddSlice(seeds)
-	seen := ip6.NewSet(0)
-	for _, c := range FindClusters(seeds, g.cfg) {
-		if budget <= 0 {
-			break
+// NewModel returns an empty model; Update populates it.
+func NewModel(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Update refreshes the model for the view, regrouping only shards whose
+// span changed since the previous call (dirty shards rebuild in
+// parallel; the cross-shard group merge and cluster scan are one linear
+// pass). It returns the number of shards rebuilt — 0 means the cached
+// clusters were provably current and nothing was touched.
+func (m *Model) Update(v *tga.SeedView) int {
+	var dirty [ip6.AddrShards]bool
+	n := 0
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		if m.built && tga.SameSpan(m.spans[sh], v.Shard(sh)) {
+			continue
 		}
-		max := g.cfg.MaxFill
+		dirty[sh] = true
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	ip6.ParallelShards(tga.ModelWorkers(), func(sh int) {
+		if !dirty[sh] {
+			return
+		}
+		span := v.Shard(sh)
+		m.perShard[sh] = tga.GroupSortedBySlash64(span)
+		m.spans[sh] = span
+	})
+	lists := make([][]tga.Slash64Group, ip6.AddrShards)
+	for sh := range lists {
+		lists[sh] = m.perShard[sh]
+	}
+	m.clusters = clustersOf(tga.MergeSlash64Groups(lists), m.cfg)
+	m.built = true
+	return n
+}
+
+// emit walks the clusters in order and yields the missing addresses
+// inside each span as the walk reaches them. Seed membership inside a
+// span is a merge-walk against the cluster's own seed run (a span never
+// leaves its /64, and runs are maximal, so no other seed can fall inside
+// it); cluster spans never overlap, so the inline seen-set only mirrors
+// the defensive dedup the former materialize-then-dedup pipeline ran,
+// keeping the emission byte-identical to it.
+func (m *Model) emit(budget int, yield func(ip6.Addr) bool) {
+	seen := ip6.NewSet(0)
+	for _, mc := range m.clusters {
+		if budget <= 0 {
+			return
+		}
+		max := m.cfg.MaxFill
 		if max > budget {
 			max = budget
 		}
 		count := 0
-		hi := c.First.Hi()
-		for lo := c.First.Lo(); lo <= c.Last.Lo() && count < max; lo++ {
-			a := ip6.AddrFromUint64s(hi, lo)
-			if have.Has(a) {
+		hi := mc.c.First.Hi()
+		si := 0
+		for lo := mc.c.First.Lo(); lo <= mc.c.Last.Lo() && count < max; lo++ {
+			for si < len(mc.seeds) && mc.seeds[si].Lo() < lo {
+				si++
+			}
+			if si < len(mc.seeds) && mc.seeds[si].Lo() == lo {
+				si++
 				continue
 			}
+			a := ip6.AddrFromUint64s(hi, lo)
 			count++
 			if seen.Add(a) {
 				if !yield(a) {
@@ -144,5 +215,35 @@ func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool
 	}
 }
 
-// The generator is a full streaming TGA.
-var _ tga.Streamer = (*Generator)(nil)
+// Generate implements tga.Generator: the materializing shim over Emit.
+func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	return tga.Collect(g, seeds, budget)
+}
+
+// Emit implements tga.Streamer: the stateless shim — a throwaway model
+// over a materialized view, yielding exactly EmitView's stream.
+func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
+	if len(seeds) == 0 || budget <= 0 {
+		return
+	}
+	m := NewModel(g.cfg)
+	m.Update(tga.SeedViewOf(seeds))
+	m.emit(budget, yield)
+}
+
+// EmitView implements tga.ViewStreamer: update the generator's
+// persistent model for shards the view dirtied, then stream from the
+// cached clusters.
+func (g *Generator) EmitView(v *tga.SeedView, budget int, yield func(ip6.Addr) bool) {
+	if v.Len() == 0 || budget <= 0 {
+		return
+	}
+	if g.model == nil {
+		g.model = NewModel(g.cfg)
+	}
+	g.model.Update(v)
+	g.model.emit(budget, yield)
+}
+
+// The generator is a full streaming TGA over both seed contracts.
+var _ tga.ViewStreamer = (*Generator)(nil)

@@ -1,0 +1,114 @@
+package tga
+
+// SeedView is the sharded seed contract between the pipeline and the
+// generators: per-shard sorted spans plus a total length and per-shard
+// epochs, wrapping an ip6.SortedShardSet frozen from the cumulative
+// responsive set. Views are cheap to hand out every round because the
+// freeze is an epoch delta — shards whose membership did not change
+// pointer-share their frozen span with the previous round's view, which
+// is also what lets a generator's incremental model prove a shard's
+// cached statistics current by slice identity alone (SameSpan).
+//
+// Spans are immutable by contract; generators read them but never write.
+
+import (
+	"runtime"
+
+	"hitlist6/internal/ip6"
+)
+
+// SeedView wraps a frozen sorted shard set as the generators' seed
+// contract. The zero/nil view is empty.
+type SeedView struct {
+	set *ip6.SortedShardSet
+}
+
+// NewSeedView wraps an already-frozen sorted shard set.
+func NewSeedView(set *ip6.SortedShardSet) *SeedView { return &SeedView{set: set} }
+
+// SeedViewOf materializes a view from a flat seed slice — the compat
+// shim the stateless Generate/Emit paths and the CLI use. Seeds are
+// partitioned by canonical shard, sorted, and deduplicated; the caller's
+// slice is not modified.
+func SeedViewOf(seeds []ip6.Addr) *SeedView {
+	var shards [ip6.AddrShards][]ip6.Addr
+	for _, a := range seeds {
+		sh := ip6.ShardOf(a)
+		shards[sh] = append(shards[sh], a)
+	}
+	for sh := range shards {
+		span := shards[sh]
+		ip6.SortAddrs(span)
+		out := span[:0]
+		for i, a := range span {
+			if i > 0 && a == span[i-1] {
+				continue
+			}
+			out = append(out, a)
+		}
+		shards[sh] = out
+	}
+	return &SeedView{set: ip6.SortedFromShards(shards)}
+}
+
+// Len returns the total seed count; a nil view is empty.
+func (v *SeedView) Len() int {
+	if v == nil {
+		return 0
+	}
+	return v.set.Len()
+}
+
+// Shard returns shard i's sorted span; treat as read-only.
+func (v *SeedView) Shard(i int) []ip6.Addr {
+	if v == nil || v.set == nil {
+		return nil
+	}
+	return v.set.Shard(i)
+}
+
+// ShardEpoch returns the mutation epoch shard i was frozen at (0 for
+// views built by SeedViewOf).
+func (v *SeedView) ShardEpoch(i int) uint64 {
+	if v == nil || v.set == nil {
+		return 0
+	}
+	return v.set.ShardEpoch(i)
+}
+
+// Has reports seed membership by binary search over the address's
+// canonical shard — the emission-phase "is this a seed" test, replacing
+// the per-round resident copy of the whole seed set.
+func (v *SeedView) Has(a ip6.Addr) bool {
+	if v == nil {
+		return false
+	}
+	return v.set.Has(a)
+}
+
+// Walk visits every seed in canonical order (shard by shard, sorted
+// within each shard); fn returning false stops the walk.
+func (v *SeedView) Walk(fn func(ip6.Addr) bool) {
+	if v == nil || v.set == nil {
+		return
+	}
+	v.set.Walk(fn)
+}
+
+// SameSpan reports whether two frozen shard spans are the same immutable
+// slice. The delta freeze pointer-shares unchanged shards and allocates
+// fresh arrays for re-frozen ones, so slice identity is a sound and
+// complete currency test for a model's per-shard statistics; two empty
+// spans are trivially the same.
+func SameSpan(a, b []ip6.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// ModelWorkers is the per-shard parallelism the incremental models use
+// when rebuilding dirty-shard statistics (ip6.ParallelShards handles
+// workers <= 1 inline). Shard slots are disjoint, so parallel rebuilds
+// stay deterministic.
+func ModelWorkers() int { return runtime.GOMAXPROCS(0) }

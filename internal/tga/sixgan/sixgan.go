@@ -74,7 +74,10 @@ type Config struct {
 func DefaultConfig() Config { return Config{Seed: 6, Temperature: 1.0} }
 
 // Generator implements tga.Generator.
-type Generator struct{ cfg Config }
+type Generator struct {
+	cfg   Config
+	model *Model
+}
 
 // New returns a 6GAN generator.
 func New(cfg Config) *Generator {
@@ -95,79 +98,155 @@ type classModel struct {
 	dist [32]*rng.Weighted
 }
 
-func buildModel(class Class, seeds []ip6.Addr, temperature float64) *classModel {
-	m := &classModel{class: class, support: len(seeds)}
-	var counts [32][16]float64
-	for _, a := range seeds {
-		n := a.Nibbles()
-		for i, v := range n {
-			counts[i][v]++
-		}
-	}
-	for i := range counts {
+// classCounts are per-class nibble statistics: the sufficient statistic
+// of a classModel, held as integers so per-shard counts summed into
+// globals reproduce a flat-slice count exactly (a float64 count of seeds
+// is integer-valued and exact below 2^53, so float64(int64 sum) is the
+// identical operand).
+type classCounts struct {
+	support int
+	counts  [32][16]int64
+}
+
+// modelFromCounts builds the smoothed sampling distributions from
+// accumulated counts.
+func modelFromCounts(class Class, c *classCounts, temperature float64) *classModel {
+	m := &classModel{class: class, support: c.support}
+	for i := range c.counts {
 		w := make([]float64, 16)
 		for v := 0; v < 16; v++ {
 			// Additive smoothing then temperature.
-			w[v] = math.Pow(counts[i][v]+0.05, 1.0/temperature)
+			w[v] = math.Pow(float64(c.counts[i][v])+0.05, 1.0/temperature)
 		}
 		m.dist[i] = rng.NewWeighted(w)
 	}
 	return m
 }
 
-// Generate implements tga.Generator: the materializing shim over Emit.
-func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
-	return tga.Collect(g, seeds, budget)
+func buildModel(class Class, seeds []ip6.Addr, temperature float64) *classModel {
+	var c classCounts
+	c.support = len(seeds)
+	for _, a := range seeds {
+		n := a.Nibbles()
+		for i, v := range n {
+			c.counts[i][v]++
+		}
+	}
+	return modelFromCounts(class, &c, temperature)
 }
 
-// Emit implements tga.Streamer: classify seeds, build one model per
-// class, sample candidates proportionally to class support, and yield
-// the novel non-seed ones as they are drawn. The budget counts raw
+// Model is the incremental 6GAN model: per-shard per-class nibble counts
+// cached against the seed view's frozen spans, re-classified only for
+// dirty shards; the per-class sampling distributions rebuild from the
+// summed counts when anything changed.
+type Model struct {
+	cfg    Config
+	built  bool
+	spans  [ip6.AddrShards][]ip6.Addr
+	counts [ip6.AddrShards][NumClasses]classCounts
+	models []*classModel
+	total  int
+}
+
+// NewModel returns an empty model; Update populates it.
+func NewModel(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Update refreshes the model for the view, re-classifying and re-counting
+// only shards whose span changed (in parallel). It returns the number of
+// dirty shards — 0 means the cached class models were provably current.
+func (m *Model) Update(v *tga.SeedView) int {
+	var dirty [ip6.AddrShards]bool
+	n := 0
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		if m.built && tga.SameSpan(m.spans[sh], v.Shard(sh)) {
+			continue
+		}
+		dirty[sh] = true
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	ip6.ParallelShards(tga.ModelWorkers(), func(sh int) {
+		if !dirty[sh] {
+			return
+		}
+		span := v.Shard(sh)
+		var cc [NumClasses]classCounts
+		for _, a := range span {
+			c := &cc[Classify(a)]
+			c.support++
+			nib := a.Nibbles()
+			for i, val := range nib {
+				c.counts[i][val]++
+			}
+		}
+		m.counts[sh] = cc
+		m.spans[sh] = span
+	})
+	var sum [NumClasses]classCounts
+	for sh := range m.counts {
+		for cl := Class(0); cl < NumClasses; cl++ {
+			c := &m.counts[sh][cl]
+			sum[cl].support += c.support
+			for i := range c.counts {
+				for val, cnt := range c.counts[i] {
+					sum[cl].counts[i][val] += cnt
+				}
+			}
+		}
+	}
+	m.models = m.models[:0]
+	for cl := Class(0); cl < NumClasses; cl++ {
+		if sum[cl].support >= 8 {
+			m.models = append(m.models, modelFromCounts(cl, &sum[cl], m.cfg.Temperature))
+		}
+	}
+	if len(m.models) == 0 {
+		// No class is well-supported: one model over every seed,
+		// matching a flat build over the whole set.
+		var all classCounts
+		for cl := Class(0); cl < NumClasses; cl++ {
+			all.support += sum[cl].support
+			for i := range sum[cl].counts {
+				for val, cnt := range sum[cl].counts[i] {
+					all.counts[i][val] += cnt
+				}
+			}
+		}
+		m.models = append(m.models, modelFromCounts(ClassRandom, &all, m.cfg.Temperature))
+	}
+	m.total = 0
+	for _, cm := range m.models {
+		m.total += cm.support
+	}
+	m.built = true
+	return n
+}
+
+// emit samples candidates proportionally to class support and yields the
+// novel non-seed ones as they are drawn. The budget counts raw
 // global-unicast samples (duplicates included), exactly as Generate
 // always charged it before its final dedup, so the emission is
 // byte-identical to the former materialize-then-dedup pipeline.
-func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
-	if len(seeds) == 0 || budget <= 0 {
-		return
-	}
-	byClass := make(map[Class][]ip6.Addr)
-	for _, a := range seeds {
-		c := Classify(a)
-		byClass[c] = append(byClass[c], a)
-	}
-	var models []*classModel
-	for c := Class(0); c < NumClasses; c++ {
-		if len(byClass[c]) >= 8 {
-			models = append(models, buildModel(c, byClass[c], g.cfg.Temperature))
-		}
-	}
-	if len(models) == 0 {
-		models = append(models, buildModel(ClassRandom, seeds, g.cfg.Temperature))
-	}
-	total := 0
-	for _, m := range models {
-		total += m.support
-	}
-
-	seedSet := ip6.NewSet(len(seeds))
-	seedSet.AddSlice(seeds)
+func (m *Model) emit(v *tga.SeedView, budget int, yield func(ip6.Addr) bool) {
 	seen := ip6.NewSet(0)
 	raw := 0
-	r := rng.NewStream(g.cfg.Seed, "6gan-sample")
-	for _, m := range models {
-		share := budget * m.support / total
+	r := rng.NewStream(m.cfg.Seed, "6gan-sample")
+	for _, cm := range m.models {
+		share := budget * cm.support / m.total
 		if share == 0 {
 			share = 1
 		}
 		for i := 0; i < share && raw < budget; i++ {
 			var nib [32]byte
 			for pos := 0; pos < 32; pos++ {
-				nib[pos] = byte(m.dist[pos].Sample(r))
+				nib[pos] = byte(cm.dist[pos].Sample(r))
 			}
 			a := ip6.AddrFromNibbles(nib)
 			if a.IsGlobalUnicast() {
 				raw++
-				if !seedSet.Has(a) && seen.Add(a) {
+				if !v.Has(a) && seen.Add(a) {
 					if !yield(a) {
 						return
 					}
@@ -177,5 +256,35 @@ func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool
 	}
 }
 
-// The generator is a full streaming TGA.
-var _ tga.Streamer = (*Generator)(nil)
+// Generate implements tga.Generator: the materializing shim over Emit.
+func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	return tga.Collect(g, seeds, budget)
+}
+
+// Emit implements tga.Streamer: the stateless shim — a throwaway model
+// over a materialized view, yielding exactly EmitView's stream.
+func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
+	if len(seeds) == 0 || budget <= 0 {
+		return
+	}
+	v := tga.SeedViewOf(seeds)
+	m := NewModel(g.cfg)
+	m.Update(v)
+	m.emit(v, budget, yield)
+}
+
+// EmitView implements tga.ViewStreamer: refresh the persistent model for
+// shards the view dirtied, then sample from the cached class models.
+func (g *Generator) EmitView(v *tga.SeedView, budget int, yield func(ip6.Addr) bool) {
+	if v.Len() == 0 || budget <= 0 {
+		return
+	}
+	if g.model == nil {
+		g.model = NewModel(g.cfg)
+	}
+	g.model.Update(v)
+	g.model.emit(v, budget, yield)
+}
+
+// The generator is a full streaming TGA over both seed contracts.
+var _ tga.ViewStreamer = (*Generator)(nil)

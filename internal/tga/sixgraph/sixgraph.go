@@ -41,7 +41,10 @@ type Pattern struct {
 func (p Pattern) NumCandidatesLog16() int { return len(p.Wildcards) }
 
 // Generator implements tga.Generator.
-type Generator struct{ cfg Config }
+type Generator struct {
+	cfg   Config
+	model *Model
+}
 
 // New returns a 6Graph generator.
 func New(cfg Config) *Generator {
@@ -67,6 +70,23 @@ func Mine(seeds []ip6.Addr, cfg Config) []Pattern {
 		return nil
 	}
 	entropy := tga.NibbleEntropy(seeds)
+	walk := func(fn func(ip6.Addr) bool) {
+		for _, a := range seeds {
+			if !fn(a) {
+				return
+			}
+		}
+	}
+	return minePatterns(walk, entropy, cfg)
+}
+
+// minePatterns is Mine over any seed iteration. Patterns are a pure
+// function of the seed set: group membership, support counts and the
+// used-set evolve identically under any iteration order, and group keys
+// are sorted before pattern extraction — which is what lets the
+// incremental model mine over the sharded view walk and still match a
+// flat-slice mine bit for bit.
+func minePatterns(walk func(func(ip6.Addr) bool), entropy [32]float64, cfg Config) []Pattern {
 	// Wildcard dimension order: highest entropy last-32-positions first —
 	// structural assignment varies in the low nibbles.
 	dims := make([]int, 0, 32)
@@ -78,35 +98,50 @@ func Mine(seeds []ip6.Addr, cfg Config) []Pattern {
 	sort.SliceStable(dims, func(a, b int) bool { return entropy[dims[a]] > entropy[dims[b]] })
 
 	var patterns []Pattern
-	used := ip6.NewSet(len(seeds))
+	used := ip6.NewSet(0)
 	for k := 1; k <= cfg.MaxWildcards && k <= len(dims); k++ {
 		wild := append([]int(nil), dims[:k]...)
 		sort.Ints(wild)
-		groups := make(map[ip6.Addr][]ip6.Addr)
-		for _, a := range seeds {
+		groups := make(map[ip6.Addr]int)
+		walk(func(a ip6.Addr) bool {
 			if used.Has(a) {
-				continue
+				return true
 			}
 			masked := a
 			for _, d := range wild {
 				masked = masked.SetNibble(d, 0)
 			}
-			groups[masked] = append(groups[masked], a)
-		}
+			groups[masked]++
+			return true
+		})
 		keys := make([]ip6.Addr, 0, len(groups))
-		for m := range groups {
-			keys = append(keys, m)
+		for m, support := range groups {
+			if support >= cfg.MinPatternSupport {
+				keys = append(keys, m)
+			}
 		}
 		ip6.SortAddrs(keys)
 		for _, m := range keys {
-			members := groups[m]
-			if len(members) < cfg.MinPatternSupport {
-				continue
-			}
-			patterns = append(patterns, Pattern{Base: m, Wildcards: wild, Support: len(members)})
-			for _, a := range members {
-				used.Add(a)
-			}
+			patterns = append(patterns, Pattern{Base: m, Wildcards: wild, Support: groups[m]})
+		}
+		// Mark every member of an accepted pattern used, so later (wider)
+		// rounds do not re-mine them.
+		if len(keys) > 0 {
+			accepted := ip6.NewSet(len(keys))
+			accepted.AddSlice(keys)
+			walk(func(a ip6.Addr) bool {
+				if used.Has(a) {
+					return true
+				}
+				masked := a
+				for _, d := range wild {
+					masked = masked.SetNibble(d, 0)
+				}
+				if accepted.Has(masked) {
+					used.Add(a)
+				}
+				return true
+			})
 		}
 	}
 	// Highest support first: enumeration under budget favors dense
@@ -154,28 +189,79 @@ func EnumerateEach(p Pattern, budget int, yield func(ip6.Addr) bool) int {
 	return n
 }
 
-// Generate implements tga.Generator: the materializing shim over Emit.
-func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
-	return tga.Collect(g, seeds, budget)
+// Model is the incremental 6Graph model: per-shard nibble counts cached
+// against the seed view's frozen spans, re-counted only for dirty shards;
+// entropy and the pattern mine rerun over the view walk when anything
+// changed.
+type Model struct {
+	cfg      Config
+	built    bool
+	spans    [ip6.AddrShards][]ip6.Addr
+	counts   [ip6.AddrShards][32][16]int64
+	patterns []Pattern
 }
 
-// Emit implements tga.Streamer: mine patterns, then enumerate them in
-// support order, yielding novel non-seed addresses as the expansions
-// walk them. The budget counts enumerated (pre-dedup) addresses, exactly
-// as Generate always charged it, so the emission is byte-identical to
-// the former materialize-then-dedup pipeline.
-func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
-	patterns := Mine(seeds, g.cfg)
-	seedSet := ip6.NewSet(len(seeds))
-	seedSet.AddSlice(seeds)
+// NewModel returns an empty model; Update populates it.
+func NewModel(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Update refreshes the model for the view, re-counting nibble statistics
+// only for shards whose span changed (in parallel). It returns the number
+// of dirty shards — 0 means the cached patterns were provably current.
+func (m *Model) Update(v *tga.SeedView) int {
+	var dirty [ip6.AddrShards]bool
+	n := 0
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		if m.built && tga.SameSpan(m.spans[sh], v.Shard(sh)) {
+			continue
+		}
+		dirty[sh] = true
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	ip6.ParallelShards(tga.ModelWorkers(), func(sh int) {
+		if !dirty[sh] {
+			return
+		}
+		span := v.Shard(sh)
+		var c [32][16]int64
+		tga.NibbleCounts(span, &c)
+		m.counts[sh] = c
+		m.spans[sh] = span
+	})
+	var total [32][16]int64
+	for sh := range m.counts {
+		for i := range m.counts[sh] {
+			for val, c := range m.counts[sh][i] {
+				total[i][val] += c
+			}
+		}
+	}
+	entropy := tga.EntropyFromCounts(&total, v.Len())
+	if v.Len() == 0 {
+		m.patterns = nil
+	} else {
+		m.patterns = minePatterns(v.Walk, entropy, m.cfg)
+	}
+	m.built = true
+	return n
+}
+
+// emit enumerates the mined patterns in support order, yielding novel
+// non-seed addresses as the expansions walk them. The budget counts
+// enumerated (pre-dedup) addresses, exactly as Generate always charged
+// it, so the emission is byte-identical to the former
+// materialize-then-dedup pipeline.
+func (m *Model) emit(v *tga.SeedView, budget int, yield func(ip6.Addr) bool) {
 	seen := ip6.NewSet(0)
 	stopped := false
-	for _, p := range patterns {
+	for _, p := range m.patterns {
 		if budget <= 0 || stopped {
 			break
 		}
 		budget -= EnumerateEach(p, budget, func(a ip6.Addr) bool {
-			if !seedSet.Has(a) && seen.Add(a) {
+			if !v.Has(a) && seen.Add(a) {
 				if !yield(a) {
 					stopped = true
 					return false
@@ -186,5 +272,35 @@ func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool
 	}
 }
 
-// The generator is a full streaming TGA.
-var _ tga.Streamer = (*Generator)(nil)
+// Generate implements tga.Generator: the materializing shim over Emit.
+func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
+	return tga.Collect(g, seeds, budget)
+}
+
+// Emit implements tga.Streamer: the stateless shim — a throwaway model
+// over a materialized view, yielding exactly EmitView's stream.
+func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
+	if len(seeds) == 0 || budget <= 0 {
+		return
+	}
+	v := tga.SeedViewOf(seeds)
+	m := NewModel(g.cfg)
+	m.Update(v)
+	m.emit(v, budget, yield)
+}
+
+// EmitView implements tga.ViewStreamer: refresh the persistent model for
+// shards the view dirtied, then enumerate the cached patterns.
+func (g *Generator) EmitView(v *tga.SeedView, budget int, yield func(ip6.Addr) bool) {
+	if v.Len() == 0 || budget <= 0 {
+		return
+	}
+	if g.model == nil {
+		g.model = NewModel(g.cfg)
+	}
+	g.model.Update(v)
+	g.model.emit(v, budget, yield)
+}
+
+// The generator is a full streaming TGA over both seed contracts.
+var _ tga.ViewStreamer = (*Generator)(nil)

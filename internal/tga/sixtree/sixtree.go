@@ -1,7 +1,11 @@
 // Package sixtree reimplements 6Tree (Liu et al., Computer Networks 2019):
 // a space-tree model of the seed set built by divisive hierarchical
 // clustering (DHC) over nibble vectors, with candidate generation inside
-// the densest leaf regions.
+// the densest leaf regions. The space tree is exactly the incrementally
+// maintainable structure the original advertises: because the seed set
+// only grows, per-node nibble-value masks only gain bits, and a new seed
+// descends the existing split dimensions — subtrees rebuild only when an
+// insertion changes a node's least-entropy split choice.
 //
 // Following the hitlist paper's usage, the active-scan feedback loop of the
 // original is disabled: "we prevented active scans, limited 6Tree to target
@@ -12,6 +16,7 @@
 package sixtree
 
 import (
+	"math/bits"
 	"sort"
 
 	"hitlist6/internal/ip6"
@@ -34,18 +39,51 @@ func DefaultConfig() Config { return Config{MaxLeafSize: 16, MaxFreeDims: 2} }
 type Tree struct {
 	cfg    Config
 	root   *node
+	size   int
 	leaves []*node
+	fresh  bool // leaves cache valid
 }
 
+// node is one DHC region. mask[i] is the bitmask of nibble values
+// observed at position i over the node's seeds — the structure that
+// makes insertion cheap: split decisions depend only on masks, and masks
+// are monotone under a grow-only seed set. Internal nodes hold no seeds;
+// leaves keep theirs sorted ascending.
 type node struct {
-	seeds    []ip6.Addr
-	fixed    [32]bool // dimensions with a single observed value
+	mask     [32]uint16
+	splitDim int // -1 at leaves
 	children []*node
-	splitDim int
+	keys     []byte // children[i]'s nibble value at splitDim, ascending
+	seeds    []ip6.Addr
 }
+
+func (n *node) observe(a ip6.Addr) {
+	for i := 0; i < 32; i++ {
+		n.mask[i] |= 1 << a.Nibble(i)
+	}
+}
+
+// bestSplit picks the DHC dimension: fewest distinct values (>1), ties
+// towards the most significant position — the least-entropy split.
+func (n *node) bestSplit() int {
+	best, bestCount := -1, 17
+	for i := 0; i < 32; i++ {
+		if c := bits.OnesCount16(n.mask[i]); c > 1 && c < bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best
+}
+
+// fixedDim reports whether position i holds a single value over the
+// node's seeds.
+func (n *node) fixedDim(i int) bool { return bits.OnesCount16(n.mask[i]) == 1 }
 
 // Generator is the tga.Generator implementation.
-type Generator struct{ cfg Config }
+type Generator struct {
+	cfg   Config
+	model *Model
+}
 
 // New returns a 6Tree generator.
 func New(cfg Config) *Generator {
@@ -61,80 +99,246 @@ func New(cfg Config) *Generator {
 // Name implements tga.Generator.
 func (g *Generator) Name() string { return "6Tree" }
 
-// Build constructs the space tree over the seeds.
+// Build constructs the space tree over the seeds. Leaf seed order is
+// normalized ascending, so the tree is a pure function of the seed set —
+// the invariant that lets incremental insertion reproduce a scratch
+// build bit for bit.
 func Build(seeds []ip6.Addr, cfg Config) *Tree {
-	t := &Tree{cfg: cfg, root: &node{seeds: seeds}}
-	t.split(t.root)
-	return t
+	return &Tree{cfg: cfg, root: buildNode(seeds, cfg), size: len(seeds)}
 }
 
-// split applies DHC: recurse on the dimension with the fewest distinct
-// values (>1) — the least-entropy split — until leaves are small.
-func (t *Tree) split(n *node) {
-	vals := tga.NibbleValueSets(n.seeds)
-	for i, vs := range vals {
-		n.fixed[i] = len(vs) == 1
+// buildNode applies DHC: recurse on the dimension with the fewest
+// distinct values (>1) until regions are small.
+func buildNode(seeds []ip6.Addr, cfg Config) *node {
+	n := &node{splitDim: -1}
+	for _, a := range seeds {
+		n.observe(a)
 	}
-	if len(n.seeds) <= t.cfg.MaxLeafSize {
-		t.leaves = append(t.leaves, n)
-		return
+	if len(seeds) <= cfg.MaxLeafSize {
+		n.seeds = sortedCopy(seeds)
+		return n
 	}
-	// Least-entropy splitting dimension; ties break towards the most
-	// significant position, approximating the vertical mode of 6Tree.
-	best, bestCount := -1, 17
-	for i, vs := range vals {
-		if len(vs) > 1 && len(vs) < bestCount {
-			best, bestCount = i, len(vs)
-		}
-	}
+	best := n.bestSplit()
 	if best < 0 { // all seeds identical
-		t.leaves = append(t.leaves, n)
-		return
+		n.seeds = sortedCopy(seeds)
+		return n
 	}
 	n.splitDim = best
-	buckets := make(map[byte][]ip6.Addr)
-	for _, a := range n.seeds {
-		buckets[a.Nibble(best)] = append(buckets[a.Nibble(best)], a)
+	var buckets [16][]ip6.Addr
+	for _, a := range seeds {
+		v := a.Nibble(best)
+		buckets[v] = append(buckets[v], a)
 	}
-	keys := make([]int, 0, len(buckets))
-	for k := range buckets {
-		keys = append(keys, int(k))
+	for v := 0; v < 16; v++ {
+		if len(buckets[v]) == 0 {
+			continue
+		}
+		n.children = append(n.children, buildNode(buckets[v], cfg))
+		n.keys = append(n.keys, byte(v))
 	}
-	sort.Ints(keys)
-	for _, k := range keys {
-		child := &node{seeds: buckets[byte(k)]}
-		n.children = append(n.children, child)
-		t.split(child)
+	return n
+}
+
+func sortedCopy(seeds []ip6.Addr) []ip6.Addr {
+	out := append([]ip6.Addr(nil), seeds...)
+	ip6.SortAddrs(out)
+	return out
+}
+
+// insert adds one address, maintaining scratch-build equivalence: masks
+// update along the descent path, and any node whose best-split choice
+// the insertion flips is rebuilt from its gathered seeds — exactly what
+// a scratch build would have produced there.
+func (t *Tree) insert(a ip6.Addr, cfg Config) {
+	t.fresh = false
+	t.size++
+	insertAt(t.root, a, cfg)
+}
+
+func insertAt(n *node, a ip6.Addr, cfg Config) {
+	n.observe(a)
+	if n.splitDim < 0 {
+		i := sort.Search(len(n.seeds), func(i int) bool { return !n.seeds[i].Less(a) })
+		if i < len(n.seeds) && n.seeds[i] == a {
+			return
+		}
+		n.seeds = append(n.seeds, ip6.Addr{})
+		copy(n.seeds[i+1:], n.seeds[i:])
+		n.seeds[i] = a
+		if len(n.seeds) > cfg.MaxLeafSize && n.bestSplit() >= 0 {
+			*n = *buildNode(n.seeds, cfg)
+		}
+		return
 	}
+	if best := n.bestSplit(); best != n.splitDim {
+		seeds := gatherSeeds(n, nil)
+		seeds = append(seeds, a)
+		*n = *buildNode(seeds, cfg)
+		return
+	}
+	v := a.Nibble(n.splitDim)
+	ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= v })
+	if ci < len(n.keys) && n.keys[ci] == v {
+		insertAt(n.children[ci], a, cfg)
+		return
+	}
+	child := &node{splitDim: -1, seeds: []ip6.Addr{a}}
+	child.observe(a)
+	n.children = append(n.children, nil)
+	copy(n.children[ci+1:], n.children[ci:])
+	n.children[ci] = child
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = v
+}
+
+// gatherSeeds collects a subtree's seeds (leaf DFS order; order is
+// irrelevant to the rebuild, which re-sorts at leaf creation).
+func gatherSeeds(n *node, out []ip6.Addr) []ip6.Addr {
+	if n.splitDim < 0 {
+		return append(out, n.seeds...)
+	}
+	for _, c := range n.children {
+		out = gatherSeeds(c, out)
+	}
+	return out
+}
+
+// leafList returns the leaves in DFS order, regenerating the cache after
+// mutations.
+func (t *Tree) leafList() []*node {
+	if !t.fresh {
+		t.leaves = t.leaves[:0]
+		var dfs func(n *node)
+		dfs = func(n *node) {
+			if n.splitDim < 0 {
+				t.leaves = append(t.leaves, n)
+				return
+			}
+			for _, c := range n.children {
+				dfs(c)
+			}
+		}
+		if t.root != nil {
+			dfs(t.root)
+		}
+		t.fresh = true
+	}
+	return t.leaves
 }
 
 // Leaves returns the number of leaf regions.
-func (t *Tree) Leaves() int { return len(t.leaves) }
+func (t *Tree) Leaves() int { return len(t.leafList()) }
+
+// Model is the incremental 6Tree model: one space tree grown in place as
+// the seed view's shards dirty, with per-shard span identities proving
+// which shards changed.
+type Model struct {
+	cfg   Config
+	built bool
+	spans [ip6.AddrShards][]ip6.Addr
+	tree  *Tree
+}
+
+// NewModel returns an empty model; Update populates it.
+func NewModel(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Update grows the tree with the view's new seeds, touching only shards
+// whose span changed; it returns the number of dirty shards. The first
+// call (and the defensive fallback, should a span ever shrink) builds
+// from scratch.
+func (m *Model) Update(v *tga.SeedView) int {
+	if !m.built {
+		return m.rebuild(v)
+	}
+	dirty := 0
+	var fresh [ip6.AddrShards][]ip6.Addr
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		span := v.Shard(sh)
+		if tga.SameSpan(m.spans[sh], span) {
+			continue
+		}
+		dirty++
+		// Grow-only diff: old must be a sorted subset of span.
+		old, added := m.spans[sh], fresh[sh]
+		i := 0
+		for _, a := range span {
+			if i < len(old) && old[i] == a {
+				i++
+				continue
+			}
+			added = append(added, a)
+		}
+		if i != len(old) {
+			return m.rebuild(v) // shrank — not grow-only; start over
+		}
+		fresh[sh] = added
+	}
+	if dirty == 0 {
+		return 0
+	}
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		for _, a := range fresh[sh] {
+			m.tree.insert(a, m.cfg)
+		}
+		m.spans[sh] = v.Shard(sh)
+	}
+	return dirty
+}
+
+func (m *Model) rebuild(v *tga.SeedView) int {
+	all := make([]ip6.Addr, 0, v.Len())
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		span := v.Shard(sh)
+		all = append(all, span...)
+		m.spans[sh] = span
+	}
+	m.tree = Build(all, m.cfg)
+	m.built = true
+	return ip6.AddrShards
+}
 
 // Generate implements tga.Generator: the materializing shim over Emit.
 func (g *Generator) Generate(seeds []ip6.Addr, budget int) []ip6.Addr {
 	return tga.Collect(g, seeds, budget)
 }
 
-// Emit implements tga.Streamer: build the tree, then expand leaves in
-// density order, yielding candidates as the expansion walks them. A
-// shared novelty set makes the budget count genuinely new addresses,
-// never duplicates or seeds.
+// Emit implements tga.Streamer: the stateless shim — a throwaway model
+// over a materialized view, yielding exactly EmitView's stream.
 func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool) {
 	if len(seeds) == 0 || budget <= 0 {
 		return
 	}
-	t := Build(seeds, g.cfg)
+	v := tga.SeedViewOf(seeds)
+	m := NewModel(g.cfg)
+	m.Update(v)
+	m.emit(v, budget, yield)
+}
 
-	// Densest leaves first: most seeds per free dimension.
-	leaves := append([]*node(nil), t.leaves...)
+// EmitView implements tga.ViewStreamer: grow the persistent tree with
+// the view's dirty shards, then expand leaves in density order.
+func (g *Generator) EmitView(v *tga.SeedView, budget int, yield func(ip6.Addr) bool) {
+	if v.Len() == 0 || budget <= 0 {
+		return
+	}
+	if g.model == nil {
+		g.model = NewModel(g.cfg)
+	}
+	g.model.Update(v)
+	g.model.emit(v, budget, yield)
+}
+
+// emit expands leaves in density order, yielding candidates as the
+// expansion walks them. A shared novelty check (seed-view membership
+// plus this round's emissions) makes the budget count genuinely new
+// addresses, never duplicates or seeds.
+func (m *Model) emit(v *tga.SeedView, budget int, yield func(ip6.Addr) bool) {
+	leaves := append([]*node(nil), m.tree.leafList()...)
 	sort.SliceStable(leaves, func(i, j int) bool {
 		return leafPriority(leaves[i]) > leafPriority(leaves[j])
 	})
 
-	seen := ip6.NewSet(len(seeds) + budget)
-	seen.AddSlice(seeds)
-	e := &emitter{budget: budget, seen: seen, yield: yield}
+	e := &emitter{budget: budget, view: v, seen: ip6.NewSet(budget), yield: yield}
 	for _, leaf := range leaves {
 		if e.full() {
 			break
@@ -144,16 +348,17 @@ func (g *Generator) Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool
 		if len(leaf.seeds) < 2 {
 			continue
 		}
-		expandLeaf(leaf, g.cfg.MaxFreeDims, e)
+		expandLeaf(leaf, m.cfg.MaxFreeDims, e)
 	}
 }
 
-// emitter tracks one Emit pass: novelty-counted budget plus the
+// emitter tracks one emission pass: novelty-counted budget plus the
 // consumer's early-stop signal.
 type emitter struct {
 	budget  int
 	emitted int
 	stopped bool
+	view    *tga.SeedView
 	seen    ip6.Set
 	yield   func(ip6.Addr) bool
 }
@@ -162,7 +367,7 @@ func (e *emitter) full() bool { return e.stopped || e.emitted >= e.budget }
 
 // add yields a novel address, counting it toward the budget.
 func (e *emitter) add(a ip6.Addr) {
-	if e.seen.Add(a) {
+	if !e.view.Has(a) && e.seen.Add(a) {
 		e.emitted++
 		if !e.yield(a) {
 			e.stopped = true
@@ -172,8 +377,8 @@ func (e *emitter) add(a ip6.Addr) {
 
 func leafPriority(n *node) float64 {
 	free := 0
-	for _, f := range n.fixed {
-		if !f {
+	for i := 0; i < 32; i++ {
+		if !n.fixedDim(i) {
 			free++
 		}
 	}
@@ -194,7 +399,7 @@ func expandLeaf(n *node, maxDims int, e *emitter) {
 	var free []int
 	taken := [32]bool{}
 	for i := 31; i >= 0 && len(free) < maxDims; i-- {
-		if !n.fixed[i] {
+		if !n.fixedDim(i) {
 			free = append(free, i)
 			taken[i] = true
 		}
@@ -232,5 +437,5 @@ func expandLeaf(n *node, maxDims int, e *emitter) {
 	}
 }
 
-// The generator is a full streaming TGA.
-var _ tga.Streamer = (*Generator)(nil)
+// The generator is a full streaming TGA over both seed contracts.
+var _ tga.ViewStreamer = (*Generator)(nil)

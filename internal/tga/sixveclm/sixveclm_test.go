@@ -30,9 +30,12 @@ func TestGenerateStaysInSeedNetworks(t *testing.T) {
 	if len(out) == 0 {
 		t.Fatal("nothing generated")
 	}
-	nets := tga.GroupBySlash64(s)
+	nets := make(map[ip6.Prefix]bool)
+	for _, g := range tga.GroupBySlash64(s) {
+		nets[g.Prefix] = true
+	}
 	for _, a := range out {
-		if _, ok := nets[ip6.Slash64(a)]; !ok {
+		if !nets[ip6.Slash64(a)] {
 			t.Fatalf("candidate %v outside seed networks", a)
 		}
 	}

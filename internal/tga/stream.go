@@ -24,6 +24,19 @@ type Streamer interface {
 	Emit(seeds []ip6.Addr, budget int, yield func(ip6.Addr) bool)
 }
 
+// ViewStreamer is a Streamer that consumes the sharded SeedView contract
+// directly: EmitView yields exactly the stream Emit yields for the same
+// seed set, but the generator maintains an incremental statistical model
+// across calls, rebuilding per-shard statistics only for spans that
+// changed since the previous call (SameSpan) — so steady-state rounds
+// cost the emission alone, independent of cumulative seed count. Emit
+// and Generate remain stateless shims (a throwaway model over
+// SeedViewOf), so a generator instance can serve both contracts.
+type ViewStreamer interface {
+	Streamer
+	EmitView(view *SeedView, budget int, yield func(ip6.Addr) bool)
+}
+
 // Collect materializes a streamer's full emission — the Generate compat
 // shim every concrete generator builds on, and the reference a streaming
 // consumer can be checked against.
@@ -48,9 +61,7 @@ const sourceChunk = 256
 // exactly Generate's output order. Close stops an unfinished generator;
 // scan.Scanner.StreamFrom calls it automatically when the stream ends.
 type Source struct {
-	g      Streamer
-	seeds  []ip6.Addr
-	budget int
+	emit func(yield func(ip6.Addr) bool)
 
 	started  bool
 	ch       chan []ip6.Addr
@@ -64,7 +75,14 @@ type Source struct {
 // NewSource returns a pull source over g's candidate stream for the
 // given seeds and budget. Generation starts lazily on the first pull.
 func NewSource(g Streamer, seeds []ip6.Addr, budget int) *Source {
-	return &Source{g: g, seeds: seeds, budget: budget}
+	return &Source{emit: func(yield func(ip6.Addr) bool) { g.Emit(seeds, budget, yield) }}
+}
+
+// NewViewSource is NewSource over the sharded seed-view contract: the
+// generator's incremental model updates for dirty shards when the first
+// pull starts the emission.
+func NewViewSource(g ViewStreamer, view *SeedView, budget int) *Source {
+	return &Source{emit: func(yield func(ip6.Addr) bool) { g.EmitView(view, budget, yield) }}
 }
 
 func (s *Source) start() {
@@ -85,7 +103,7 @@ func (s *Source) start() {
 				return false
 			}
 		}
-		s.g.Emit(s.seeds, s.budget, func(a ip6.Addr) bool {
+		s.emit(func(a ip6.Addr) bool {
 			buf = append(buf, a)
 			if len(buf) == sourceChunk {
 				return flush()
@@ -137,21 +155,20 @@ func (s *Source) Close() error {
 // after the stream ends.
 func (s *Source) Emitted() int { return s.emitted }
 
-// CandidateFeed adapts a Streamer into the service's per-scan candidate
-// feed (core.Config.TGAFeed): each scan it streams up to Budget
-// candidates generated from the service's cumulative responsive seeds,
-// which the service probes and feeds back as input — the paper's
+// CandidateFeed adapts a ViewStreamer into the service's per-scan
+// candidate feed (core.Config.TGAFeed): each scan it streams up to
+// Budget candidates generated from the service's cumulative responsive
+// seeds, which the service probes and feeds back as input — the paper's
 // Section 6 TGA workload as a closed loop. The service dedups the
 // stream on the fly against every address ever seen as input; under a
 // memory budget (core.Config.MemoryBudget) both that cumulative set and
 // the round's emitted-candidate set are disk-backed, so the candidate
-// stream is memory-bounded no matter how large Budget grows. The seed
-// set itself is still materialized per round — the Streamer API hands
-// generators a sorted []ip6.Addr because they need random access to
-// build their models; streaming seed delivery is a follow-on (see
-// ROADMAP).
+// stream is memory-bounded no matter how large Budget grows. Seeds
+// arrive as a SeedView — per-shard frozen spans pointer-shared across
+// rounds — so neither the service nor the generator ever materializes
+// the cumulative seed slice again.
 type CandidateFeed struct {
-	Gen    Streamer
+	Gen    ViewStreamer
 	Budget int
 }
 
@@ -161,6 +178,6 @@ func (f CandidateFeed) Name() string { return f.Gen.Name() }
 // Candidates returns the scan-day candidate stream. The day parameter is
 // part of the feed contract (feeds may vary generation by day); the
 // bundled generators are day-independent.
-func (f CandidateFeed) Candidates(day int, seeds []ip6.Addr) scan.TargetSource {
-	return NewSource(f.Gen, seeds, f.Budget)
+func (f CandidateFeed) Candidates(day int, seeds *SeedView) scan.TargetSource {
+	return NewViewSource(f.Gen, seeds, f.Budget)
 }

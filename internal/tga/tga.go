@@ -13,7 +13,6 @@ package tga
 
 import (
 	"math"
-	"sort"
 
 	"hitlist6/internal/ip6"
 )
@@ -44,34 +43,49 @@ func DedupAgainstSeeds(candidates, seeds []ip6.Addr) []ip6.Addr {
 	return out
 }
 
-// NibbleEntropy computes the empirical Shannon entropy (bits) of each of
-// the 32 nibble positions over the seed set — the Entropy/IP-style signal
-// every structural TGA starts from.
-func NibbleEntropy(seeds []ip6.Addr) [32]float64 {
-	var counts [32][16]int
+// NibbleCounts accumulates per-position nibble value counts over seeds
+// into counts — the per-shard statistic the incremental models build in
+// parallel and merge by plain addition.
+func NibbleCounts(seeds []ip6.Addr, counts *[32][16]int64) {
 	for _, a := range seeds {
 		n := a.Nibbles()
 		for i, v := range n {
 			counts[i][v]++
 		}
 	}
+}
+
+// EntropyFromCounts computes the empirical Shannon entropy (bits) per
+// nibble position from accumulated counts over total seeds. Counts are
+// integers, so per-shard counts summed into globals yield bit-identical
+// entropies to a from-scratch pass.
+func EntropyFromCounts(counts *[32][16]int64, total int) [32]float64 {
 	var out [32]float64
-	if len(seeds) == 0 {
+	if total == 0 {
 		return out
 	}
-	total := float64(len(seeds))
+	t := float64(total)
 	for i := range counts {
 		h := 0.0
 		for _, c := range counts[i] {
 			if c == 0 {
 				continue
 			}
-			p := float64(c) / total
+			p := float64(c) / t
 			h -= p * math.Log2(p)
 		}
 		out[i] = h
 	}
 	return out
+}
+
+// NibbleEntropy computes the empirical Shannon entropy (bits) of each of
+// the 32 nibble positions over the seed set — the Entropy/IP-style signal
+// every structural TGA starts from.
+func NibbleEntropy(seeds []ip6.Addr) [32]float64 {
+	var counts [32][16]int64
+	NibbleCounts(seeds, &counts)
+	return EntropyFromCounts(&counts, len(seeds))
 }
 
 // NibbleValueSets returns, per position, the sorted distinct nibble values
@@ -95,26 +109,91 @@ func NibbleValueSets(seeds []ip6.Addr) [32][]byte {
 	return out
 }
 
-// GroupBySlash64 buckets seeds by their /64, sorted within each bucket.
-// Distance clustering and the dense-region analyses operate per /64.
-func GroupBySlash64(seeds []ip6.Addr) map[ip6.Prefix][]ip6.Addr {
-	out := make(map[ip6.Prefix][]ip6.Addr)
-	for _, a := range seeds {
-		p := ip6.Slash64(a)
-		out[p] = append(out[p], a)
+// Slash64Group is one /64's seed addresses, sorted ascending. Distance
+// clustering and the dense-region analyses operate per /64.
+type Slash64Group struct {
+	Prefix ip6.Prefix
+	Addrs  []ip6.Addr
+}
+
+// GroupBySlash64 buckets seeds by their /64, returning groups sorted by
+// prefix with members sorted ascending — determinism by construction,
+// with no map and no per-bucket re-sort (the former map form forced
+// every caller through a separate key sort to recover a stable order).
+func GroupBySlash64(seeds []ip6.Addr) []Slash64Group {
+	if len(seeds) == 0 {
+		return nil
 	}
-	for _, v := range out {
-		ip6.SortAddrs(v)
+	sorted := append([]ip6.Addr(nil), seeds...)
+	ip6.SortAddrs(sorted)
+	return GroupSortedBySlash64(sorted)
+}
+
+// GroupSortedBySlash64 is GroupBySlash64 over addresses already sorted
+// ascending — one linear scan, with every group's Addrs a subslice of
+// the input (no copying). This is the form the incremental models run
+// per seed-view shard: frozen shard spans are already sorted, so a /64's
+// members are contiguous.
+func GroupSortedBySlash64(sorted []ip6.Addr) []Slash64Group {
+	var out []Slash64Group
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i < len(sorted) && ip6.Slash64(sorted[i]) == ip6.Slash64(sorted[start]) {
+			continue
+		}
+		out = append(out, Slash64Group{
+			Prefix: ip6.Slash64(sorted[start]),
+			Addrs:  sorted[start:i:i],
+		})
+		start = i
 	}
 	return out
 }
 
-// SortedPrefixes returns the map keys in stable order.
-func SortedPrefixes(m map[ip6.Prefix][]ip6.Addr) []ip6.Prefix {
-	out := make([]ip6.Prefix, 0, len(m))
-	for p := range m {
-		out = append(out, p)
+// MergeSlash64Groups merges per-shard group lists (each sorted by
+// prefix, members sorted) into one list with the same invariants. A /64's
+// members scatter across shards (ShardOf hashes the full address), so
+// same-prefix groups from different shards are merged member-wise with a
+// k-way walk — no re-sorting, no hashing.
+func MergeSlash64Groups(lists [][]Slash64Group) []Slash64Group {
+	idx := make([]int, len(lists))
+	var out []Slash64Group
+	var heads []int // indices of lists whose head shares the minimum prefix
+	for {
+		heads = heads[:0]
+		var min ip6.Prefix
+		for li, l := range lists {
+			if idx[li] >= len(l) {
+				continue
+			}
+			p := l[idx[li]].Prefix
+			if len(heads) == 0 || ip6.ComparePrefix(p, min) < 0 {
+				heads = append(heads[:0], li)
+				min = p
+			} else if ip6.ComparePrefix(p, min) == 0 {
+				heads = append(heads, li)
+			}
+		}
+		if len(heads) == 0 {
+			return out
+		}
+		if len(heads) == 1 {
+			out = append(out, lists[heads[0]][idx[heads[0]]])
+			idx[heads[0]]++
+			continue
+		}
+		total := 0
+		for _, li := range heads {
+			total += len(lists[li][idx[li]].Addrs)
+		}
+		// Members are disjoint across shards, so concatenate-and-sort
+		// yields the same ascending member list a k-way walk would.
+		merged := make([]ip6.Addr, 0, total)
+		for _, li := range heads {
+			merged = append(merged, lists[li][idx[li]].Addrs...)
+			idx[li]++
+		}
+		ip6.SortAddrs(merged)
+		out = append(out, Slash64Group{Prefix: min, Addrs: merged})
 	}
-	sort.Slice(out, func(i, j int) bool { return ip6.ComparePrefix(out[i], out[j]) < 0 })
-	return out
 }

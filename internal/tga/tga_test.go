@@ -68,12 +68,115 @@ func TestGroupBySlash64(t *testing.T) {
 	if len(groups) != 2 {
 		t.Fatalf("groups: %d", len(groups))
 	}
-	g := groups[ip6.MustParsePrefix("2001:db9::/64")]
+	if ip6.ComparePrefix(groups[0].Prefix, groups[1].Prefix) >= 0 {
+		t.Errorf("groups not sorted by prefix: %v, %v", groups[0].Prefix, groups[1].Prefix)
+	}
+	if groups[0].Prefix != ip6.MustParsePrefix("2001:db9::/64") {
+		t.Errorf("first prefix: %v", groups[0].Prefix)
+	}
+	g := groups[0].Addrs
 	if len(g) != 2 || !g[0].Less(g[1]) {
 		t.Errorf("group not sorted: %v", g)
 	}
-	ps := SortedPrefixes(groups)
-	if len(ps) != 2 || ip6.ComparePrefix(ps[0], ps[1]) >= 0 {
-		t.Errorf("sorted prefixes: %v", ps)
+	if GroupBySlash64(nil) != nil {
+		t.Error("empty seeds")
+	}
+}
+
+func TestGroupSortedBySlash64SharesInput(t *testing.T) {
+	sorted := addrs("2001:db9::1", "2001:db9::2", "2001:db9:0:1::1")
+	groups := GroupSortedBySlash64(sorted)
+	if len(groups) != 2 {
+		t.Fatalf("groups: %d", len(groups))
+	}
+	if &groups[0].Addrs[0] != &sorted[0] || &groups[1].Addrs[0] != &sorted[2] {
+		t.Error("groups are not subslices of the input")
+	}
+}
+
+func TestMergeSlash64Groups(t *testing.T) {
+	// One /64's members split across two shard lists, plus a prefix only
+	// one list holds — the merge must interleave members and keep prefix
+	// order.
+	l0 := GroupSortedBySlash64(addrs("2001:db9::1", "2001:db9::4"))
+	l1 := GroupSortedBySlash64(addrs("2001:db9::2", "2001:db9:0:1::1"))
+	merged := MergeSlash64Groups([][]Slash64Group{l0, l1, nil})
+	if len(merged) != 2 {
+		t.Fatalf("merged groups: %d", len(merged))
+	}
+	want := addrs("2001:db9::1", "2001:db9::2", "2001:db9::4")
+	if len(merged[0].Addrs) != 3 {
+		t.Fatalf("merged members: %v", merged[0].Addrs)
+	}
+	for i, a := range want {
+		if merged[0].Addrs[i] != a {
+			t.Errorf("member %d: %v, want %v", i, merged[0].Addrs[i], a)
+		}
+	}
+	if merged[1].Prefix != ip6.MustParsePrefix("2001:db9:0:1::/64") {
+		t.Errorf("second prefix: %v", merged[1].Prefix)
+	}
+	// Single-head groups pass through without copying.
+	if &merged[1].Addrs[0] != &l1[1].Addrs[0] {
+		t.Error("single-list group was copied")
+	}
+}
+
+func TestSeedViewOf(t *testing.T) {
+	seeds := addrs("2001:db9::2", "2001:db9::1", "2001:db9::2", "2a01:e00:4::1")
+	v := SeedViewOf(seeds)
+	if v.Len() != 3 {
+		t.Fatalf("len: %d", v.Len())
+	}
+	for _, s := range seeds {
+		if !v.Has(s) {
+			t.Errorf("missing %v", s)
+		}
+	}
+	if v.Has(ip6.MustParseAddr("2001:db9::3")) {
+		t.Error("phantom member")
+	}
+	var walked []ip6.Addr
+	v.Walk(func(a ip6.Addr) bool { walked = append(walked, a); return true })
+	if len(walked) != 3 {
+		t.Fatalf("walked: %d", len(walked))
+	}
+	for sh := 0; sh < ip6.AddrShards; sh++ {
+		span := v.Shard(sh)
+		for i := 1; i < len(span); i++ {
+			if !span[i-1].Less(span[i]) {
+				t.Fatalf("shard %d not strictly sorted", sh)
+			}
+		}
+		for _, a := range span {
+			if ip6.ShardOf(a) != sh {
+				t.Fatalf("addr %v in wrong shard %d", a, sh)
+			}
+		}
+	}
+	// Nil and empty views are empty, not panics.
+	var nilView *SeedView
+	if nilView.Len() != 0 || nilView.Has(seeds[0]) || nilView.Shard(0) != nil {
+		t.Error("nil view")
+	}
+	if SeedViewOf(nil).Len() != 0 {
+		t.Error("empty view")
+	}
+}
+
+func TestSameSpan(t *testing.T) {
+	a := addrs("2001:db9::1", "2001:db9::2")
+	if !SameSpan(a, a) {
+		t.Error("identical slice")
+	}
+	if SameSpan(a, a[:1]) {
+		t.Error("different lengths")
+	}
+	b := append([]ip6.Addr(nil), a...)
+	if SameSpan(a, b) {
+		t.Error("equal content, different backing")
+	}
+	if !SameSpan(nil, nil) || !SameSpan(a[:0], b[:0]) {
+		t.Error("empty spans are the same")
 	}
 }
